@@ -1,0 +1,41 @@
+"""Table IV (MRF block): BP-M on VIP vs Titan X / Tile-BP / Optical Gibbs.
+
+Paper targets: VIP baseline 41.3 ms (8 iters, 5.2 ms/iter), VIP
+hierarchical 36.3 ms (construct 0.36 ms + copy 1.26 ms + 5 coarse iters at
+1.8 ms + 5 fine iters), Titan X 92.2 ms, plus the Section VII power/area
+columns.
+"""
+
+from repro.baselines import vip_summary
+from repro.experiments import render_table4, table4_mrf
+from repro.reporting import render_series
+
+
+def bench_table4_mrf(benchmark, bp_model, hier_model):
+    rows = benchmark(table4_mrf, bp_model, hier_model)
+    print("\n" + render_table4(rows, "Table IV: Markov random fields"))
+
+    result = bp_model.measure()
+    h = hier_model.measure()
+    print(render_series(
+        "VIP BP-M phase breakdown (paper: iter 5.2 ms, construct 0.36, "
+        "copy 1.26, coarse iter 1.8)",
+        [
+            ("iteration", result.iteration_ms),
+            ("construct", h.construct_ms),
+            ("copy", h.copy_ms),
+            ("coarse iter", h.coarse_iteration_ms),
+        ],
+        unit="ms",
+    ))
+    print(f"silicon: {vip_summary()}\n")
+
+    vip = next(r for r in rows if r.system == "VIP (baseline BP-M)")
+    titan = next(r for r in rows if r.system == "Pascal Titan X")
+    # The headline claims: VIP beats the Titan X on BP-M, and (full fidelity
+    # only) sustains 24 fps.
+    assert vip.time_ms < titan.time_ms
+    if bp_model.grid.image_rows == 1080:
+        assert vip.time_ms < 1000 / 24 * 1.25  # within 25% of the 24 fps budget
+        hier = next(r for r in rows if "hierarchical" in r.system)
+        assert hier.time_ms < vip.time_ms

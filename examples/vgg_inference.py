@@ -1,0 +1,82 @@
+"""VGG-16 inference on VIP: per-layer timing plus a functional slice.
+
+Part 1 runs a *functional* miniature CNN (conv + ReLU + pool) through the
+actual VIP kernels and checks it against the fixed-point reference.
+Part 2 runs the paper's evaluation methodology on the real VGG-16: one
+simulated filter pass per layer, extrapolated to the full network
+(Section V-A), reproducing the batch-1 rows of Table IV and Figure 3b.
+
+Run:  python examples/vgg_inference.py           (~1 minute)
+      REPRO_QUICK=1 python examples/vgg_inference.py  (functional part only)
+"""
+
+import os
+
+import numpy as np
+
+from repro.kernels import (
+    ConvTileLayout,
+    PoolTileLayout,
+    build_conv_pass_program,
+    build_pool_program,
+)
+from repro.memory import HMC
+from repro.pe import PE, LocalVaultMemory
+from repro.workloads.cnn.reference import conv2d_vip, maxpool2d
+
+
+def functional_demo():
+    print("== functional slice: conv 3x3 (4 filters) + ReLU + maxpool ==")
+    rng = np.random.default_rng(1)
+    h = w = 8
+    z, filters, fx = 4, 4, 6
+    inputs = rng.integers(-25, 25, (h, w, z)).astype(np.int16)
+    weights = rng.integers(-15, 15, (filters, 3, 3, z)).astype(np.int16)
+    bias = rng.integers(-5, 5, filters).astype(np.int16)
+
+    hmc = HMC()
+    conv = ConvTileLayout(base=4096, in_h=h + 2, in_w=w + 2, z=z, k=3,
+                          num_filters=filters, out_h=h, out_w=w)
+    conv.stage(hmc.store, inputs, weights, bias)
+    result = PE(memory=LocalVaultMemory(hmc, vault=0)).run(
+        build_conv_pass_program(conv, 0, 2, 0, h, fx=fx, strip_rows=2, passes=2)
+    )
+    conv_out = conv.read_output(hmc.store)
+    ok_conv = np.array_equal(conv_out, conv2d_vip(inputs, weights, bias, fx))
+    print(f"  conv on VIP: {result.cycles:.0f} cycles, matches reference: {ok_conv}")
+
+    pool = PoolTileLayout(base=conv.output_base, in_h=h, in_w=w, z=filters)
+    result = PE(memory=LocalVaultMemory(hmc, vault=0)).run(
+        build_pool_program(pool, 0, h // 2)
+    )
+    ok_pool = np.array_equal(pool.read_output(hmc.store), maxpool2d(conv_out))
+    print(f"  pool on VIP: {result.cycles:.0f} cycles, matches reference: {ok_pool}\n")
+
+
+def timing_demo():
+    from repro.perf import CNNPerformanceModel, Roofline
+    from repro.workloads.cnn import vgg16
+
+    print("== VGG-16 batch-1 timing (independent-pass simulation) ==")
+    model = CNNPerformanceModel(vgg16(), batch=1)
+    roof = Roofline.for_vip()
+    print(f"  {'layer':8s} {'ms':>8s} {'GOp/s':>8s} {'AI':>7s}  bound")
+    for t in model.layer_timings():
+        bound = "memory" if t.arithmetic_intensity < roof.knee else "compute"
+        print(f"  {t.name:8s} {t.ms:8.3f} {t.gops:8.1f} "
+              f"{t.arithmetic_intensity:7.1f}  {bound}")
+    print(f"\n  conv+pool: {model.conv_ms():.1f} ms   (paper: 30.9 ms)")
+    print(f"  fc layers: {model.fc_ms():.2f} ms   (paper: 1.4 ms)")
+    total = model.network_ms()
+    print(f"  full network, batch 1: {total:.1f} ms  (paper: 32.3 ms)"
+          f" -> {1000 / total:.1f} fps without batching")
+
+
+def main():
+    functional_demo()
+    if os.environ.get("REPRO_QUICK") != "1":
+        timing_demo()
+
+
+if __name__ == "__main__":
+    main()

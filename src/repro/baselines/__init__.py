@@ -1,0 +1,67 @@
+"""Baseline models: GPUs, published accelerators, silicon, Fig. 4 ablation."""
+
+from repro.baselines.cambricon import (
+    CambriconSpec,
+    equation_1a_seconds,
+    max_fps,
+)
+from repro.baselines.gpu import (
+    JETSON_TX2,
+    TITAN_X_PASCAL,
+    GPUSpec,
+    bpm_frame_ms,
+    bpm_iteration_ms,
+)
+from repro.baselines.published import (
+    EYERISS_VGG16_CONV,
+    JETSON_TX2_VGG19,
+    MRF_BASELINES,
+    TITANX_VGG16,
+    VIP_AREA_MM2,
+    VIP_POWER_BP_W,
+    VIP_POWER_CNN_W,
+    VIP_TECH_NM,
+    VOLTA_VGG19,
+    BaselinePoint,
+    eyeriss_scaled_time_ms,
+    volta_area_ratio,
+)
+from repro.baselines.silicon import HMCSilicon, PESilicon, vip_summary
+from repro.baselines.vector_machine import (
+    VARIANTS,
+    SeparateArrayLayout,
+    VariantResult,
+    build_variant_program,
+    run_figure4,
+)
+
+__all__ = [
+    "BaselinePoint",
+    "CambriconSpec",
+    "equation_1a_seconds",
+    "max_fps",
+    "EYERISS_VGG16_CONV",
+    "GPUSpec",
+    "HMCSilicon",
+    "JETSON_TX2",
+    "JETSON_TX2_VGG19",
+    "MRF_BASELINES",
+    "PESilicon",
+    "SeparateArrayLayout",
+    "TITANX_VGG16",
+    "TITAN_X_PASCAL",
+    "VARIANTS",
+    "VIP_AREA_MM2",
+    "VIP_POWER_BP_W",
+    "VIP_POWER_CNN_W",
+    "VIP_TECH_NM",
+    "VOLTA_VGG19",
+    "VariantResult",
+    "bpm_frame_ms",
+    "bpm_iteration_ms",
+    "build_variant_program",
+    "eyeriss_scaled_time_ms",
+    "run_figure4",
+    "vip_summary",
+    "volta_area_ratio",
+]

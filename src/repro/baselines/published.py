@@ -1,0 +1,100 @@
+"""Published baseline operating points used throughout Table IV.
+
+The paper compares against published numbers for Eyeriss, Tile-BP, Optical
+Gibbs' sampling, Volta, Jetson TX2, and the Titan X VGG benchmark; we
+encode those numbers (with their provenance) plus the paper's own
+normalization arithmetic (area / technology / clock scaling of Eyeriss and
+Volta, Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BaselinePoint:
+    """One system x workload operating point from the literature."""
+
+    system: str
+    workload: str
+    time_ms: float
+    power_w: float
+    tech_nm: float
+    area_mm2: float | None
+    batch: int | None = None
+    iterations: int | None = None
+    note: str = ""
+
+
+#: Markov-random-field baselines (Table IV, top block).
+MRF_BASELINES = (
+    BaselinePoint(
+        system="Optical Gibbs' Sampling", workload="mrf-labeling",
+        time_ms=1100.0, power_w=12.0, tech_nm=15, area_mm2=212.0,
+        iterations=5000,
+        note="different algorithm (Gibbs sampling); projected technology",
+    ),
+    BaselinePoint(
+        system="Tile-BP (720p)", workload="bp-720p",
+        time_ms=32.7, power_w=0.242, tech_nm=90, area_mm2=9.0,
+        iterations=1, note="one effective BP-M iteration; 720p",
+    ),
+    BaselinePoint(
+        system="Pascal Titan X", workload="bp-fhd",
+        time_ms=92.2, power_w=250.0, tech_nm=16, area_mm2=471.0,
+        iterations=8, note="hand-optimized CUDA BP-M; 11.5 ms/iteration",
+    ),
+)
+
+#: CNN baselines.
+EYERISS_VGG16_CONV = BaselinePoint(
+    system="Eyeriss", workload="vgg16-conv", time_ms=4309.0, power_w=0.236,
+    tech_nm=65, area_mm2=12.0, batch=3,
+)
+TITANX_VGG16 = BaselinePoint(
+    system="Pascal Titan X", workload="vgg16-full", time_ms=41.6,
+    power_w=250.0, tech_nm=16, area_mm2=471.0, batch=16,
+    note="cnn-benchmarks (Johnson)",
+)
+VOLTA_VGG19 = BaselinePoint(
+    system="Volta", workload="vgg19-full", time_ms=2.2, power_w=144.0,
+    tech_nm=12, area_mm2=815.0, batch=1, note="Tensor cores",
+)
+JETSON_TX2_VGG19 = BaselinePoint(
+    system="Jetson TX2", workload="vgg19-full", time_ms=42.2, power_w=10.0,
+    tech_nm=16, area_mm2=None, batch=1,
+)
+
+#: VIP's own silicon numbers (Section VII), used for the VIP rows.
+VIP_TECH_NM = 28
+VIP_AREA_MM2 = 18.0
+VIP_POWER_BP_W = 3.5
+VIP_POWER_CNN_W = 4.8
+
+
+def eyeriss_scaled_time_ms(
+    eyeriss: BaselinePoint = EYERISS_VGG16_CONV,
+    vip_area_mm2: float = VIP_AREA_MM2,
+    vip_tech_nm: float = VIP_TECH_NM,
+    vip_clock_ghz: float = 1.25,
+    eyeriss_clock_ghz: float = 0.2,
+) -> float:
+    """The paper's "Eyeriss-scaled" normalization (Section VI-A).
+
+    Divide Eyeriss' runtime by the area ratio (18/12), the squared
+    technology ratio ((65/28)^2), and the clock ratio (1.25/0.2),
+    optimistically assuming perfect scaling with no other bottleneck.
+    """
+    area_scale = vip_area_mm2 / (eyeriss.area_mm2 or 1.0)
+    tech_scale = (eyeriss.tech_nm / vip_tech_nm) ** 2
+    clock_scale = vip_clock_ghz / eyeriss_clock_ghz
+    return eyeriss.time_ms / (area_scale * tech_scale * clock_scale)
+
+
+def volta_area_ratio(vip_area_mm2: float = VIP_AREA_MM2,
+                     vip_tech_nm: float = VIP_TECH_NM) -> float:
+    """The paper's ~250x Volta-to-VIP normalized area ratio: Volta's
+    815 mm^2 at 12 nm scaled to 28 nm, divided by VIP's 18 mm^2."""
+    scaled_area = VOLTA_VGG19.area_mm2 * (vip_tech_nm / VOLTA_VGG19.tech_nm) ** 2
+    return scaled_area / vip_area_mm2

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the VIP reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when VIP assembly text cannot be assembled.
+
+    Carries the 1-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an invalid state.
+
+    Examples: a vector operation whose operands fall outside the scratchpad,
+    a scalar register index out of range, or a program that runs past the
+    instruction buffer without ``halt``.
+    """
+
+
+class TimingHazardError(SimulationError):
+    """Raised in strict hazard mode when a program reads a scratchpad region
+    before the instruction producing it would have completed in hardware.
+
+    VIP exposes vector-pipeline latency to the programmer (Section III-A of
+    the paper); correctly scheduled code never triggers this.
+    """
+
+
+class DeadlockError(SimulationError):
+    """Raised when the full-system scheduler detects that every processing
+    engine is blocked (e.g. on full-empty synchronization) and no memory
+    event can unblock any of them."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""

@@ -1,0 +1,139 @@
+"""16-bit dynamic fixed-point arithmetic.
+
+Every benchmark in the paper uses "16 bit dynamic fixed point arithmetic"
+(Section IV).  Dynamic fixed point keeps values as plain integers and tracks
+a per-tensor binary scale (the number of fractional bits) in software; the
+hardware only ever sees integers.  This module provides:
+
+* :class:`FixedPointFormat` — a (total bits, fractional bits) pair with
+  range queries;
+* :func:`to_fixed` / :func:`from_fixed` — saturating float<->int conversion
+  for numpy arrays or scalars;
+* saturating integer helpers (:func:`saturate`, :func:`sat_add`,
+  :func:`sat_mul`) shared by the PE functional model and the workload
+  references.
+
+All integer math here is done in numpy ``int64`` so intermediate products of
+16-bit operands never overflow before saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: numpy dtypes by element width in bits.
+DTYPES = {8: np.int8, 16: np.int16, 32: np.int32, 64: np.int64}
+
+
+def int_bounds(bits: int) -> tuple[int, int]:
+    """Return the (min, max) representable values of a signed ``bits``-wide
+    integer."""
+    if bits not in DTYPES:
+        raise ValueError(f"unsupported element width: {bits}")
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A dynamic fixed-point format: ``bits`` total, ``frac`` fractional.
+
+    The represented real value of integer ``q`` is ``q / 2**frac``.
+
+    >>> fmt = FixedPointFormat(16, 8)
+    >>> fmt.resolution
+    0.00390625
+    """
+
+    bits: int = 16
+    frac: int = 8
+
+    def __post_init__(self):
+        if self.bits not in DTYPES:
+            raise ValueError(f"unsupported width: {self.bits}")
+        if not 0 <= self.frac < self.bits:
+            raise ValueError(f"fractional bits out of range: {self.frac}")
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment."""
+        return 2.0 ** -self.frac
+
+    @property
+    def min_value(self) -> float:
+        return int_bounds(self.bits)[0] * self.resolution
+
+    @property
+    def max_value(self) -> float:
+        return int_bounds(self.bits)[1] * self.resolution
+
+    def with_frac(self, frac: int) -> "FixedPointFormat":
+        """Return a copy with a different number of fractional bits."""
+        return FixedPointFormat(self.bits, frac)
+
+
+def saturate(values, bits: int):
+    """Clamp integer ``values`` to the signed range of ``bits``.
+
+    Accepts scalars or numpy arrays; always returns ``int64`` typed data so
+    callers can keep accumulating without overflow.
+    """
+    lo, hi = int_bounds(bits)
+    return np.clip(np.asarray(values, dtype=np.int64), lo, hi)
+
+
+def to_fixed(values, fmt: FixedPointFormat = FixedPointFormat()):
+    """Quantize real ``values`` into integers of format ``fmt`` (saturating,
+    round-to-nearest)."""
+    scaled = np.round(np.asarray(values, dtype=np.float64) * (1 << fmt.frac))
+    return saturate(scaled, fmt.bits).astype(DTYPES[fmt.bits])
+
+
+def from_fixed(values, fmt: FixedPointFormat = FixedPointFormat()):
+    """Convert fixed-point integers back to floats."""
+    return np.asarray(values, dtype=np.float64) / (1 << fmt.frac)
+
+
+def sat_add(a, b, bits: int = 16):
+    """Saturating elementwise addition at ``bits`` width."""
+    return saturate(
+        np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64), bits
+    )
+
+
+def sat_sub(a, b, bits: int = 16):
+    """Saturating elementwise subtraction at ``bits`` width."""
+    return saturate(
+        np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), bits
+    )
+
+
+def sat_mul(a, b, bits: int = 16, frac_shift: int = 0):
+    """Saturating fixed-point multiply.
+
+    Computes the full product in 64 bits, applies the dynamic fixed-point
+    fractional shift (arithmetic right shift by ``frac_shift``), and
+    saturates to ``bits``.  This mirrors the VIP vertical-unit multiplier,
+    whose fractional shift is set per kernel (see ``set.fx``).
+    """
+    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    if frac_shift:
+        product = product >> frac_shift
+    return saturate(product, bits)
+
+
+def choose_frac_bits(values, bits: int = 16, headroom: int = 1) -> int:
+    """Pick the largest fractional-bit count that represents ``values``
+    without saturation, leaving ``headroom`` integer bits spare.
+
+    This is the "dynamic" part of dynamic fixed point: each tensor gets its
+    own scale.  Returns 0 when the data cannot fit even with no fractional
+    bits (callers should then rescale the data).
+    """
+    peak = float(np.max(np.abs(values))) if np.size(values) else 0.0
+    if peak == 0.0:
+        return bits - 1 - headroom
+    int_bits = max(0, int(np.ceil(np.log2(peak + 1e-12))) + 1)  # sign bit
+    frac = bits - int_bits - headroom
+    return max(0, min(bits - 1, frac))

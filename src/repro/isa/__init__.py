@@ -1,0 +1,42 @@
+"""The VIP instruction set architecture (Table II of the paper)."""
+
+from repro.isa.assembler import Assembler
+from repro.isa.builder import ProgramBuilder, assemble
+from repro.isa.encoding import decode, decode_program, encode, encode_program
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    ELEMENTWISE_OPS,
+    HORIZONTAL_OPS,
+    INSTRUCTION_BUFFER_ENTRIES,
+    NUM_REGISTERS,
+    SCALAR_OPS,
+    SCRATCHPAD_BYTES,
+    VERTICAL_OPS,
+    WIDTHS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.program import Program, disassemble
+
+__all__ = [
+    "Assembler",
+    "BRANCH_OPS",
+    "ELEMENTWISE_OPS",
+    "HORIZONTAL_OPS",
+    "INSTRUCTION_BUFFER_ENTRIES",
+    "Instruction",
+    "NUM_REGISTERS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "SCALAR_OPS",
+    "SCRATCHPAD_BYTES",
+    "VERTICAL_OPS",
+    "WIDTHS",
+    "assemble",
+    "decode",
+    "decode_program",
+    "disassemble",
+    "encode",
+    "encode_program",
+]

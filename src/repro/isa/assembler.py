@@ -1,0 +1,273 @@
+"""Two-pass assembler for VIP assembly text.
+
+Syntax (modeled on the paper's Figure 2, with ``[16]`` accepted as a
+shorthand for ``[16-bit]``)::
+
+    ; comment           # comment
+    loop:                               ; labels
+        set.vl 16                       ; or: set.vl r61
+        ld.sram[16-bit] r11, r7, r61
+        v.v.add[16] r11, r11, r12
+        m.v.add.min[16] r10, r15, r11
+        st.sram[16] r10, r14, r61
+        add r7, r7, 32                  ; reg-imm scalar ALU
+        blt r7, r8, loop
+        halt
+
+Registers are ``r0`` .. ``r63``; ``r0`` reads as zero.  Immediates may be
+decimal, hex (``0x..``) or binary (``0b..``).  ``li rd, value`` is a
+pseudo-instruction that expands large constants into ``mov.imm``/``sll``/
+``or``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import IMM_MAX, IMM_MIN
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    ELEMENTWISE_OPS,
+    HORIZONTAL_OPS,
+    NUM_REGISTERS,
+    SCALAR_OPS,
+    VERTICAL_OPS,
+    WIDTHS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MNEMONIC_RE = re.compile(r"^([a-z][a-z0-9.]*)(?:\[(\d+)(?:-bit)?\])?$")
+_REG_RE = re.compile(r"^r(\d+)$")
+
+#: Number of bits the ``li`` pseudo-instruction shifts per chunk.
+_LI_SHIFT = 29
+
+
+class Assembler:
+    """Assemble VIP assembly text into a :class:`Program`."""
+
+    def assemble(self, text: str) -> Program:
+        """Assemble ``text``; raises :class:`AssemblerError` on any syntax or
+        range problem, reporting the offending line number."""
+        instructions: list[Instruction] = []
+        labels: dict[str, int] = {}
+        pending: list[tuple[int, str, int]] = []  # (instr index, label, line)
+
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblerError(f"duplicate label {name!r}", lineno)
+                labels[name] = len(instructions)
+                line = line[match.end() :].strip()
+            if not line:
+                continue
+            for instr in self._parse_line(line, lineno):
+                if instr.label is not None:
+                    pending.append((len(instructions), instr.label, lineno))
+                instructions.append(instr)
+
+        resolved = list(instructions)
+        for index, label, lineno in pending:
+            if label not in labels:
+                raise AssemblerError(f"undefined label {label!r}", lineno)
+            old = instructions[index]
+            resolved[index] = Instruction(
+                opcode=old.opcode,
+                width=old.width,
+                rd=old.rd,
+                rs1=old.rs1,
+                rs2=old.rs2,
+                imm=labels[label],
+                sop=old.sop,
+            )
+        return Program(instructions=resolved, labels=labels, source=text)
+
+    # ------------------------------------------------------------------
+    # parsing helpers
+
+    def _parse_line(self, line: str, lineno: int) -> list[Instruction]:
+        parts = line.split(None, 1)
+        head = parts[0]
+        operands = [o.strip() for o in parts[1].split(",")] if len(parts) > 1 else []
+        match = _MNEMONIC_RE.match(head)
+        if not match:
+            raise AssemblerError(f"cannot parse mnemonic {head!r}", lineno)
+        mnemonic, width_str = match.group(1), match.group(2)
+        width = 16
+        if width_str is not None:
+            width = int(width_str)
+            if width not in WIDTHS:
+                raise AssemblerError(f"bad element width {width}", lineno)
+        try:
+            return self._build(mnemonic, width, operands, lineno)
+        except AssemblerError:
+            raise
+        except Exception as exc:  # normalize validation errors to line info
+            raise AssemblerError(str(exc), lineno) from exc
+
+    def _build(
+        self, mnemonic: str, width: int, ops: list[str], lineno: int
+    ) -> list[Instruction]:
+        reg = lambda s: self._reg(s, lineno)
+        imm = lambda s: self._imm(s, lineno)
+
+        if mnemonic in ("set.vl", "set.mr"):
+            self._arity(mnemonic, ops, 1, lineno)
+            opcode = Opcode.SET_VL if mnemonic == "set.vl" else Opcode.SET_MR
+            if _REG_RE.match(ops[0]):
+                return [Instruction(opcode, rs1=reg(ops[0]))]
+            return [Instruction(opcode, imm=imm(ops[0]))]
+        if mnemonic == "set.fx":
+            self._arity(mnemonic, ops, 1, lineno)
+            return [Instruction(Opcode.SET_FX, imm=imm(ops[0]))]
+        if mnemonic == "v.drain":
+            self._arity(mnemonic, ops, 0, lineno)
+            return [Instruction(Opcode.V_DRAIN)]
+        if mnemonic.startswith("m.v."):
+            tail = mnemonic[len("m.v.") :].split(".")
+            if len(tail) != 2 or tail[0] not in VERTICAL_OPS or tail[1] not in HORIZONTAL_OPS:
+                raise AssemblerError(f"bad m.v composition {mnemonic!r}", lineno)
+            self._arity(mnemonic, ops, 3, lineno)
+            return [
+                Instruction(
+                    Opcode.MV,
+                    width=width,
+                    rd=reg(ops[0]),
+                    rs1=reg(ops[1]),
+                    rs2=reg(ops[2]),
+                    vop=tail[0],
+                    hop=tail[1],
+                )
+            ]
+        if mnemonic.startswith("v.v.") or mnemonic.startswith("v.s."):
+            vop = mnemonic[4:]
+            if vop not in ELEMENTWISE_OPS:
+                raise AssemblerError(f"bad vector op {mnemonic!r}", lineno)
+            self._arity(mnemonic, ops, 3, lineno)
+            opcode = Opcode.VV if mnemonic.startswith("v.v.") else Opcode.VS
+            return [
+                Instruction(
+                    opcode,
+                    width=width,
+                    rd=reg(ops[0]),
+                    rs1=reg(ops[1]),
+                    rs2=reg(ops[2]),
+                    vop=vop,
+                )
+            ]
+        if mnemonic in SCALAR_OPS:
+            self._arity(mnemonic, ops, 3, lineno)
+            if _REG_RE.match(ops[2]):
+                return [
+                    Instruction(
+                        Opcode.ALU, rd=reg(ops[0]), rs1=reg(ops[1]), rs2=reg(ops[2]), sop=mnemonic
+                    )
+                ]
+            return [
+                Instruction(
+                    Opcode.ALU, rd=reg(ops[0]), rs1=reg(ops[1]), imm=imm(ops[2]), sop=mnemonic
+                )
+            ]
+        if mnemonic == "mov":
+            self._arity(mnemonic, ops, 2, lineno)
+            return [Instruction(Opcode.MOV, rd=reg(ops[0]), rs1=reg(ops[1]))]
+        if mnemonic == "mov.imm":
+            self._arity(mnemonic, ops, 2, lineno)
+            return [Instruction(Opcode.MOVI, rd=reg(ops[0]), imm=imm(ops[1]))]
+        if mnemonic == "li":
+            self._arity(mnemonic, ops, 2, lineno)
+            return self._expand_li(reg(ops[0]), imm(ops[1]), lineno)
+        if mnemonic in BRANCH_OPS:
+            self._arity(mnemonic, ops, 3, lineno)
+            return [
+                Instruction(
+                    Opcode.BRANCH,
+                    rs1=reg(ops[0]),
+                    rs2=reg(ops[1]),
+                    sop=mnemonic,
+                    **self._target(ops[2]),
+                )
+            ]
+        if mnemonic == "jmp":
+            self._arity(mnemonic, ops, 1, lineno)
+            return [Instruction(Opcode.JMP, **self._target(ops[0]))]
+        if mnemonic in ("ld.sram", "st.sram"):
+            self._arity(mnemonic, ops, 3, lineno)
+            opcode = Opcode.LD_SRAM if mnemonic == "ld.sram" else Opcode.ST_SRAM
+            return [
+                Instruction(
+                    opcode, width=width, rd=reg(ops[0]), rs1=reg(ops[1]), rs2=reg(ops[2])
+                )
+            ]
+        if mnemonic in ("ld.reg", "st.reg", "ld.fe", "st.fe"):
+            self._arity(mnemonic, ops, 2, lineno)
+            opcode = {
+                "ld.reg": Opcode.LD_REG,
+                "st.reg": Opcode.ST_REG,
+                "ld.fe": Opcode.LD_FE,
+                "st.fe": Opcode.ST_FE,
+            }[mnemonic]
+            return [Instruction(opcode, width=width, rd=reg(ops[0]), rs1=reg(ops[1]))]
+        if mnemonic == "memfence":
+            self._arity(mnemonic, ops, 0, lineno)
+            return [Instruction(Opcode.MEMFENCE)]
+        if mnemonic == "halt":
+            self._arity(mnemonic, ops, 0, lineno)
+            return [Instruction(Opcode.HALT)]
+        if mnemonic == "nop":
+            self._arity(mnemonic, ops, 0, lineno)
+            return [Instruction(Opcode.NOP)]
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno)
+
+    def _expand_li(self, rd: int, value: int, lineno: int) -> list[Instruction]:
+        if IMM_MIN <= value <= IMM_MAX:
+            return [Instruction(Opcode.MOVI, rd=rd, imm=value)]
+        if value < 0 or value >= (1 << (_LI_SHIFT + IMM_MAX.bit_length())):
+            raise AssemblerError(f"li value {value} out of range", lineno)
+        hi, lo = value >> _LI_SHIFT, value & ((1 << _LI_SHIFT) - 1)
+        return [
+            Instruction(Opcode.MOVI, rd=rd, imm=hi),
+            Instruction(Opcode.ALU, rd=rd, rs1=rd, imm=_LI_SHIFT, sop="sll"),
+            Instruction(Opcode.ALU, rd=rd, rs1=rd, imm=lo, sop="or"),
+        ]
+
+    @staticmethod
+    def _target(token: str) -> dict:
+        token = token.strip()
+        try:
+            return {"imm": int(token, 0)}
+        except ValueError:
+            return {"label": token}
+
+    @staticmethod
+    def _arity(mnemonic: str, ops: list[str], expected: int, lineno: int) -> None:
+        if len(ops) != expected:
+            raise AssemblerError(
+                f"{mnemonic} expects {expected} operand(s), got {len(ops)}", lineno
+            )
+
+    @staticmethod
+    def _reg(token: str, lineno: int) -> int:
+        match = _REG_RE.match(token.strip())
+        if not match:
+            raise AssemblerError(f"expected register, got {token!r}", lineno)
+        index = int(match.group(1))
+        if index >= NUM_REGISTERS:
+            raise AssemblerError(f"register r{index} out of range", lineno)
+        return index
+
+    @staticmethod
+    def _imm(token: str, lineno: int) -> int:
+        try:
+            return int(token.strip(), 0)
+        except ValueError as exc:
+            raise AssemblerError(f"expected immediate, got {token!r}", lineno) from exc

@@ -1,0 +1,213 @@
+"""Programmatic VIP program construction.
+
+Kernel generators (``repro.kernels``) build programs through this API rather
+than emitting assembly text; the result is still a :class:`Program` that can
+be disassembled, encoded, and executed.
+
+Example::
+
+    b = ProgramBuilder()
+    msg = b.alloc_reg("msg_addr")
+    b.movi(msg, 0)
+    b.set_vl(16)
+    b.vv("add", dst=msg, a=msg, b=msg, width=16)
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import IMM_MAX, IMM_MIN
+from repro.isa.instructions import NUM_REGISTERS, Instruction, Opcode
+from repro.isa.program import Program
+
+
+class ProgramBuilder:
+    """Incrementally build a VIP :class:`Program`.
+
+    Also provides a simple named register allocator: ``alloc_reg`` hands out
+    registers from r1 upward (r0 is the hardwired zero) and raises when the
+    64-entry register file is exhausted.
+    """
+
+    def __init__(self):
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._pending: list[tuple[int, str]] = []
+        self._next_reg = 1
+        self._reg_names: dict[str, int] = {}
+
+    # -- register allocation -------------------------------------------
+
+    def alloc_reg(self, name: str | None = None) -> int:
+        """Allocate the next free scalar register, optionally named."""
+        if name is not None and name in self._reg_names:
+            raise AssemblerError(f"register name {name!r} already allocated")
+        if self._next_reg >= NUM_REGISTERS:
+            raise AssemblerError("out of scalar registers")
+        reg = self._next_reg
+        self._next_reg += 1
+        if name is not None:
+            self._reg_names[name] = reg
+        return reg
+
+    def reg(self, name: str) -> int:
+        """Look up a previously allocated named register."""
+        return self._reg_names[name]
+
+    @property
+    def free_registers(self) -> int:
+        return NUM_REGISTERS - self._next_reg
+
+    # -- emission -------------------------------------------------------
+
+    def emit(self, instr: Instruction) -> "ProgramBuilder":
+        self._instructions.append(instr)
+        return self
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position and return it."""
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def set_vl(self, value: int | None = None, reg: int | None = None):
+        return self._set(Opcode.SET_VL, value, reg)
+
+    def set_mr(self, value: int | None = None, reg: int | None = None):
+        return self._set(Opcode.SET_MR, value, reg)
+
+    def set_fx(self, value: int):
+        return self.emit(Instruction(Opcode.SET_FX, imm=value))
+
+    def v_drain(self):
+        return self.emit(Instruction(Opcode.V_DRAIN))
+
+    def mv(self, vop: str, hop: str, dst: int, matrix: int, vector: int, width: int = 16):
+        return self.emit(
+            Instruction(Opcode.MV, width=width, rd=dst, rs1=matrix, rs2=vector, vop=vop, hop=hop)
+        )
+
+    def vv(self, op: str, dst: int, a: int, b: int, width: int = 16):
+        return self.emit(
+            Instruction(Opcode.VV, width=width, rd=dst, rs1=a, rs2=b, vop=op)
+        )
+
+    def vs(self, op: str, dst: int, a: int, scalar: int, width: int = 16):
+        return self.emit(
+            Instruction(Opcode.VS, width=width, rd=dst, rs1=a, rs2=scalar, vop=op)
+        )
+
+    def alu(self, op: str, rd: int, rs1: int, rs2: int | None = None, imm: int | None = None):
+        if (rs2 is None) == (imm is None):
+            raise AssemblerError("alu needs exactly one of rs2/imm")
+        return self.emit(
+            Instruction(Opcode.ALU, rd=rd, rs1=rs1, rs2=rs2 or 0, imm=imm, sop=op)
+        )
+
+    def add(self, rd, rs1, rs2=None, imm=None):
+        return self.alu("add", rd, rs1, rs2, imm)
+
+    def sub(self, rd, rs1, rs2=None, imm=None):
+        return self.alu("sub", rd, rs1, rs2, imm)
+
+    def mov(self, rd: int, rs: int):
+        return self.emit(Instruction(Opcode.MOV, rd=rd, rs1=rs))
+
+    def movi(self, rd: int, value: int):
+        """Load an immediate, expanding like the assembler's ``li``."""
+        if IMM_MIN <= value <= IMM_MAX:
+            return self.emit(Instruction(Opcode.MOVI, rd=rd, imm=value))
+        if value < 0:
+            raise AssemblerError(f"movi value {value} out of range")
+        hi, lo = value >> 29, value & ((1 << 29) - 1)
+        self.emit(Instruction(Opcode.MOVI, rd=rd, imm=hi))
+        self.emit(Instruction(Opcode.ALU, rd=rd, rs1=rd, imm=29, sop="sll"))
+        return self.emit(Instruction(Opcode.ALU, rd=rd, rs1=rd, imm=lo, sop="or"))
+
+    def branch(self, op: str, rs1: int, rs2: int, target: str | int):
+        kwargs = {"imm": target} if isinstance(target, int) else {"label": target}
+        return self.emit(Instruction(Opcode.BRANCH, rs1=rs1, rs2=rs2, sop=op, **kwargs))
+
+    def blt(self, rs1, rs2, target):
+        return self.branch("blt", rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target):
+        return self.branch("bge", rs1, rs2, target)
+
+    def beq(self, rs1, rs2, target):
+        return self.branch("beq", rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target):
+        return self.branch("bne", rs1, rs2, target)
+
+    def jmp(self, target: str | int):
+        kwargs = {"imm": target} if isinstance(target, int) else {"label": target}
+        return self.emit(Instruction(Opcode.JMP, **kwargs))
+
+    def ld_sram(self, sp_dst: int, dram_src: int, count: int, width: int = 16):
+        return self.emit(
+            Instruction(Opcode.LD_SRAM, width=width, rd=sp_dst, rs1=dram_src, rs2=count)
+        )
+
+    def st_sram(self, sp_src: int, dram_dst: int, count: int, width: int = 16):
+        return self.emit(
+            Instruction(Opcode.ST_SRAM, width=width, rd=sp_src, rs1=dram_dst, rs2=count)
+        )
+
+    def ld_reg(self, rd: int, addr: int):
+        return self.emit(Instruction(Opcode.LD_REG, rd=rd, rs1=addr))
+
+    def st_reg(self, rs: int, addr: int):
+        return self.emit(Instruction(Opcode.ST_REG, rd=rs, rs1=addr))
+
+    def ld_fe(self, rd: int, addr: int):
+        return self.emit(Instruction(Opcode.LD_FE, rd=rd, rs1=addr))
+
+    def st_fe(self, rs: int, addr: int):
+        return self.emit(Instruction(Opcode.ST_FE, rd=rs, rs1=addr))
+
+    def memfence(self):
+        return self.emit(Instruction(Opcode.MEMFENCE))
+
+    def halt(self):
+        return self.emit(Instruction(Opcode.HALT))
+
+    def nop(self):
+        return self.emit(Instruction(Opcode.NOP))
+
+    def _set(self, opcode: Opcode, value: int | None, reg: int | None):
+        if (value is None) == (reg is None):
+            raise AssemblerError(f"{opcode.value} needs exactly one of value/reg")
+        if value is not None:
+            return self.emit(Instruction(opcode, imm=value))
+        return self.emit(Instruction(opcode, rs1=reg))
+
+    # -- finalization ----------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        resolved = []
+        for instr in self._instructions:
+            if instr.label is not None:
+                if instr.label not in self._labels:
+                    raise AssemblerError(f"undefined label {instr.label!r}")
+                instr = Instruction(
+                    opcode=instr.opcode,
+                    width=instr.width,
+                    rd=instr.rd,
+                    rs1=instr.rs1,
+                    rs2=instr.rs2,
+                    imm=self._labels[instr.label],
+                    sop=instr.sop,
+                )
+            resolved.append(instr)
+        return Program(instructions=resolved, labels=dict(self._labels))
+
+
+def assemble(text: str) -> Program:
+    """Convenience one-shot text assembly."""
+    return Assembler().assemble(text)

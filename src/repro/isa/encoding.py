@@ -1,0 +1,136 @@
+"""Binary encoding of VIP instructions.
+
+Each instruction encodes into one 64-bit little-endian word:
+
+======  =====  ==========================================================
+bits    size   field
+======  =====  ==========================================================
+0-4     5      opcode (index into :class:`~repro.isa.instructions.Opcode`)
+5-6     2      element width code (``log2(width) - 3``)
+7-12    6      rd
+13-18   6      rs1
+19-24   6      rs2
+25-27   3      vertical operator (vector instructions)
+28-29   2      horizontal operator (m.v instructions)
+30-32   3      scalar / branch operator
+33      1      immediate-present flag
+34-63   30     signed immediate (branch target, mov.imm value, ...)
+======  =====  ==========================================================
+
+Immediates outside the signed 30-bit range cannot be encoded directly; the
+assembler's ``li`` pseudo-instruction expands large constants into a
+``mov.imm`` / ``sll`` / ``or`` sequence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    HORIZONTAL_OPS,
+    SCALAR_OPS,
+    VERTICAL_OPS,
+    WIDTHS,
+    Instruction,
+    Opcode,
+)
+
+_OPCODES = list(Opcode)
+_OPCODE_ID = {op: i for i, op in enumerate(_OPCODES)}
+_WIDTH_CODE = {w: i for i, w in enumerate(WIDTHS)}
+
+#: Range of the signed 30-bit immediate field.
+IMM_BITS = 30
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+
+
+def _op_index(table: tuple[str, ...], value: str | None) -> int:
+    return table.index(value) if value is not None else 0
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` into a 64-bit instruction word."""
+    if instr.label is not None:
+        raise EncodingError(f"unresolved label {instr.label!r} in {instr}")
+    imm = instr.imm
+    has_imm = imm is not None
+    if has_imm and not IMM_MIN <= imm <= IMM_MAX:
+        raise EncodingError(
+            f"immediate {imm} outside signed {IMM_BITS}-bit range; "
+            "use the 'li' pseudo-instruction"
+        )
+    if instr.opcode is Opcode.BRANCH or instr.opcode is Opcode.JMP:
+        sop_id = _op_index(BRANCH_OPS, instr.sop)
+    else:
+        sop_id = _op_index(SCALAR_OPS, instr.sop)
+    word = _OPCODE_ID[instr.opcode]
+    word |= _WIDTH_CODE[instr.width] << 5
+    word |= instr.rd << 7
+    word |= instr.rs1 << 13
+    word |= instr.rs2 << 19
+    word |= _op_index(VERTICAL_OPS, instr.vop) << 25
+    word |= _op_index(HORIZONTAL_OPS, instr.hop) << 28
+    word |= sop_id << 30
+    word |= int(has_imm) << 33
+    if has_imm:
+        word |= (imm & ((1 << IMM_BITS) - 1)) << 34
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 64-bit instruction word back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 64):
+        raise EncodingError(f"instruction word out of range: {word:#x}")
+    opcode_id = word & 0x1F
+    if opcode_id >= len(_OPCODES):
+        raise EncodingError(f"unknown opcode id {opcode_id}")
+    opcode = _OPCODES[opcode_id]
+    width = WIDTHS[(word >> 5) & 0x3]
+    rd = (word >> 7) & 0x3F
+    rs1 = (word >> 13) & 0x3F
+    rs2 = (word >> 19) & 0x3F
+    vop_id = (word >> 25) & 0x7
+    hop_id = (word >> 28) & 0x3
+    sop_id = (word >> 30) & 0x7
+    has_imm = bool((word >> 33) & 0x1)
+    imm = None
+    if has_imm:
+        raw = (word >> 34) & ((1 << IMM_BITS) - 1)
+        imm = raw - (1 << IMM_BITS) if raw >= (1 << (IMM_BITS - 1)) else raw
+
+    vop = hop = sop = None
+    if opcode is Opcode.MV:
+        vop, hop = VERTICAL_OPS[vop_id], HORIZONTAL_OPS[hop_id]
+    elif opcode in (Opcode.VV, Opcode.VS):
+        vop = VERTICAL_OPS[vop_id]
+    elif opcode is Opcode.ALU:
+        sop = SCALAR_OPS[sop_id]
+    elif opcode is Opcode.BRANCH:
+        sop = BRANCH_OPS[sop_id & 0x3]
+    return Instruction(
+        opcode=opcode,
+        width=width,
+        rd=rd,
+        rs1=rs1,
+        rs2=rs2,
+        imm=imm,
+        vop=vop,
+        hop=hop,
+        sop=sop,
+    )
+
+
+def encode_program(instructions) -> bytes:
+    """Encode a sequence of instructions into little-endian binary."""
+    return b"".join(encode(i).to_bytes(8, "little") for i in instructions)
+
+
+def decode_program(blob: bytes) -> list[Instruction]:
+    """Decode binary produced by :func:`encode_program`."""
+    if len(blob) % 8:
+        raise EncodingError("program binary length must be a multiple of 8")
+    return [
+        decode(int.from_bytes(blob[i : i + 8], "little"))
+        for i in range(0, len(blob), 8)
+    ]

@@ -1,0 +1,268 @@
+"""VIP instruction definitions (Table II of the paper).
+
+The ISA has four groups:
+
+* **Vector** — configuration (``set.vl``, ``set.mr``, ``v.drain``),
+  matrix-vector (``m.v.<vop>.<hop>``), vector-vector (``v.v.<op>``) and
+  vector-scalar (``v.s.<op>``) operations.  Vector operands are *scratchpad
+  byte addresses held in scalar registers* — VIP is a vector memory-memory
+  machine (Section III-A).
+* **Scalar** — reg-reg / reg-imm ALU ops, moves, and control flow.
+* **Load-store** — DRAM<->scratchpad block moves (``ld.sram``/``st.sram``),
+  DRAM<->scalar-register moves (``ld.reg``/``st.reg``) and ``memfence``.
+* **Implementation extensions**, documented here and in DESIGN.md:
+  ``halt`` (end of program — the paper's programs simply run a fixed kernel),
+  ``nop``, ``set.fx`` (the dynamic fixed-point fractional shift applied by
+  the vertical multiplier; the paper's "16 bit dynamic fixed point
+  arithmetic" needs a per-kernel scale), and ``ld.fe``/``st.fe`` (the
+  full-empty DRAM synchronization variables of Section IV-A surfaced as
+  explicit acquire/release accesses so the simulator need not spin).
+
+Element widths are 8, 16, 32 or 64 bits; both vector units have a 64-bit
+datapath that processes ``64/width`` elements per cycle (Section III-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError
+
+#: Vertical (elementwise) operators available to vector instructions.
+VERTICAL_OPS = ("mul", "add", "sub", "min", "max", "nop")
+#: Horizontal (reduction) operators available to matrix-vector instructions.
+HORIZONTAL_OPS = ("add", "min", "max")
+#: Operators available to v.v / v.s instructions (no ``nop``).
+ELEMENTWISE_OPS = ("mul", "add", "sub", "min", "max")
+#: Scalar ALU operators.
+SCALAR_OPS = ("add", "sub", "sll", "srl", "sra", "and", "or", "xor")
+#: Branch comparison operators.
+BRANCH_OPS = ("blt", "bge", "beq", "bne")
+
+#: Supported element widths in bits.
+WIDTHS = (8, 16, 32, 64)
+
+#: Number of scalar registers (Section III-B: "the scalar register file
+#: contains 64 elements").  Register 0 is hardwired to zero (implementation
+#: choice, documented in DESIGN.md).
+NUM_REGISTERS = 64
+
+#: Scratchpad size in bytes (Section III-A).
+SCRATCHPAD_BYTES = 4096
+
+#: Instruction buffer capacity (Section III-B).
+INSTRUCTION_BUFFER_ENTRIES = 1024
+
+
+class Opcode(enum.Enum):
+    """Top-level instruction opcodes."""
+
+    # Vector configuration
+    SET_VL = "set.vl"
+    SET_MR = "set.mr"
+    SET_FX = "set.fx"
+    V_DRAIN = "v.drain"
+    # Vector arithmetic
+    MV = "m.v"
+    VV = "v.v"
+    VS = "v.s"
+    # Scalar
+    ALU = "alu"
+    MOV = "mov"
+    MOVI = "mov.imm"
+    BRANCH = "branch"
+    JMP = "jmp"
+    # Load-store
+    LD_SRAM = "ld.sram"
+    ST_SRAM = "st.sram"
+    LD_REG = "ld.reg"
+    ST_REG = "st.reg"
+    MEMFENCE = "memfence"
+    # Synchronization / misc extensions
+    LD_FE = "ld.fe"
+    ST_FE = "st.fe"
+    HALT = "halt"
+    NOP = "nop"
+
+
+#: Opcodes that flow down the vector pipeline.
+VECTOR_OPCODES = frozenset({Opcode.MV, Opcode.VV, Opcode.VS, Opcode.V_DRAIN})
+#: Opcodes handled by the load-store unit.
+LOADSTORE_OPCODES = frozenset(
+    {
+        Opcode.LD_SRAM,
+        Opcode.ST_SRAM,
+        Opcode.LD_REG,
+        Opcode.ST_REG,
+        Opcode.MEMFENCE,
+        Opcode.LD_FE,
+        Opcode.ST_FE,
+    }
+)
+#: Opcodes handled entirely in the scalar pipeline / front end.
+SCALAR_OPCODES = frozenset(
+    {
+        Opcode.ALU,
+        Opcode.MOV,
+        Opcode.MOVI,
+        Opcode.BRANCH,
+        Opcode.JMP,
+        Opcode.SET_VL,
+        Opcode.SET_MR,
+        Opcode.SET_FX,
+        Opcode.HALT,
+        Opcode.NOP,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded VIP instruction.
+
+    The operand fields are interpreted per opcode:
+
+    ========== =========================================================
+    opcode     operands
+    ========== =========================================================
+    SET_VL/MR  ``rs1`` (register) or ``imm`` (immediate element count)
+    SET_FX     ``imm`` fractional shift for vertical multiplies
+    MV         ``rd``=dst sp-addr reg, ``rs1``=matrix sp-addr reg,
+               ``rs2``=vector sp-addr reg; ``vop``/``hop`` select the
+               vertical and horizontal operators
+    VV         ``rd``=dst, ``rs1``/``rs2``=source sp-addr regs; ``vop``
+    VS         ``rd``=dst, ``rs1``=source sp-addr reg, ``rs2``=sp-addr reg
+               of the scalar operand (one element).  Like every vector
+               operand, the scalar lives in the scratchpad — the scalar
+               *register file* is reserved for control data, consistent
+               with Section III-A's "no method for moving data between
+               scalar registers and the scratchpad"
+    ALU        ``rd``, ``rs1``, and ``rs2`` or ``imm``; ``sop``
+    MOV/MOVI   ``rd``, ``rs1`` / ``imm``
+    BRANCH     ``rs1``, ``rs2`` compared with ``sop``; target ``imm``
+    JMP        target ``imm``
+    LD_SRAM    ``rd``=sp dst addr reg, ``rs1``=DRAM src addr reg,
+               ``rs2``=element count reg
+    ST_SRAM    ``rd``=sp src addr reg, ``rs1``=DRAM dst addr reg,
+               ``rs2``=element count reg
+    LD_REG     ``rd``=dest register, ``rs1``=DRAM addr reg
+    ST_REG     ``rd``=source register, ``rs1``=DRAM addr reg
+    LD_FE      like LD_REG but blocks until the location is *full*,
+               then marks it empty (acquire)
+    ST_FE      like ST_REG but marks the location full (release)
+    ========== =========================================================
+
+    ``width`` is the element width in bits for vector and load-store
+    instructions (ignored elsewhere).  ``label`` survives only between
+    parsing and label resolution inside the assembler.
+    """
+
+    opcode: Opcode
+    width: int = 16
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int | None = None
+    vop: str | None = None
+    hop: str | None = None
+    sop: str | None = None
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Check field consistency; raise :class:`EncodingError` if invalid."""
+        if self.width not in WIDTHS:
+            raise EncodingError(f"bad element width {self.width}")
+        for name, reg in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if not 0 <= reg < NUM_REGISTERS:
+                raise EncodingError(f"{name}={reg} out of range for {self.opcode}")
+        if self.opcode is Opcode.MV:
+            if self.vop not in VERTICAL_OPS:
+                raise EncodingError(f"bad m.v vertical op {self.vop!r}")
+            if self.hop not in HORIZONTAL_OPS:
+                raise EncodingError(f"bad m.v horizontal op {self.hop!r}")
+        elif self.opcode in (Opcode.VV, Opcode.VS):
+            if self.vop not in ELEMENTWISE_OPS:
+                raise EncodingError(f"bad {self.opcode.value} op {self.vop!r}")
+        elif self.opcode is Opcode.ALU:
+            if self.sop not in SCALAR_OPS:
+                raise EncodingError(f"bad scalar op {self.sop!r}")
+        elif self.opcode is Opcode.BRANCH:
+            if self.sop not in BRANCH_OPS:
+                raise EncodingError(f"bad branch op {self.sop!r}")
+            if self.imm is None and self.label is None:
+                raise EncodingError("branch needs a target")
+        elif self.opcode is Opcode.JMP:
+            if self.imm is None and self.label is None:
+                raise EncodingError("jmp needs a target")
+        elif self.opcode in (Opcode.MOVI, Opcode.SET_FX):
+            if self.imm is None:
+                raise EncodingError(f"{self.opcode.value} needs an immediate")
+
+    @property
+    def is_vector(self) -> bool:
+        return self.opcode in VECTOR_OPCODES
+
+    @property
+    def is_loadstore(self) -> bool:
+        return self.opcode in LOADSTORE_OPCODES
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.opcode in SCALAR_OPCODES
+
+    @property
+    def mnemonic(self) -> str:
+        """Reconstruct the assembly mnemonic (without operands)."""
+        if self.opcode is Opcode.MV:
+            return f"m.v.{self.vop}.{self.hop}"
+        if self.opcode in (Opcode.VV, Opcode.VS):
+            return f"{self.opcode.value}.{self.vop}"
+        if self.opcode is Opcode.ALU:
+            return self.sop or "alu"
+        if self.opcode is Opcode.BRANCH:
+            return self.sop or "branch"
+        return self.opcode.value
+
+    def render(self) -> str:
+        """Render as one line of VIP assembly."""
+        op = self.mnemonic
+        vec_or_ls = self.is_vector or self.opcode in (
+            Opcode.LD_SRAM,
+            Opcode.ST_SRAM,
+            Opcode.LD_FE,
+            Opcode.ST_FE,
+            Opcode.LD_REG,
+            Opcode.ST_REG,
+        )
+        if vec_or_ls and self.opcode is not Opcode.V_DRAIN:
+            op = f"{op}[{self.width}]"
+        o = self.opcode
+        if o in (Opcode.MV, Opcode.VV, Opcode.VS, Opcode.LD_SRAM, Opcode.ST_SRAM):
+            return f"{op} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if o is Opcode.ALU:
+            tail = f"r{self.rs2}" if self.imm is None else str(self.imm)
+            return f"{op} r{self.rd}, r{self.rs1}, {tail}"
+        if o is Opcode.MOV:
+            return f"{op} r{self.rd}, r{self.rs1}"
+        if o is Opcode.MOVI:
+            return f"{op} r{self.rd}, {self.imm}"
+        if o is Opcode.BRANCH:
+            target = self.label if self.label is not None else self.imm
+            return f"{op} r{self.rs1}, r{self.rs2}, {target}"
+        if o is Opcode.JMP:
+            target = self.label if self.label is not None else self.imm
+            return f"{op} {target}"
+        if o in (Opcode.LD_REG, Opcode.LD_FE, Opcode.ST_REG, Opcode.ST_FE):
+            return f"{op} r{self.rd}, r{self.rs1}"
+        if o in (Opcode.SET_VL, Opcode.SET_MR):
+            return f"{op} {self.imm}" if self.imm is not None else f"{op} r{self.rs1}"
+        if o is Opcode.SET_FX:
+            return f"{op} {self.imm}"
+        return op  # v.drain, memfence, halt, nop
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,56 @@
+"""Program container and disassembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa.instructions import INSTRUCTION_BUFFER_ENTRIES, Instruction
+
+
+@dataclass
+class Program:
+    """An assembled VIP program.
+
+    Attributes:
+        instructions: the instruction stream, branch targets resolved to
+            absolute instruction indices in ``imm``.
+        labels: label name -> instruction index, kept for debugging and for
+            the disassembler.
+        source: the original assembly text, when assembled from text.
+    """
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    source: str | None = None
+
+    def __post_init__(self):
+        if len(self.instructions) > INSTRUCTION_BUFFER_ENTRIES:
+            raise SimulationError(
+                f"program has {len(self.instructions)} instructions; the VIP "
+                f"instruction buffer holds {INSTRUCTION_BUFFER_ENTRIES}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def disassemble(self) -> str:
+        """Render the program as assembly text with label comments."""
+        index_to_label = {v: k for k, v in self.labels.items()}
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            if i in index_to_label:
+                lines.append(f"{index_to_label[i]}:")
+            lines.append(f"    {instr.render()}")
+        return "\n".join(lines) + "\n"
+
+
+def disassemble(program: Program) -> str:
+    """Module-level convenience wrapper around :meth:`Program.disassemble`."""
+    return program.disassemble()

@@ -1,0 +1,34 @@
+"""Kernel generators: the paper's Section IV software, emitted as VIP assembly."""
+
+from repro.kernels.bp_kernel import (
+    BPTileLayout,
+    build_construct_program,
+    build_copy_program,
+    build_sweep_program,
+    build_vault_sweep_programs,
+)
+from repro.kernels.common import ScratchpadAllocator, split_evenly
+from repro.kernels.conv_kernel import (
+    ConvTileLayout,
+    build_accumulate_program,
+    build_conv_pass_program,
+)
+from repro.kernels.fc_kernel import FCTileLayout, build_fc_partial_program
+from repro.kernels.pool_kernel import PoolTileLayout, build_pool_program
+
+__all__ = [
+    "BPTileLayout",
+    "ConvTileLayout",
+    "FCTileLayout",
+    "PoolTileLayout",
+    "ScratchpadAllocator",
+    "build_accumulate_program",
+    "build_construct_program",
+    "build_conv_pass_program",
+    "build_copy_program",
+    "build_fc_partial_program",
+    "build_pool_program",
+    "build_sweep_program",
+    "build_vault_sweep_programs",
+    "split_evenly",
+]

@@ -1,0 +1,51 @@
+"""Shared helpers for kernel generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.isa.instructions import SCRATCHPAD_BYTES
+
+
+@dataclass
+class ScratchpadAllocator:
+    """Bump allocator for scratchpad byte ranges within one PE."""
+
+    size: int = SCRATCHPAD_BYTES
+    _cursor: int = 0
+    _names: dict = field(default_factory=dict)
+
+    def alloc(self, nbytes: int, name: str | None = None, align: int = 2) -> int:
+        cursor = -(-self._cursor // align) * align
+        if cursor + nbytes > self.size:
+            raise ConfigError(
+                f"scratchpad exhausted: need {nbytes} bytes at {cursor} "
+                f"(capacity {self.size})"
+            )
+        self._cursor = cursor + nbytes
+        if name is not None:
+            self._names[name] = cursor
+        return cursor
+
+    def addr(self, name: str) -> int:
+        return self._names[name]
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+
+def split_evenly(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split range(total) into ``parts`` contiguous (start, count) slices,
+    the first slices taking the remainder."""
+    if parts <= 0:
+        raise ConfigError("parts must be positive")
+    base, extra = divmod(total, parts)
+    slices = []
+    start = 0
+    for i in range(parts):
+        count = base + (1 if i < extra else 0)
+        slices.append((start, count))
+        start += count
+    return slices

@@ -1,0 +1,47 @@
+"""HMC-like 3D-stacked DRAM: functional store, timing model, address maps."""
+
+from repro.memory.address import AddressMapper, DecodedAddress
+from repro.memory.bank import Bank, RefreshSchedule, TimingCycles
+from repro.memory.hmc import HMC
+from repro.memory.store import DramStore
+from repro.memory.timing import (
+    FIGURE5_CONFIGS,
+    AddressMapping,
+    DramTiming,
+    MemoryConfig,
+    RowPolicy,
+    baseline_config,
+    closed_page_config,
+    fewer_ranks_config,
+    more_ranks_config,
+    narrow_row_config,
+    refresh_1x_config,
+    refresh_2x_config,
+    wide_row_config,
+)
+from repro.memory.vault import VaultController, VaultStats
+
+__all__ = [
+    "AddressMapper",
+    "AddressMapping",
+    "Bank",
+    "DecodedAddress",
+    "DramStore",
+    "DramTiming",
+    "FIGURE5_CONFIGS",
+    "HMC",
+    "MemoryConfig",
+    "RefreshSchedule",
+    "RowPolicy",
+    "TimingCycles",
+    "VaultController",
+    "VaultStats",
+    "baseline_config",
+    "closed_page_config",
+    "fewer_ranks_config",
+    "more_ranks_config",
+    "narrow_row_config",
+    "refresh_1x_config",
+    "refresh_2x_config",
+    "wide_row_config",
+]

@@ -1,0 +1,104 @@
+"""HMC address mapping.
+
+Decomposes a physical byte address into (vault, bank, row, column) under the
+two interleaving schemes the paper discusses (Section III-C):
+
+* ``VAULT_HIGH`` (*vault-row-bank-col*) — VIP's scheme.  The vault index
+  occupies the most significant bits, so each vault owns one contiguous
+  region of the address space and a PE can keep all its data local.  Below
+  the vault bits, a contiguous stream walks the 32 B columns of one row
+  (open-page hits), then moves to the same row of the next bank (bank-level
+  parallelism), then to the next row.
+* ``VAULT_LOW`` — the default HMC scheme, with the vault index in the low
+  bits just above the column offset, which spreads even small buffers over
+  all vaults (best for an external host, worst for PE locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.memory.timing import AddressMapping, MemoryConfig
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A physical address decomposed into DRAM coordinates."""
+
+    vault: int
+    bank: int
+    row: int
+    column: int
+    offset: int  # byte offset within the 32 B column
+
+
+class AddressMapper:
+    """Maps byte addresses to DRAM coordinates for a :class:`MemoryConfig`."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+
+    def decode(self, addr: int) -> DecodedAddress:
+        cfg = self.config
+        if not 0 <= addr < cfg.total_bytes:
+            raise SimulationError(f"address {addr:#x} outside DRAM")
+        offset = addr % cfg.column_bytes
+        column_index = addr // cfg.column_bytes  # global 32 B column number
+        if cfg.address_mapping is AddressMapping.VAULT_HIGH:
+            # MSB -> LSB: vault | row | bank | col
+            col = column_index % cfg.columns_per_row
+            column_index //= cfg.columns_per_row
+            bank = column_index % cfg.banks_per_vault
+            column_index //= cfg.banks_per_vault
+            row = column_index % cfg.rows_per_bank
+            vault = column_index // cfg.rows_per_bank
+        else:
+            # MSB -> LSB: row | bank | vault | col
+            col = column_index % cfg.columns_per_row
+            column_index //= cfg.columns_per_row
+            vault = column_index % cfg.vaults
+            column_index //= cfg.vaults
+            bank = column_index % cfg.banks_per_vault
+            row = column_index // cfg.banks_per_vault
+        return DecodedAddress(vault=vault, bank=bank, row=row, column=col, offset=offset)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode`."""
+        cfg = self.config
+        if cfg.address_mapping is AddressMapping.VAULT_HIGH:
+            column_index = (
+                (decoded.vault * cfg.rows_per_bank + decoded.row) * cfg.banks_per_vault
+                + decoded.bank
+            ) * cfg.columns_per_row + decoded.column
+        else:
+            column_index = (
+                (decoded.row * cfg.banks_per_vault + decoded.bank) * cfg.vaults
+                + decoded.vault
+            ) * cfg.columns_per_row + decoded.column
+        return column_index * cfg.column_bytes + decoded.offset
+
+    def vault_of(self, addr: int) -> int:
+        return self.decode(addr).vault
+
+    def vault_base(self, vault: int) -> int:
+        """First byte address owned by ``vault`` (VAULT_HIGH mapping only)."""
+        cfg = self.config
+        if cfg.address_mapping is not AddressMapping.VAULT_HIGH:
+            raise SimulationError("vault_base is only meaningful for VAULT_HIGH mapping")
+        return vault * cfg.vault_bytes
+
+    def split_into_columns(self, addr: int, nbytes: int) -> list[tuple[int, int]]:
+        """Split a byte range into (column-aligned address, length) pieces,
+        one per DRAM burst."""
+        if nbytes <= 0:
+            return []
+        pieces = []
+        cb = self.config.column_bytes
+        cursor = addr
+        end = addr + nbytes
+        while cursor < end:
+            boundary = (cursor // cb + 1) * cb
+            pieces.append((cursor, min(boundary, end) - cursor))
+            cursor = min(boundary, end)
+        return pieces

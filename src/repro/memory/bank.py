@@ -1,0 +1,175 @@
+"""Per-bank DRAM timing model.
+
+A timestamp-based state machine: instead of ticking every cycle, each bank
+tracks the currently open row and the earliest times at which the next
+command may start, and each access computes its own ACT/CAS/data timeline
+against those constraints.  This is the standard approach for
+cycle-approximate DRAM models and reproduces the behaviors the paper's
+Figure 5 probes: open- vs closed-page, row-buffer locality, bank-level
+parallelism, and refresh interference.
+
+All times are in PE clock cycles (1 cycle = tCK = 0.8 ns).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.memory.timing import DramTiming, MemoryConfig, RowPolicy
+
+
+@dataclass(frozen=True)
+class TimingCycles:
+    """Table III timing converted from nanoseconds to clock cycles."""
+
+    tCL: float
+    tRCD: float
+    tRP: float
+    tRAS: float
+    tWR: float
+    tCCD: float
+    tRFC: float
+    tREFI: float
+    burst: float
+
+    @classmethod
+    def from_config(cls, config: MemoryConfig) -> "TimingCycles":
+        t: DramTiming = config.timing
+        cyc = lambda ns: ns / t.tCK
+        return cls(
+            tCL=cyc(t.tCL),
+            tRCD=cyc(t.tRCD),
+            tRP=cyc(t.tRP),
+            tRAS=cyc(t.tRAS),
+            tWR=cyc(t.tWR),
+            tCCD=cyc(t.tCCD),
+            tRFC=cyc(t.tRFC),
+            tREFI=cyc(t.tREFI),
+            burst=config.burst_ns / t.tCK,
+        )
+
+
+class RefreshSchedule:
+    """All-bank refresh: at every multiple of tREFI the vault is busy for
+    tRFC.  Commands that would start inside a refresh window are pushed to
+    the window's end."""
+
+    def __init__(self, timing: TimingCycles):
+        self.tREFI = timing.tREFI
+        self.tRFC = timing.tRFC
+
+    def adjust(self, time: float) -> float:
+        """Return ``time`` moved past any refresh window it falls into.
+
+        Windows open at every *positive* multiple of tREFI (no refresh is
+        due at power-on) and last tRFC.
+        """
+        if self.tREFI <= 0:
+            return time
+        epoch = math.floor(time / self.tREFI)
+        if epoch >= 1 and time < epoch * self.tREFI + self.tRFC:
+            return epoch * self.tREFI + self.tRFC
+        return time
+
+    def epoch(self, time: float) -> int:
+        """Refresh epoch index containing ``time``."""
+        return math.floor(time / self.tREFI) if self.tREFI > 0 else 0
+
+
+@dataclass
+class BankStats:
+    accesses: int = 0
+    row_hits: int = 0
+    activations: int = 0
+
+
+@dataclass
+class Bank:
+    """One DRAM bank (= one rank in the HMC, Section VI-C).
+
+    ``write_buffering`` models the write queue of a modern memory
+    controller: buffered writes are acknowledged at CAS-write timing and
+    drained opportunistically, so they neither close the bank's open row
+    nor force an activate on the read stream.  This is the standard
+    FR-FCFS-with-write-queue behavior of DRAMSim2-class controllers; turn
+    it off to model a controller that services writes in strict order.
+    """
+
+    timing: TimingCycles
+    policy: RowPolicy
+    refresh: RefreshSchedule
+    write_buffering: bool = True
+    open_row: int | None = None
+    t_next_cmd: float = 0.0
+    t_last_act: float = -1e18
+    _last_epoch: int = 0
+    stats: BankStats = field(default_factory=BankStats)
+
+    def access(self, time: float, row: int, is_write: bool) -> tuple[float, float]:
+        """Issue one column access to ``row`` at (or after) ``time``.
+
+        Returns ``(t_data_ready, t_bank_free)``: when the burst *could*
+        start on the data TSVs (bus arbitration happens in the vault), and
+        when the bank can take its next command.
+        """
+        t = max(time, self.t_next_cmd)
+        t = self.refresh.adjust(t)
+
+        if is_write and self.write_buffering:
+            # Buffered write: acknowledged at CAS timing; the row impact is
+            # absorbed by the controller's write queue.
+            self.stats.accesses += 1
+            self.stats.row_hits += 1
+            t_data = t + self.timing.tCL
+            self.t_next_cmd = t + self.timing.tCCD
+            return t_data, self.t_next_cmd
+
+        # Refresh closes any open row.
+        epoch = self.refresh.epoch(t)
+        if epoch != self._last_epoch:
+            self.open_row = None
+            self._last_epoch = epoch
+
+        self.stats.accesses += 1
+        hit = self.policy is RowPolicy.OPEN_PAGE and self.open_row == row
+        if hit:
+            self.stats.row_hits += 1
+            t_cas = t
+        else:
+            if self.open_row is not None:
+                # Row miss under open-page: precharge first (respect tRAS).
+                t_pre = max(t, self.t_last_act + self.timing.tRAS)
+                t_act = self.refresh.adjust(t_pre + self.timing.tRP)
+            else:
+                t_act = t
+            self.stats.activations += 1
+            self.t_last_act = t_act
+            t_cas = t_act + self.timing.tRCD
+
+        t_data = t_cas + self.timing.tCL
+        self.t_next_cmd = t_cas + self.timing.tCCD
+
+        if self.policy is RowPolicy.CLOSED_PAGE:
+            # Auto-precharge after the access (plus write recovery).
+            recovery = self.timing.tWR if is_write else 0.0
+            t_pre = max(
+                t_data + self.timing.burst + recovery,
+                self.t_last_act + self.timing.tRAS,
+            )
+            self.t_next_cmd = max(self.t_next_cmd, t_pre + self.timing.tRP)
+            self.open_row = None
+        else:
+            self.open_row = row
+            if is_write:
+                # The row may not precharge until write recovery completes;
+                # approximate by delaying the next command slightly.
+                self.t_next_cmd = max(self.t_next_cmd, t_data + self.timing.burst)
+
+        return t_data, self.t_next_cmd
+
+    @property
+    def row_hit_rate(self) -> float:
+        if not self.stats.accesses:
+            return 0.0
+        return self.stats.row_hits / self.stats.accesses

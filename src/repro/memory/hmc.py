@@ -1,0 +1,82 @@
+"""The HMC-like 3D-stacked memory system (Section III-C).
+
+Combines the functional :class:`~repro.memory.store.DramStore` with 32
+:class:`~repro.memory.vault.VaultController` timing models and the address
+mapper.  Accesses of arbitrary size are split into 32 B column bursts, each
+timed independently (banks overlap, the per-vault data bus serializes).
+
+The HMC knows nothing about the network: callers (the single-PE adapters or
+the full-system :class:`~repro.system.chip.Chip`) add NoC latency before
+and after calling :meth:`access`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.address import AddressMapper
+from repro.memory.store import DramStore
+from repro.memory.timing import MemoryConfig
+from repro.memory.vault import VaultController
+
+
+class HMC:
+    """Functional + timing model of the stacked memory."""
+
+    def __init__(self, config: MemoryConfig | None = None, store: DramStore | None = None):
+        self.config = config or MemoryConfig()
+        self.store = store or DramStore(self.config.total_bytes)
+        self.mapper = AddressMapper(self.config)
+        self.vaults = [VaultController(self.config) for _ in range(self.config.vaults)]
+
+    def vault_of(self, addr: int) -> int:
+        return self.mapper.vault_of(addr)
+
+    def access(
+        self,
+        time: float,
+        addr: int,
+        nbytes: int,
+        is_write: bool,
+        data: np.ndarray | bytes | None = None,
+    ) -> tuple[float, np.ndarray | None]:
+        """Perform one timed access of ``nbytes`` at ``addr``.
+
+        Returns ``(done_time, data)`` where ``data`` is the bytes read (for
+        reads) or ``None`` (for writes).  ``done_time`` is when the last
+        burst finishes on the vault data bus, in clock cycles.
+        """
+        if is_write and data is not None:
+            self.store.write(addr, data)
+        done = time
+        for piece_addr, piece_len in self.mapper.split_into_columns(addr, nbytes):
+            decoded = self.mapper.decode(piece_addr)
+            vault = self.vaults[decoded.vault]
+            done = max(
+                done,
+                vault.access(time, decoded.bank, decoded.row, piece_len, is_write),
+            )
+        out = None if is_write else self.store.read(addr, nbytes)
+        return done, out
+
+    # ------------------------------------------------------------------
+    # statistics
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return sum(v.stats.total_bytes for v in self.vaults)
+
+    def achieved_bandwidth_gbps(self, elapsed_cycles: float) -> float:
+        """Aggregate achieved bandwidth over ``elapsed_cycles`` in GB/s."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        elapsed_ns = elapsed_cycles * self.config.timing.tCK
+        return self.total_bytes_moved / elapsed_ns
+
+    @property
+    def row_hit_rate(self) -> float:
+        accesses = sum(b.stats.accesses for v in self.vaults for b in v.banks)
+        if not accesses:
+            return 0.0
+        hits = sum(b.stats.row_hits for v in self.vaults for b in v.banks)
+        return hits / accesses

@@ -1,0 +1,86 @@
+"""Vault controller timing model.
+
+Each HMC vault has 16 banks sharing data TSVs (so bursts serialize on a
+per-vault data bus) but independent control TSVs (so bank commands overlap).
+The controller accepts one column-sized transaction at a time, bounded by
+the transaction queue depth of Table III: when the queue is full, new
+arrivals wait for the oldest in-flight transaction to retire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.memory.bank import Bank, RefreshSchedule, TimingCycles
+from repro.memory.timing import MemoryConfig
+
+
+@dataclass
+class VaultStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    first_activity: float = field(default=float("inf"))
+    last_activity: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def bandwidth_gbps(self, tck_ns: float) -> float:
+        """Achieved bandwidth over the vault's active window, in GB/s."""
+        window = self.last_activity - self.first_activity
+        if window <= 0:
+            return 0.0
+        return self.total_bytes / (window * tck_ns)
+
+
+class VaultController:
+    """Timing model for one vault: banks + shared data bus + queue bound."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+        self.timing = TimingCycles.from_config(config)
+        self.refresh = RefreshSchedule(self.timing)
+        self.banks = [
+            Bank(self.timing, config.row_policy, self.refresh,
+                 write_buffering=config.write_buffering)
+            for _ in range(config.banks_per_vault)
+        ]
+        self.t_bus_free = 0.0
+        self.stats = VaultStats()
+        self._in_flight: list[float] = []  # min-heap of retire times
+
+    def access(self, time: float, bank: int, row: int, nbytes: int, is_write: bool) -> float:
+        """Service one column access; returns the time its data burst
+        completes on the vault data bus."""
+        # Transaction queue back-pressure.
+        while self._in_flight and self._in_flight[0] <= time:
+            heapq.heappop(self._in_flight)
+        if len(self._in_flight) >= self.config.transaction_queue_depth:
+            time = max(time, heapq.heappop(self._in_flight))
+
+        t_data, _ = self.banks[bank].access(time, row, is_write)
+        burst_start = max(t_data, self.t_bus_free)
+        done = burst_start + self.timing.burst
+        self.t_bus_free = done
+        heapq.heappush(self._in_flight, done)
+
+        self.stats.first_activity = min(self.stats.first_activity, time)
+        self.stats.last_activity = max(self.stats.last_activity, done)
+        if is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+        return done
+
+    @property
+    def row_hit_rate(self) -> float:
+        accesses = sum(b.stats.accesses for b in self.banks)
+        if not accesses:
+            return 0.0
+        return sum(b.stats.row_hits for b in self.banks) / accesses

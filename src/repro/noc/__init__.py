@@ -1,0 +1,5 @@
+"""On-chip network: the 8x4 2D torus connecting HMC vaults."""
+
+from repro.noc.torus import NoCConfig, NoCStats, TorusNetwork
+
+__all__ = ["NoCConfig", "NoCStats", "TorusNetwork"]

@@ -1,0 +1,26 @@
+"""The VIP processing engine: microarchitecture simulator and memory ports."""
+
+from repro.pe.arc import ArcEntry, ArrayRangeCheck
+from repro.pe.config import HazardMode, PEConfig
+from repro.pe.counters import PECounters, RunTotals
+from repro.pe.memoryif import FlatMemory, FullEmptyState, LocalVaultMemory
+from repro.pe.pe import PE, PEResult, PEStatus
+from repro.pe.vector_unit import ScratchpadView, VectorTiming, vector_timing
+
+__all__ = [
+    "ArcEntry",
+    "ArrayRangeCheck",
+    "FlatMemory",
+    "FullEmptyState",
+    "HazardMode",
+    "LocalVaultMemory",
+    "PE",
+    "PECounters",
+    "PEConfig",
+    "PEResult",
+    "PEStatus",
+    "RunTotals",
+    "ScratchpadView",
+    "VectorTiming",
+    "vector_timing",
+]

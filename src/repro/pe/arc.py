@@ -1,0 +1,70 @@
+"""Array Range Check (ARC) — the scratchpad hazard interlock.
+
+Section III-B: "In order to detect hazards within the scratchpad, VIP
+provides an associative array ... which holds scratchpad start and end
+addresses upon the issue of an instruction to load data to the scratchpad.
+Any subsequent instructions accessing a region of scratchpad that overlaps
+with an ARC entry are stalled until the load completes and clears the ARC
+entry."  The ARC has 20 entries; a full ARC stalls issue of further loads.
+
+This model keeps (start, end, clear_time) triples.  Because the simulator is
+timestamp-based, "clearing" an entry simply means its clear time is in the
+past relative to the querying instruction's issue time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ArcEntry:
+    start: int
+    end: int  # exclusive
+    clear_time: float
+
+
+class ArrayRangeCheck:
+    """The 20-entry associative range tracker."""
+
+    def __init__(self, entries: int = 20):
+        self.capacity = entries
+        self._entries: list[ArcEntry] = []
+        self.peak_occupancy = 0
+
+    def _prune(self, time: float) -> None:
+        self._entries = [e for e in self._entries if e.clear_time > time]
+
+    def occupancy(self, time: float) -> int:
+        self._prune(time)
+        return len(self._entries)
+
+    def earliest_free_time(self, time: float) -> float:
+        """Earliest time a new entry can be inserted (capacity stall)."""
+        self._prune(time)
+        if len(self._entries) < self.capacity:
+            return time
+        ordered = sorted(e.clear_time for e in self._entries)
+        return ordered[len(self._entries) - self.capacity]
+
+    def overlap_clear_time(self, start: int, nbytes: int, time: float) -> float:
+        """Latest clear time among live entries overlapping [start, start+n).
+
+        Returns ``time`` unchanged when nothing overlaps: the instruction
+        may proceed immediately.
+        """
+        if nbytes <= 0:
+            return time
+        self._prune(time)
+        end = start + nbytes
+        latest = time
+        for e in self._entries:
+            if e.start < end and start < e.end:
+                latest = max(latest, e.clear_time)
+        return latest
+
+    def insert(self, start: int, nbytes: int, clear_time: float, time: float) -> None:
+        """Record an in-flight scratchpad load covering [start, start+n)."""
+        self._prune(time)
+        self._entries.append(ArcEntry(start, start + nbytes, clear_time))
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))

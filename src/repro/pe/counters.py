@@ -1,0 +1,63 @@
+"""Performance counters collected by the PE simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class PECounters:
+    """Event and stall counts for one PE run.
+
+    ``vector_alu_ops`` counts 16-bit-equivalent ALU operations performed by
+    the vector units — the same definition the paper uses for its roofline
+    plots ("only the number of 16 bit ALU operations performed by the vector
+    units", Section VI-A).
+    """
+
+    instructions: int = 0
+    scalar_instructions: int = 0
+    vector_instructions: int = 0
+    loadstore_instructions: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    vector_alu_ops: int = 0
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    dram_requests: int = 0
+    stall_operand: float = 0.0
+    stall_arc: float = 0.0
+    stall_vector_pipe: float = 0.0
+    stall_lsu: float = 0.0
+    stall_hazard: float = 0.0
+    stall_sync: float = 0.0
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_bytes_read + self.dram_bytes_written
+
+    @property
+    def total_stall(self) -> float:
+        return (
+            self.stall_operand
+            + self.stall_arc
+            + self.stall_vector_pipe
+            + self.stall_lsu
+            + self.stall_hazard
+            + self.stall_sync
+        )
+
+    def merge(self, other: "PECounters") -> "PECounters":
+        """Return the elementwise sum of two counter sets."""
+        merged = PECounters()
+        for f in fields(PECounters):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+
+@dataclass
+class RunTotals:
+    """Aggregated counters plus wall-clock for a multi-PE simulation."""
+
+    cycles: float = 0.0
+    counters: PECounters = field(default_factory=PECounters)

@@ -1,0 +1,158 @@
+"""Memory ports: what a PE plugs into.
+
+A *memory port* is any object providing::
+
+    access(pe_id, time, addr, nbytes, is_write, data) -> (done_time, data_or_None)
+    fe_load(pe_id, time, addr)  -> (done_time, value) or None when blocked
+    fe_store(pe_id, time, addr, value) -> done_time
+
+Two implementations live here:
+
+* :class:`FlatMemory` — fixed latency + bandwidth, for unit tests and
+  single-PE kernel studies where DRAM detail is irrelevant;
+* :class:`LocalVaultMemory` — a single PE attached to one vault of a real
+  :class:`~repro.memory.hmc.HMC` through the intra-vault star (no torus),
+  for single-PE runs with faithful DRAM timing.
+
+The full-system port (PE + torus + remote vaults + shared full-empty state)
+is built by :class:`repro.system.chip.Chip`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DeadlockError, SimulationError
+from repro.memory.hmc import HMC
+from repro.memory.store import DramStore
+
+
+class FullEmptyState:
+    """Full-empty synchronization variables (Section IV-A).
+
+    Each 8-byte-aligned DRAM word can carry a *full* bit.  ``store`` sets it
+    full with a value; ``load`` consumes the value and marks it empty, or
+    reports "not full" so the caller can block.
+    """
+
+    def __init__(self):
+        self._full: dict[int, int] = {}
+
+    def store(self, addr: int, value: int) -> None:
+        self._full[addr] = value
+
+    def try_load(self, addr: int) -> int | None:
+        """Consume and return the value if full, else None."""
+        return self._full.pop(addr, None)
+
+    def is_full(self, addr: int) -> bool:
+        return addr in self._full
+
+
+class FlatMemory:
+    """Idealized DRAM: fixed latency, finite bandwidth, functional store."""
+
+    def __init__(
+        self,
+        latency_cycles: float = 50.0,
+        bytes_per_cycle: float = 8.0,
+        size_bytes: int = 1 << 30,
+    ):
+        self.latency = latency_cycles
+        self.bytes_per_cycle = bytes_per_cycle
+        self.store = DramStore(size_bytes)
+        self.fe = FullEmptyState()
+        self._bus_free = 0.0
+        self.bytes_moved = 0
+
+    def access(self, pe_id, time, addr, nbytes, is_write, data=None):
+        if nbytes < 0:
+            raise SimulationError("negative access size")
+        if is_write and data is not None:
+            self.store.write(addr, data)
+        start = max(time + self.latency, self._bus_free)
+        done = start + math.ceil(nbytes / self.bytes_per_cycle)
+        self._bus_free = done
+        self.bytes_moved += nbytes
+        out = None if is_write else self.store.read(addr, nbytes)
+        return done, out
+
+    def fe_load(self, pe_id, time, addr):
+        value = self.fe.try_load(addr)
+        if value is None:
+            # A single PE blocking on an empty variable can never progress.
+            raise DeadlockError(
+                f"PE {pe_id} blocked on empty full-empty variable {addr:#x} "
+                "with no other producer (single-PE memory)"
+            )
+        return time + self.latency, value
+
+    def fe_store(self, pe_id, time, addr, value):
+        self.fe.store(addr, value)
+        return time + self.latency
+
+
+class LocalVaultMemory:
+    """A single PE wired to one vault of a real HMC (local accesses only).
+
+    Column requests are paced one per cycle out of the PE's address
+    generator and each takes ``2 * star_cycles`` of network on top of DRAM
+    service time.  Remote-vault addresses are rejected: single-PE runs are
+    meant to model the paper's independent-tile methodology where a PE only
+    touches its local vault.
+    """
+
+    def __init__(self, hmc: HMC | None = None, vault: int = 0, star_cycles: int = 1,
+                 allow_remote: bool = False):
+        self.hmc = hmc or HMC()
+        self.vault = vault
+        self.star_cycles = star_cycles
+        self.allow_remote = allow_remote
+        self.fe = FullEmptyState()
+
+    def access(self, pe_id, time, addr, nbytes, is_write, data=None):
+        if is_write and data is not None:
+            self.hmc.store.write(addr, data)
+        done = time
+        mapper = self.hmc.mapper
+        for i, (piece_addr, piece_len) in enumerate(mapper.split_into_columns(addr, nbytes)):
+            decoded = mapper.decode(piece_addr)
+            if decoded.vault != self.vault and not self.allow_remote:
+                raise SimulationError(
+                    f"PE {pe_id} accessed vault {decoded.vault} but is wired "
+                    f"to vault {self.vault} only"
+                )
+            request_time = time + i + self.star_cycles  # 1 request/cycle pacing
+            vault = self.hmc.vaults[decoded.vault]
+            served = vault.access(request_time, decoded.bank, decoded.row, piece_len, is_write)
+            done = max(done, served + self.star_cycles)
+        out = None if is_write else self.hmc.store.read(addr, nbytes)
+        return done, out
+
+    def fe_load(self, pe_id, time, addr):
+        value = self.fe.try_load(addr)
+        if value is None:
+            raise DeadlockError(
+                f"PE {pe_id} blocked on empty full-empty variable {addr:#x} "
+                "with no other producer (single-PE memory)"
+            )
+        return time + 2 * self.star_cycles, value
+
+    def fe_store(self, pe_id, time, addr, value):
+        self.fe.store(addr, value)
+        return time + 2 * self.star_cycles
+
+
+def as_bytes(value: int) -> np.ndarray:
+    """Encode a 64-bit register value as 8 little-endian bytes."""
+    return np.frombuffer(
+        int(value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"), dtype=np.uint8
+    ).copy()
+
+
+def from_bytes(raw: np.ndarray) -> int:
+    """Decode 8 little-endian bytes into a signed 64-bit integer."""
+    unsigned = int.from_bytes(bytes(raw[:8]), "little")
+    return unsigned - (1 << 64) if unsigned >= (1 << 63) else unsigned

@@ -1,0 +1,670 @@
+"""The VIP processing-engine simulator.
+
+Execution-driven and timestamp-based: every instruction is functionally
+executed (bit-accurate fixed point) and assigned issue/completion times
+from a resource model that covers
+
+* the unified in-order fetch/decode/issue front end (1 instruction/cycle;
+  a stalled instruction stalls everything behind it, Section III-B);
+* scalar register valid bits (reads of a register stall until the producing
+  instruction completes);
+* the vector pipeline (vertical + horizontal units, chunked streaming of
+  long vectors, multi-cycle multiplies);
+* the ARC interlock between in-flight scratchpad loads and anything that
+  touches an overlapping scratchpad range, including its 20-entry capacity;
+* the load-store unit (64 outstanding requests, dedicated scratchpad port
+  moving 8 bytes per cycle);
+* DRAM/NoC response times provided by the attached memory port.
+
+Instructions issue in order and may complete out of order, exactly as the
+paper describes.  There are no caches and no precise exceptions.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError, TimingHazardError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.pe.arc import ArrayRangeCheck
+from repro.pe.config import HazardMode, PEConfig
+from repro.pe.counters import PECounters
+from repro.pe.memoryif import FlatMemory, as_bytes, from_bytes
+from repro.pe.scalar_unit import branch_taken, scalar_alu, to_signed
+from repro.pe.vector_unit import (
+    ScratchpadView,
+    apply_horizontal,
+    apply_vertical,
+    vector_timing,
+)
+
+
+class PEStatus(enum.Enum):
+    RUNNING = "running"
+    BLOCKED = "blocked"  # waiting on a full-empty variable
+    HALTED = "halted"
+
+
+@dataclass
+class PEResult:
+    """Outcome of a PE run."""
+
+    cycles: float
+    counters: PECounters
+    status: PEStatus
+
+    def seconds(self, clock_ghz: float = 1.25) -> float:
+        return self.cycles * 1e-9 / clock_ghz
+
+
+class PE:
+    """One VIP processing engine.
+
+    Args:
+        config: a :class:`PEConfig`, or any object with a ``.pe`` attribute
+            holding one (e.g. :class:`repro.system.VIPConfig`).
+        memory: a memory port (see ``repro.pe.memoryif``); defaults to an
+            idealized :class:`FlatMemory`.
+        pe_id: identity reported to the memory port.
+    """
+
+    def __init__(self, config=None, memory=None, pe_id: int = 0):
+        if config is None:
+            config = PEConfig()
+        if hasattr(config, "pe"):
+            config = config.pe
+        self.config: PEConfig = config
+        self.memory = memory if memory is not None else FlatMemory()
+        self.pe_id = pe_id
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # state management
+
+    def reset(self) -> None:
+        cfg = self.config
+        self.program: Program | None = None
+        self.pc = 0
+        self.clock = 0.0
+        self.status = PEStatus.HALTED
+        self.regs = [0] * cfg.num_registers
+        self.reg_time = [0.0] * cfg.num_registers
+        self.scratchpad = np.zeros(cfg.scratchpad_bytes, dtype=np.uint8)
+        self.sp = ScratchpadView(self.scratchpad)
+        self._sp_wtime = np.zeros(cfg.scratchpad_bytes, dtype=np.float64)
+        self._sp_rtime = np.zeros(cfg.scratchpad_bytes, dtype=np.float64)
+        self.vl = 1
+        self.mr = 1
+        self.fx = 0
+        self._vec_pipe_free = 0.0
+        self._vec_last_done = 0.0
+        self._lsu_port_free = 0.0
+        self._outstanding: list[float] = []
+        self.arc = ArrayRangeCheck(cfg.arc_entries)
+        self.counters = PECounters()
+        self._blocked_on: tuple[int, float] | None = None  # (addr, issue time)
+        self._end_time = 0.0
+
+    def load(self, program: Program) -> None:
+        """Load a program, clearing execution state but keeping scratchpad
+        and register contents (so callers can pre-stage data)."""
+        if len(program) > self.config.instruction_buffer_entries:
+            raise SimulationError(
+                f"program of {len(program)} instructions exceeds the "
+                f"{self.config.instruction_buffer_entries}-entry buffer"
+            )
+        self.program = program
+        self.pc = 0
+        self.status = PEStatus.RUNNING
+        self._blocked_on = None
+
+    def run(self, program: Program | None = None, max_steps: int = 200_000_000) -> PEResult:
+        """Run to completion (single-PE convenience wrapper)."""
+        if program is not None:
+            self.load(program)
+        if self.program is None:
+            raise SimulationError("no program loaded")
+        steps = 0
+        while self.status is PEStatus.RUNNING:
+            self.step()
+            steps += 1
+            if steps >= max_steps:
+                raise SimulationError(f"exceeded {max_steps} simulation steps")
+        if self.status is PEStatus.BLOCKED:
+            raise SimulationError("PE blocked on full-empty variable at end of run")
+        return self.result()
+
+    def result(self) -> PEResult:
+        return PEResult(cycles=self._end_time, counters=self.counters, status=self.status)
+
+    # ------------------------------------------------------------------
+    # stepping
+
+    def step(self) -> PEStatus:
+        """Execute one instruction (or stay blocked)."""
+        if self.status is not PEStatus.RUNNING:
+            return self.status
+        assert self.program is not None
+        if self.pc < 0 or self.pc >= len(self.program):
+            raise SimulationError(
+                f"PE {self.pe_id} ran off the instruction buffer at pc={self.pc}; "
+                "missing 'halt'?"
+            )
+        instr = self.program[self.pc]
+        handler = self._DISPATCH[instr.opcode]
+        handler(self, instr)
+        return self.status
+
+    def next_issue_lower_bound(self) -> float:
+        """A side-effect-free lower bound on the next instruction's issue
+        time.
+
+        Used by the full-system scheduler to keep shared-resource accesses
+        (DRAM banks, torus links) approximately ordered in global time: a
+        PE whose next instruction stalls far into the future must not
+        mutate shared state before other PEs catch up.  The bound accounts
+        for register valid bits, ARC interlocks, scratchpad data hazards,
+        vector-pipe occupancy, and LSU capacity — every stall source that
+        is knowable without executing.
+        """
+        if self.status is not PEStatus.RUNNING or self.program is None:
+            return self.clock
+        if not 0 <= self.pc < len(self.program):
+            return self.clock
+        instr = self.program[self.pc]
+        t = self.clock
+        op = instr.opcode
+        regs: tuple[int, ...] = ()
+        if op in (Opcode.MV, Opcode.VV, Opcode.VS, Opcode.LD_SRAM, Opcode.ST_SRAM):
+            regs = (instr.rd, instr.rs1, instr.rs2)
+        elif op in (Opcode.ALU, Opcode.BRANCH):
+            regs = (instr.rs1, instr.rs2) if instr.imm is None else (instr.rs1,)
+        elif op in (Opcode.MOV,):
+            regs = (instr.rs1,)
+        elif op in (Opcode.LD_REG, Opcode.LD_FE):
+            regs = (instr.rs1,)
+        elif op in (Opcode.ST_REG, Opcode.ST_FE):
+            regs = (instr.rd, instr.rs1)
+        elif op in (Opcode.SET_VL, Opcode.SET_MR) and instr.imm is None:
+            regs = (instr.rs1,)
+        for r in regs:
+            t = max(t, self.reg_time[r])
+
+        esz = instr.width // 8
+        ranges: list[tuple[int, int]] = []
+        if op is Opcode.MV:
+            ranges = [
+                (self._read_reg(instr.rs1), self.mr * self.vl * esz),
+                (self._read_reg(instr.rs2), self.vl * esz),
+                (self._read_reg(instr.rd), self.mr * esz),
+            ]
+        elif op is Opcode.VV:
+            n = self.vl * esz
+            ranges = [
+                (self._read_reg(instr.rs1), n),
+                (self._read_reg(instr.rs2), n),
+                (self._read_reg(instr.rd), n),
+            ]
+        elif op is Opcode.VS:
+            n = self.vl * esz
+            ranges = [
+                (self._read_reg(instr.rs1), n),
+                (self._read_reg(instr.rs2), esz),
+                (self._read_reg(instr.rd), n),
+            ]
+        elif op in (Opcode.LD_SRAM, Opcode.ST_SRAM):
+            count = self._read_reg(instr.rs2)
+            if count >= 0:
+                ranges = [(self._read_reg(instr.rd), count * esz)]
+        if ranges:
+            size = self.scratchpad.size
+            hazard = self.config.hazard_mode is not HazardMode.IGNORE
+            for start, nbytes in ranges:
+                if nbytes <= 0 or start < 0 or start + nbytes > size:
+                    continue
+                t = max(t, self.arc.overlap_clear_time(start, nbytes, t))
+                if hazard:
+                    t = max(t, float(self._sp_wtime[start : start + nbytes].max()))
+        if op in (Opcode.MV, Opcode.VV, Opcode.VS):
+            t = max(t, self._vec_pipe_free)
+        elif op is Opcode.V_DRAIN:
+            t = max(t, self._vec_last_done)
+        elif op is Opcode.MEMFENCE:
+            if self._outstanding:
+                t = max(t, max(self._outstanding))
+        elif op in (Opcode.LD_SRAM, Opcode.ST_SRAM, Opcode.LD_REG, Opcode.ST_REG):
+            if len(self._outstanding) >= self.config.max_outstanding_mem:
+                t = max(t, min(self._outstanding))
+        return t
+
+    # -- helpers --------------------------------------------------------
+
+    def _reg_ready(self, t: float, *regs: int) -> float:
+        for r in regs:
+            rt = self.reg_time[r]
+            if rt > t:
+                self.counters.stall_operand += rt - t
+                t = rt
+        return t
+
+    def _read_reg(self, r: int) -> int:
+        return 0 if r == 0 else self.regs[r]
+
+    def _write_reg(self, r: int, value: int, ready: float) -> None:
+        if r == 0:
+            return
+        self.regs[r] = to_signed(value)
+        self.reg_time[r] = ready
+
+    def _arc_stall(self, t: float, ranges: list[tuple[int, int]]) -> float:
+        for start, nbytes in ranges:
+            cleared = self.arc.overlap_clear_time(start, nbytes, t)
+            if cleared > t:
+                self.counters.stall_arc += cleared - t
+                t = cleared
+        return t
+
+    def _hazard_stall(self, t: float, ranges: list[tuple[int, int]], war: bool) -> float:
+        """Stall (or raise) on scratchpad data not yet produced.
+
+        ``war`` ranges are destinations: they must additionally wait for
+        in-flight readers (write-after-read).
+        """
+        mode = self.config.hazard_mode
+        if mode is HazardMode.IGNORE:
+            return t
+        ready = t
+        for start, nbytes in ranges:
+            if nbytes <= 0:
+                continue
+            end = start + nbytes
+            ready = max(ready, float(self._sp_wtime[start:end].max()))
+            if war:
+                ready = max(ready, float(self._sp_rtime[start:end].max()))
+        if ready > t:
+            if mode is HazardMode.ERROR:
+                raise TimingHazardError(
+                    f"pc={self.pc}: scratchpad data not ready until cycle "
+                    f"{ready:.1f} but instruction issues at {t:.1f}"
+                )
+            self.counters.stall_hazard += ready - t
+            t = ready
+        return t
+
+    def _lsu_slot(self, t: float) -> float:
+        """Stall until the load-store unit has a free outstanding slot."""
+        while self._outstanding and self._outstanding[0] <= t:
+            heapq.heappop(self._outstanding)
+        if len(self._outstanding) >= self.config.max_outstanding_mem:
+            freed = heapq.heappop(self._outstanding)
+            if freed > t:
+                self.counters.stall_lsu += freed - t
+                t = freed
+        return t
+
+    def _retire(self, issue: float) -> None:
+        self.counters.instructions += 1
+        self.clock = issue + 1.0
+        self.pc += 1
+        self._end_time = max(self._end_time, self.clock)
+
+    def _track_end(self, done: float) -> None:
+        self._end_time = max(self._end_time, done)
+
+    # -- vector instructions --------------------------------------------
+
+    def _exec_vector(self, instr: Instruction) -> None:
+        cfg = self.config
+        esz = instr.width // 8
+        t = self._reg_ready(self.clock, instr.rd, instr.rs1, instr.rs2)
+        dst = self._read_reg(instr.rd)
+        src1 = self._read_reg(instr.rs1)
+
+        if instr.opcode is Opcode.MV:
+            rows, cols = self.mr, self.vl
+            src2 = self._read_reg(instr.rs2)
+            reads = [(src1, rows * cols * esz), (src2, cols * esz)]
+            writes = [(dst, rows * esz)]
+            use_horizontal = True
+            vop = instr.vop
+        elif instr.opcode is Opcode.VV:
+            rows, cols = 1, self.vl
+            src2 = self._read_reg(instr.rs2)
+            reads = [(src1, cols * esz), (src2, cols * esz)]
+            writes = [(dst, cols * esz)]
+            use_horizontal = False
+            vop = instr.vop
+        else:  # VS: rs2 holds the scratchpad address of the scalar operand
+            rows, cols = 1, self.vl
+            src2 = self._read_reg(instr.rs2)
+            reads = [(src1, cols * esz), (src2, esz)]
+            writes = [(dst, cols * esz)]
+            use_horizontal = False
+            vop = instr.vop
+
+        for start, nbytes in reads + writes:
+            self.sp.check_range(start, nbytes, f"{instr.mnemonic} operand")
+
+        t = self._arc_stall(t, reads + writes)
+        t = self._hazard_stall(t, reads, war=False)
+        t = self._hazard_stall(t, writes, war=True)
+        if self._vec_pipe_free > t:
+            self.counters.stall_vector_pipe += self._vec_pipe_free - t
+            t = self._vec_pipe_free
+
+        timing = vector_timing(cfg, vop, use_horizontal, cols, rows, instr.width)
+        self._vec_pipe_free = t + timing.occupancy
+        done = t + timing.done
+        self._vec_last_done = max(self._vec_last_done, done)
+
+        # Functional execution.
+        if instr.opcode is Opcode.MV:
+            matrix = self.sp.read_vector(src1, rows * cols, instr.width).reshape(rows, cols)
+            vector = self.sp.read_vector(src2, cols, instr.width)
+            vert = apply_vertical(vop, matrix, vector[None, :], instr.width, self.fx)
+            out = apply_horizontal(instr.hop, vert, instr.width)
+            self.sp.write_vector(dst, out, instr.width)
+            self.counters.vector_alu_ops += rows * cols * (1 if vop == "nop" else 2)
+        elif instr.opcode is Opcode.VV:
+            a = self.sp.read_vector(src1, cols, instr.width)
+            b = self.sp.read_vector(self._read_reg(instr.rs2), cols, instr.width)
+            self.sp.write_vector(dst, apply_vertical(vop, a, b, instr.width, self.fx), instr.width)
+            self.counters.vector_alu_ops += cols
+        else:
+            a = self.sp.read_vector(src1, cols, instr.width)
+            scalar = self.sp.read_vector(src2, 1, instr.width)[0]
+            self.sp.write_vector(
+                dst, apply_vertical(vop, a, np.full(cols, scalar), instr.width, self.fx),
+                instr.width,
+            )
+            self.counters.vector_alu_ops += cols
+
+        for start, nbytes in writes:
+            np.maximum(
+                self._sp_wtime[start : start + nbytes], done,
+                out=self._sp_wtime[start : start + nbytes],
+            )
+        read_done = t + timing.occupancy
+        for start, nbytes in reads:
+            np.maximum(
+                self._sp_rtime[start : start + nbytes], read_done,
+                out=self._sp_rtime[start : start + nbytes],
+            )
+        self.counters.vector_instructions += 1
+        self._track_end(done)
+        self._retire(t)
+
+    def _exec_v_drain(self, instr: Instruction) -> None:
+        t = max(self.clock, self._vec_last_done)
+        self.counters.vector_instructions += 1
+        self._retire(t)
+
+    def _exec_set(self, instr: Instruction) -> None:
+        t = self.clock
+        if instr.imm is not None:
+            value = instr.imm
+        else:
+            t = self._reg_ready(t, instr.rs1)
+            value = self._read_reg(instr.rs1)
+        if instr.opcode is Opcode.SET_VL:
+            if not 1 <= value <= self.config.scratchpad_bytes:
+                raise SimulationError(f"set.vl {value} out of range")
+            self.vl = value
+        elif instr.opcode is Opcode.SET_MR:
+            if not 1 <= value <= self.config.scratchpad_bytes:
+                raise SimulationError(f"set.mr {value} out of range")
+            self.mr = value
+        else:  # SET_FX
+            if not 0 <= value <= 63:
+                raise SimulationError(f"set.fx {value} out of range")
+            self.fx = value
+        self.counters.scalar_instructions += 1
+        self._retire(t)
+
+    # -- scalar instructions --------------------------------------------
+
+    def _exec_alu(self, instr: Instruction) -> None:
+        if instr.imm is not None:
+            t = self._reg_ready(self.clock, instr.rs1)
+            b = instr.imm
+        else:
+            t = self._reg_ready(self.clock, instr.rs1, instr.rs2)
+            b = self._read_reg(instr.rs2)
+        value = scalar_alu(instr.sop, self._read_reg(instr.rs1), b)
+        self._write_reg(instr.rd, value, t + 1.0)
+        self.counters.scalar_instructions += 1
+        self._retire(t)
+
+    def _exec_mov(self, instr: Instruction) -> None:
+        t = self._reg_ready(self.clock, instr.rs1)
+        self._write_reg(instr.rd, self._read_reg(instr.rs1), t + 1.0)
+        self.counters.scalar_instructions += 1
+        self._retire(t)
+
+    def _exec_movi(self, instr: Instruction) -> None:
+        t = self.clock
+        self._write_reg(instr.rd, instr.imm, t + 1.0)
+        self.counters.scalar_instructions += 1
+        self._retire(t)
+
+    def _exec_branch(self, instr: Instruction) -> None:
+        t = self._reg_ready(self.clock, instr.rs1, instr.rs2)
+        taken = branch_taken(instr.sop, self._read_reg(instr.rs1), self._read_reg(instr.rs2))
+        self.counters.scalar_instructions += 1
+        self.counters.branches += 1
+        self.counters.instructions += 1
+        if taken:
+            self.counters.branches_taken += 1
+            self.pc = instr.imm
+            self.clock = t + 1.0 + self.config.branch_taken_penalty
+        else:
+            self.pc += 1
+            self.clock = t + 1.0
+        self._end_time = max(self._end_time, self.clock)
+
+    def _exec_jmp(self, instr: Instruction) -> None:
+        self.counters.scalar_instructions += 1
+        self.counters.branches += 1
+        self.counters.branches_taken += 1
+        self.counters.instructions += 1
+        self.pc = instr.imm
+        self.clock = self.clock + 1.0 + self.config.branch_taken_penalty
+        self._end_time = max(self._end_time, self.clock)
+
+    # -- load-store instructions -----------------------------------------
+
+    def _exec_ld_sram(self, instr: Instruction) -> None:
+        esz = instr.width // 8
+        t = self._reg_ready(self.clock, instr.rd, instr.rs1, instr.rs2)
+        sp_dst = self._read_reg(instr.rd)
+        dram_src = self._read_reg(instr.rs1)
+        count = self._read_reg(instr.rs2)
+        if count < 0:
+            raise SimulationError(f"ld.sram negative element count {count}")
+        nbytes = count * esz
+        self.sp.check_range(sp_dst, nbytes, "ld.sram destination")
+
+        t = self._arc_stall(t, [(sp_dst, nbytes)])
+        t = self._hazard_stall(t, [(sp_dst, nbytes)], war=True)
+        t = self._lsu_slot(t)
+        free_at = self.arc.earliest_free_time(t)
+        if free_at > t:
+            self.counters.stall_arc += free_at - t
+            t = free_at
+
+        done, data = self.memory.access(self.pe_id, t, dram_src, nbytes, False, None)
+        port_start = max(done, self._lsu_port_free)
+        done = port_start + math.ceil(nbytes / self.config.datapath_bytes)
+        self._lsu_port_free = done
+
+        if nbytes:
+            self.scratchpad[sp_dst : sp_dst + nbytes] = data
+            np.maximum(
+                self._sp_wtime[sp_dst : sp_dst + nbytes], done,
+                out=self._sp_wtime[sp_dst : sp_dst + nbytes],
+            )
+            self.arc.insert(sp_dst, nbytes, done, t)
+        heapq.heappush(self._outstanding, done)
+        self.counters.loadstore_instructions += 1
+        self.counters.dram_bytes_read += nbytes
+        self.counters.dram_requests += max(1, math.ceil(nbytes / 32))
+        self._track_end(done)
+        self._retire(t)
+
+    def _exec_st_sram(self, instr: Instruction) -> None:
+        esz = instr.width // 8
+        t = self._reg_ready(self.clock, instr.rd, instr.rs1, instr.rs2)
+        sp_src = self._read_reg(instr.rd)
+        dram_dst = self._read_reg(instr.rs1)
+        count = self._read_reg(instr.rs2)
+        if count < 0:
+            raise SimulationError(f"st.sram negative element count {count}")
+        nbytes = count * esz
+        self.sp.check_range(sp_src, nbytes, "st.sram source")
+
+        t = self._arc_stall(t, [(sp_src, nbytes)])
+        t = self._hazard_stall(t, [(sp_src, nbytes)], war=False)
+        t = self._lsu_slot(t)
+
+        port_start = max(t, self._lsu_port_free)
+        drained = port_start + math.ceil(nbytes / self.config.datapath_bytes)
+        self._lsu_port_free = drained
+        if nbytes:
+            np.maximum(
+                self._sp_rtime[sp_src : sp_src + nbytes], drained,
+                out=self._sp_rtime[sp_src : sp_src + nbytes],
+            )
+        data = self.scratchpad[sp_src : sp_src + nbytes].copy()
+        done, _ = self.memory.access(self.pe_id, drained, dram_dst, nbytes, True, data)
+        heapq.heappush(self._outstanding, done)
+        self.counters.loadstore_instructions += 1
+        self.counters.dram_bytes_written += nbytes
+        self.counters.dram_requests += max(1, math.ceil(nbytes / 32))
+        self._track_end(done)
+        self._retire(t)
+
+    def _exec_ld_reg(self, instr: Instruction) -> None:
+        t = self._reg_ready(self.clock, instr.rs1)
+        t = self._lsu_slot(t)
+        addr = self._read_reg(instr.rs1)
+        done, data = self.memory.access(self.pe_id, t, addr, 8, False, None)
+        self._write_reg(instr.rd, from_bytes(data), done)
+        heapq.heappush(self._outstanding, done)
+        self.counters.loadstore_instructions += 1
+        self.counters.dram_bytes_read += 8
+        self.counters.dram_requests += 1
+        self._track_end(done)
+        self._retire(t)
+
+    def _exec_st_reg(self, instr: Instruction) -> None:
+        t = self._reg_ready(self.clock, instr.rd, instr.rs1)
+        t = self._lsu_slot(t)
+        addr = self._read_reg(instr.rs1)
+        done, _ = self.memory.access(
+            self.pe_id, t, addr, 8, True, as_bytes(self._read_reg(instr.rd))
+        )
+        heapq.heappush(self._outstanding, done)
+        self.counters.loadstore_instructions += 1
+        self.counters.dram_bytes_written += 8
+        self.counters.dram_requests += 1
+        self._track_end(done)
+        self._retire(t)
+
+    def _exec_ld_fe(self, instr: Instruction) -> None:
+        t = self._reg_ready(self.clock, instr.rs1)
+        addr = self._read_reg(instr.rs1)
+        response = self.memory.fe_load(self.pe_id, t, addr)
+        if response is None:
+            self.status = PEStatus.BLOCKED
+            self._blocked_on = (addr, t)
+            return
+        done, value = response
+        self._finish_fe_load(instr, t, done, value)
+
+    def _finish_fe_load(self, instr: Instruction, t: float, done: float, value: int) -> None:
+        # The PE truly blocks on an acquire: issue resumes when data arrives.
+        if done > t:
+            self.counters.stall_sync += done - t
+            t = done
+        self._write_reg(instr.rd, value, done)
+        self.counters.loadstore_instructions += 1
+        self._track_end(done)
+        self._retire(t)
+
+    def resume_fe(self, done: float, value: int) -> None:
+        """Complete a blocked ``ld.fe`` (called by the system scheduler)."""
+        if self.status is not PEStatus.BLOCKED or self._blocked_on is None:
+            raise SimulationError("resume_fe on a PE that is not blocked")
+        assert self.program is not None
+        instr = self.program[self.pc]
+        _, issue_time = self._blocked_on
+        self._blocked_on = None
+        self.status = PEStatus.RUNNING
+        self._finish_fe_load(instr, issue_time, done, value)
+
+    @property
+    def blocked_addr(self) -> int | None:
+        return self._blocked_on[0] if self._blocked_on else None
+
+    def _exec_st_fe(self, instr: Instruction) -> None:
+        t = self._reg_ready(self.clock, instr.rd, instr.rs1)
+        addr = self._read_reg(instr.rs1)
+        done = self.memory.fe_store(self.pe_id, t, addr, self._read_reg(instr.rd))
+        heapq.heappush(self._outstanding, done)
+        self.counters.loadstore_instructions += 1
+        self._track_end(done)
+        self._retire(t)
+
+    def _exec_memfence(self, instr: Instruction) -> None:
+        t = self.clock
+        if self._outstanding:
+            last = max(self._outstanding)
+            if last > t:
+                self.counters.stall_lsu += last - t
+                t = last
+            self._outstanding.clear()
+        self.counters.loadstore_instructions += 1
+        self._retire(t)
+
+    def _exec_halt(self, instr: Instruction) -> None:
+        t = max(self.clock, self._vec_last_done, self._lsu_port_free)
+        if self._outstanding:
+            t = max(t, max(self._outstanding))
+        self.counters.instructions += 1
+        self.status = PEStatus.HALTED
+        self.clock = t
+        self._end_time = max(self._end_time, t)
+
+    def _exec_nop(self, instr: Instruction) -> None:
+        self.counters.scalar_instructions += 1
+        self._retire(self.clock)
+
+    _DISPATCH = {
+        Opcode.SET_VL: _exec_set,
+        Opcode.SET_MR: _exec_set,
+        Opcode.SET_FX: _exec_set,
+        Opcode.V_DRAIN: _exec_v_drain,
+        Opcode.MV: _exec_vector,
+        Opcode.VV: _exec_vector,
+        Opcode.VS: _exec_vector,
+        Opcode.ALU: _exec_alu,
+        Opcode.MOV: _exec_mov,
+        Opcode.MOVI: _exec_movi,
+        Opcode.BRANCH: _exec_branch,
+        Opcode.JMP: _exec_jmp,
+        Opcode.LD_SRAM: _exec_ld_sram,
+        Opcode.ST_SRAM: _exec_st_sram,
+        Opcode.LD_REG: _exec_ld_reg,
+        Opcode.ST_REG: _exec_st_reg,
+        Opcode.LD_FE: _exec_ld_fe,
+        Opcode.ST_FE: _exec_st_fe,
+        Opcode.MEMFENCE: _exec_memfence,
+        Opcode.HALT: _exec_halt,
+        Opcode.NOP: _exec_nop,
+    }

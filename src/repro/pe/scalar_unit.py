@@ -1,0 +1,48 @@
+"""Scalar unit semantics: 64-bit two's-complement ALU and branches."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+_MASK = (1 << 64) - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret ``value`` as a signed 64-bit integer."""
+    value &= _MASK
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def scalar_alu(op: str, a: int, b: int) -> int:
+    """Evaluate a scalar ALU operation; returns a signed 64-bit result."""
+    if op == "add":
+        return to_signed(a + b)
+    if op == "sub":
+        return to_signed(a - b)
+    if op == "sll":
+        return to_signed((a & _MASK) << (b & 63))
+    if op == "srl":
+        return to_signed((a & _MASK) >> (b & 63))
+    if op == "sra":
+        return to_signed(to_signed(a) >> (b & 63))
+    if op == "and":
+        return to_signed(a & b)
+    if op == "or":
+        return to_signed(a | b)
+    if op == "xor":
+        return to_signed(a ^ b)
+    raise SimulationError(f"unknown scalar op {op!r}")
+
+
+def branch_taken(op: str, a: int, b: int) -> bool:
+    """Evaluate a branch comparison on signed 64-bit operands."""
+    a, b = to_signed(a), to_signed(b)
+    if op == "blt":
+        return a < b
+    if op == "bge":
+        return a >= b
+    if op == "beq":
+        return a == b
+    if op == "bne":
+        return a != b
+    raise SimulationError(f"unknown branch op {op!r}")

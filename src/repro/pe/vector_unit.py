@@ -1,0 +1,128 @@
+"""Functional and timing model of the VIP vector unit.
+
+The vector unit (Section III-B) is two pipelined stages: a *vertical* unit
+performing elementwise operations and a *horizontal* unit reducing vectors
+to scalars, bypassed when not needed.  Both have a 64-bit datapath that
+processes one 64-bit, two 32-bit, four 16-bit, or eight 8-bit elements per
+cycle; longer vectors stream through over multiple cycles in the classic
+temporal vector-processing style.
+
+Functional semantics (shared with the workload references through
+``repro.fixedpoint``):
+
+* vertical ``add/sub/min/max`` — saturating at the element width;
+* vertical ``mul`` — full product, arithmetic right shift by the PE's
+  dynamic fixed-point ``fx`` amount, then saturation;
+* vertical ``nop`` — passes the matrix operand through unchanged (used with
+  a horizontal op to reduce the rows of a matrix);
+* horizontal ``add`` — 64-bit internal accumulator, saturate on writeback;
+* horizontal ``min/max`` — exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.fixedpoint import DTYPES, sat_add, sat_mul, sat_sub, saturate
+from repro.pe.config import PEConfig
+
+
+def apply_vertical(op: str, a: np.ndarray, b: np.ndarray, bits: int, fx: int) -> np.ndarray:
+    """Apply a vertical operator elementwise; inputs/outputs are int64."""
+    if op == "add":
+        return sat_add(a, b, bits)
+    if op == "sub":
+        return sat_sub(a, b, bits)
+    if op == "mul":
+        return sat_mul(a, b, bits, frac_shift=fx)
+    if op == "min":
+        return np.minimum(a, b)
+    if op == "max":
+        return np.maximum(a, b)
+    if op == "nop":
+        return np.asarray(a, dtype=np.int64)
+    raise SimulationError(f"unknown vertical op {op!r}")
+
+
+def apply_horizontal(op: str, rows: np.ndarray, bits: int) -> np.ndarray:
+    """Reduce each row of ``rows`` (2-D int64) to a scalar."""
+    if op == "add":
+        return saturate(rows.sum(axis=1, dtype=np.int64), bits)
+    if op == "min":
+        return rows.min(axis=1)
+    if op == "max":
+        return rows.max(axis=1)
+    raise SimulationError(f"unknown horizontal op {op!r}")
+
+
+@dataclass(frozen=True)
+class VectorTiming:
+    """Issue-relative timing of one vector instruction."""
+
+    occupancy: float  # cycles the instruction holds the pipeline entry stage
+    done: float  # cycles after issue when the last result is written
+
+
+def vector_timing(
+    config: PEConfig,
+    vop: str,
+    use_horizontal: bool,
+    elements_per_row: int,
+    rows: int,
+    width_bits: int,
+) -> VectorTiming:
+    """Compute pipeline occupancy and completion latency.
+
+    ``elements_per_row`` stream through at ``lanes`` per cycle; ``rows > 1``
+    (matrix-vector instructions) repeat the stream per matrix row.  The
+    pipeline depth is the vertical latency (1 for addition-like operations,
+    4 for multiplies) plus the horizontal reduction depth when the
+    horizontal unit is not bypassed.
+    """
+    lanes = config.lanes(width_bits)
+    chunks_per_row = max(1, math.ceil(elements_per_row / lanes))
+    occupancy = chunks_per_row * max(1, rows)
+    depth = (
+        config.vertical_mul_latency if vop == "mul" else config.vertical_add_latency
+    )
+    if use_horizontal:
+        depth += config.horizontal_latency
+    return VectorTiming(occupancy=occupancy, done=occupancy - 1 + depth)
+
+
+class ScratchpadView:
+    """Typed access to a PE scratchpad byte buffer.
+
+    The scratchpad may be read or written at any byte address (the banked
+    structure with swizzle logic removes alignment restrictions,
+    Section III-B), so reads copy out and writes copy in.
+    """
+
+    def __init__(self, data: np.ndarray):
+        self.data = data
+
+    def check_range(self, addr: int, nbytes: int, what: str) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.data.size:
+            raise SimulationError(
+                f"{what} [{addr}, {addr + nbytes}) outside the "
+                f"{self.data.size}-byte scratchpad"
+            )
+
+    def read_vector(self, addr: int, count: int, width_bits: int) -> np.ndarray:
+        dtype = DTYPES[width_bits]
+        nbytes = count * dtype().itemsize
+        self.check_range(addr, nbytes, "vector read")
+        return (
+            self.data[addr : addr + nbytes].copy().view(dtype).astype(np.int64)
+        )
+
+    def write_vector(self, addr: int, values: np.ndarray, width_bits: int) -> None:
+        dtype = DTYPES[width_bits]
+        out = saturate(values, width_bits).astype(dtype)
+        nbytes = out.size * dtype().itemsize
+        self.check_range(addr, nbytes, "vector write")
+        self.data[addr : addr + nbytes] = out.view(np.uint8)

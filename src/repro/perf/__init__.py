@@ -1,0 +1,34 @@
+"""Performance modeling: requirements, rooflines, extrapolation, sweeps."""
+
+from repro.perf.extrapolate import (
+    BPModelResult,
+    BPPerformanceModel,
+    CNNPerformanceModel,
+    HierarchicalBPModel,
+    HierarchicalBPResult,
+    KernelMeasurement,
+    LayerTiming,
+)
+from repro.perf.memsweep import SweepPoint, bp_sweep_point, cnn_sweep_point, run_figure5
+from repro.perf.requirements import BPRequirements, fc6_weight_bytes, vgg16_conv_gops
+from repro.perf.roofline import Roofline, RooflinePoint, point_from_counters
+
+__all__ = [
+    "BPModelResult",
+    "BPPerformanceModel",
+    "BPRequirements",
+    "CNNPerformanceModel",
+    "HierarchicalBPModel",
+    "HierarchicalBPResult",
+    "KernelMeasurement",
+    "LayerTiming",
+    "Roofline",
+    "RooflinePoint",
+    "SweepPoint",
+    "bp_sweep_point",
+    "cnn_sweep_point",
+    "fc6_weight_bytes",
+    "point_from_counters",
+    "run_figure5",
+    "vgg16_conv_gops",
+]

@@ -1,0 +1,75 @@
+"""The Figure 5 memory-parameter sensitivity sweep.
+
+Re-runs the BP and VGG-16 extrapolation models under the eight memory
+configurations of Section VI-C (open/closed page, narrow/wide rows,
+fewer/more ranks, refresh 1x/2x/4x) and reports execution time plus
+achieved DRAM bandwidth for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.timing import FIGURE5_CONFIGS, MemoryConfig
+from repro.perf.extrapolate import BPPerformanceModel, CNNPerformanceModel
+from repro.workloads.bp.mrf import DIRECTIONS
+from repro.workloads.cnn.vgg import vgg16
+
+CLOCK_GHZ = 1.25
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (configuration, workload) measurement."""
+
+    config_name: str
+    workload: str
+    time_ms: float
+    bandwidth_gbps: float
+
+
+def bp_sweep_point(name: str, memory: MemoryConfig) -> SweepPoint:
+    """Full-HD BP-M iteration time + achieved bandwidth under ``memory``."""
+    model = BPPerformanceModel(memory=memory)
+    result = model.measure()
+    tiles = model.grid.num_tiles
+    total_bytes = sum(
+        result.sweep_counters[d].dram_bytes * tiles for d in DIRECTIONS
+    )
+    seconds = result.iteration_cycles / (CLOCK_GHZ * 1e9)
+    return SweepPoint(
+        config_name=name,
+        workload="bp-fhd-iteration",
+        time_ms=result.iteration_ms,
+        bandwidth_gbps=total_bytes / seconds / 1e9,
+    )
+
+
+def cnn_sweep_point(name: str, memory: MemoryConfig, batch: int = 1) -> SweepPoint:
+    """End-to-end VGG-16 time + achieved bandwidth under ``memory``."""
+    model = CNNPerformanceModel(vgg16(), batch=batch, memory=memory)
+    timings = model.layer_timings()
+    total_bytes = sum(t.dram_bytes for t in timings)
+    total_cycles = sum(t.cycles for t in timings)
+    seconds = total_cycles / (CLOCK_GHZ * 1e9)
+    return SweepPoint(
+        config_name=name,
+        workload="vgg16-end-to-end",
+        time_ms=model.network_ms(),
+        bandwidth_gbps=total_bytes / seconds / 1e9,
+    )
+
+
+def run_figure5(workloads: tuple[str, ...] = ("bp", "cnn"),
+                configs: dict | None = None) -> list[SweepPoint]:
+    """Run the full Figure 5 sweep; returns one point per (config,
+    workload)."""
+    configs = configs if configs is not None else FIGURE5_CONFIGS
+    points = []
+    for name, factory in configs.items():
+        memory = factory()
+        if "bp" in workloads:
+            points.append(bp_sweep_point(name, memory))
+        if "cnn" in workloads:
+            points.append(cnn_sweep_point(name, memory))
+    return points

@@ -1,0 +1,79 @@
+"""Closed-form workload requirement models (Section II).
+
+These reproduce the paper's back-of-envelope numbers:
+
+* full-HD 16-label depth-from-stereo at 24 fps with 8 iterations/frame
+  needs ~316 MB of storage, ~190 GB/s of memory bandwidth and
+  ~892 GOp/s of compute (Section II-A);
+* VGG-16's convolutions are 15.3 GMAC -> 734 GOp/s at 24 fps
+  (Section II-B);
+* VGG's first FC layer moves ~196 MB of weights per large batch
+  (Section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes per element (16-bit fixed point).
+EB = 2
+
+
+@dataclass(frozen=True)
+class BPRequirements:
+    """Resource requirements of BP-M on a grid MRF."""
+
+    width: int = 1920
+    height: int = 1080
+    labels: int = 16
+    iterations: int = 8
+    fps: float = 24.0
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def storage_bytes(self) -> int:
+        """(4 + 1) x L values per pixel: four messages plus data cost."""
+        return 5 * self.labels * self.pixels * EB
+
+    @property
+    def message_updates_per_iteration(self) -> int:
+        return 4 * self.pixels
+
+    @property
+    def ops_per_update(self) -> int:
+        """3L + 2L^2 (Equation 1a + 1b)."""
+        return 3 * self.labels + 2 * self.labels**2
+
+    @property
+    def bytes_per_update(self) -> int:
+        """4L data read or written per update."""
+        return 4 * self.labels * EB
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        per_frame = self.iterations * self.message_updates_per_iteration * self.bytes_per_update
+        return per_frame * self.fps / 1e9
+
+    @property
+    def bandwidth_gibps(self) -> float:
+        """In GiB/s — the unit the paper quotes (190 GiB/s)."""
+        per_frame = self.iterations * self.message_updates_per_iteration * self.bytes_per_update
+        return per_frame * self.fps / 2**30
+
+    @property
+    def compute_gops(self) -> float:
+        per_frame = self.iterations * self.message_updates_per_iteration * self.ops_per_update
+        return per_frame * self.fps / 1e9
+
+
+def vgg16_conv_gops(fps: float = 24.0, macs: int = 15_346_630_656) -> float:
+    """VGG-16 convolution GOp/s at the given frame rate (1 MAC = 2 Op)."""
+    return 2 * macs * fps / 1e9
+
+
+def fc6_weight_bytes(inputs: int = 25088, outputs: int = 4096) -> int:
+    """Weight bytes of the first VGG fully-connected layer."""
+    return inputs * outputs * EB

@@ -1,0 +1,85 @@
+"""The roofline model of Figure 3.
+
+Performance is counted the way the paper counts it (Section VI-A): "we
+define performance as only the number of 16 bit ALU operations performed by
+the vector units, but we include memory accesses by the scalar pipeline
+(e.g., for synchronization) when reporting arithmetic intensity."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pe.counters import PECounters
+from repro.system.config import VIPConfig
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A peak-compute / peak-bandwidth envelope."""
+
+    peak_gops: float
+    peak_bandwidth_gbps: float
+
+    @property
+    def knee(self) -> float:
+        """Arithmetic intensity (Op/B) where the two roofs meet."""
+        return self.peak_gops / self.peak_bandwidth_gbps
+
+    def attainable_gops(self, arithmetic_intensity: float) -> float:
+        return min(self.peak_gops, arithmetic_intensity * self.peak_bandwidth_gbps)
+
+    @classmethod
+    def for_vip(cls, config: VIPConfig | None = None, width_bits: int = 16,
+                num_pes: int | None = None) -> "Roofline":
+        config = config or VIPConfig()
+        peak = config.peak_gops(width_bits)
+        bw = config.peak_bandwidth_gbps
+        if num_pes is not None:
+            scale = num_pes / config.num_pes
+            peak *= scale
+            bw *= scale
+        return cls(peak_gops=peak, peak_bandwidth_gbps=bw)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's measured position under the roofline."""
+
+    name: str
+    arithmetic_intensity: float  # Op / byte
+    gops: float
+
+    def efficiency(self, roofline: Roofline) -> float:
+        """Fraction of the attainable roof actually achieved."""
+        roof = roofline.attainable_gops(self.arithmetic_intensity)
+        return self.gops / roof if roof > 0 else 0.0
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return False  # resolved against a roofline via `bound`
+
+    def bound(self, roofline: Roofline) -> str:
+        return "memory" if self.arithmetic_intensity < roofline.knee else "compute"
+
+
+def point_from_counters(
+    name: str,
+    counters: PECounters,
+    cycles: float,
+    clock_ghz: float = 1.25,
+    extra_bytes: int = 0,
+    extra_ops: int = 0,
+) -> RooflinePoint:
+    """Build a roofline point from simulated PE counters.
+
+    ``extra_bytes``/``extra_ops`` let callers account for work outside the
+    simulated window (e.g. boundary synchronization traffic that the
+    extrapolation model adds analytically).
+    """
+    ops = counters.vector_alu_ops + extra_ops
+    nbytes = counters.dram_bytes + extra_bytes
+    seconds = cycles * 1e-9 / clock_ghz
+    gops = ops / seconds / 1e9 if seconds > 0 else 0.0
+    ai = ops / nbytes if nbytes > 0 else float("inf")
+    return RooflinePoint(name=name, arithmetic_intensity=ai, gops=gops)

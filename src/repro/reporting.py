@@ -1,0 +1,45 @@
+"""Plain-text table/series rendering for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    formatted = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in formatted)) if formatted else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines) + "\n"
+
+
+def render_series(title: str, points: Iterable[tuple[str, float]], unit: str = "") -> str:
+    """Render a labeled value series (one figure bar group)."""
+    lines = [title, "-" * len(title)]
+    for label, value in points:
+        lines.append(f"  {label:<16s} {value:10.3f} {unit}")
+    return "\n".join(lines) + "\n"
+
+
+def compare_row(name: str, measured: float, paper: float) -> tuple:
+    """A (name, measured, paper, ratio) row for EXPERIMENTS-style tables."""
+    ratio = measured / paper if paper else float("nan")
+    return (name, measured, paper, ratio)

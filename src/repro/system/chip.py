@@ -1,0 +1,229 @@
+"""Full-system co-simulation: PEs + torus + HMC + full-empty sync.
+
+The simulator is *conservatively scheduled*: all PEs share one global event
+loop that always advances the PE with the smallest local clock, so shared
+resources (DRAM banks, the per-vault data TSVs, torus links) observe
+requests in approximately nondecreasing time order, and producer-consumer
+synchronization through full-empty variables is resolved in global time
+order.
+
+Memory path of one request from PE ``p`` in vault ``v`` to address ``a`` in
+vault ``u``::
+
+    PE --star--> vault-v router --torus (if u != v)--> vault-u controller
+       --DRAM service--> --torus back--> --star--> PE
+
+Column requests within one ``ld.sram``/``st.sram`` are paced one per cycle
+out of the PE's address generator, exactly as in the single-PE port.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import DeadlockError, SimulationError
+from repro.isa.program import Program
+from repro.memory.hmc import HMC
+from repro.noc.torus import TorusNetwork
+from repro.pe.counters import PECounters
+from repro.pe.pe import PE, PEStatus
+from repro.system.config import VIPConfig
+
+#: Bytes of header carried by a NoC request/response message.
+_HEADER_BYTES = 16
+
+
+@dataclass
+class ChipResult:
+    """Outcome of a full-system run."""
+
+    cycles: float
+    counters: PECounters
+    pe_cycles: list[float]
+    bytes_moved: int
+    achieved_bandwidth_gbps: float
+    noc_messages: int
+
+    def seconds(self, clock_ghz: float = 1.25) -> float:
+        return self.cycles * 1e-9 / clock_ghz
+
+
+class _ChipPort:
+    """The memory port handed to each PE by the chip."""
+
+    def __init__(self, chip: "Chip", vault: int):
+        self.chip = chip
+        self.vault = vault
+
+    def access(self, pe_id, time, addr, nbytes, is_write, data=None):
+        chip = self.chip
+        if is_write and data is not None:
+            chip.hmc.store.write(addr, data)
+        noc = chip.noc
+        t0 = noc.pe_to_vault(time, _HEADER_BYTES)
+        done = time
+        for i, (piece_addr, piece_len) in enumerate(
+            chip.hmc.mapper.split_into_columns(addr, nbytes)
+        ):
+            decoded = chip.hmc.mapper.decode(piece_addr)
+            request_time = t0 + i  # one request per cycle address generation
+            payload_out = piece_len if is_write else 0
+            if decoded.vault != self.vault:
+                request_time = noc.transfer(
+                    request_time, self.vault, decoded.vault, _HEADER_BYTES + payload_out
+                )
+            served = chip.hmc.vaults[decoded.vault].access(
+                request_time, decoded.bank, decoded.row, piece_len, is_write
+            )
+            payload_back = 0 if is_write else piece_len
+            if decoded.vault != self.vault:
+                served = noc.transfer(
+                    served, decoded.vault, self.vault, _HEADER_BYTES + payload_back
+                )
+            done = max(done, served + chip.config.noc.star_cycles)
+        out = None if is_write else chip.hmc.store.read(addr, nbytes)
+        return done, out
+
+    def _fe_latency(self, addr: int) -> float:
+        """One-way latency estimate for a full-empty operation."""
+        chip = self.chip
+        target = chip.hmc.vault_of(addr)
+        star = chip.config.noc.star_cycles
+        if target == self.vault:
+            return 2 * star
+        hops = chip.noc.hops(self.vault, target) + chip.noc.hops(target, self.vault)
+        return 2 * star + hops * chip.config.noc.hop_cycles
+
+    def fe_load(self, pe_id, time, addr):
+        entry = self.chip.fe_pop(addr)
+        if entry is None:
+            return None
+        value, ready = entry
+        return max(time, ready) + self._fe_latency(addr), value
+
+    def fe_store(self, pe_id, time, addr, value):
+        done = time + self._fe_latency(addr)
+        self.chip.fe_push(addr, value, done)
+        return done
+
+
+class Chip:
+    """The 128-PE VIP system (or any smaller slice of it).
+
+    Args:
+        config: system configuration; defaults to the paper's.
+        num_pes: simulate only the first ``num_pes`` engines (e.g. 4 for a
+            single-vault independent-tile run).  Defaults to all of them.
+    """
+
+    def __init__(self, config: VIPConfig | None = None, num_pes: int | None = None):
+        self.config = config or VIPConfig()
+        self.hmc = HMC(self.config.memory)
+        self.noc = TorusNetwork(self.config.noc)
+        total = self.config.num_pes
+        if num_pes is None:
+            num_pes = total
+        if not 1 <= num_pes <= total:
+            raise SimulationError(f"num_pes must be in [1, {total}]")
+        self.pes = [
+            PE(
+                self.config.pe,
+                memory=_ChipPort(self, self.config.vault_of_pe(i)),
+                pe_id=i,
+            )
+            for i in range(num_pes)
+        ]
+        self._fe_queues: dict[int, list[tuple[int, float]]] = {}
+
+    # -- full-empty plumbing -------------------------------------------
+
+    def fe_push(self, addr: int, value: int, ready: float) -> None:
+        self._fe_queues.setdefault(addr, []).append((value, ready))
+
+    def fe_pop(self, addr: int) -> tuple[int, float] | None:
+        queue = self._fe_queues.get(addr)
+        if not queue:
+            return None
+        return queue.pop(0)
+
+    def fe_pending(self, addr: int) -> bool:
+        return bool(self._fe_queues.get(addr))
+
+    # -- simulation ------------------------------------------------------
+
+    def run(
+        self,
+        programs: dict[int, Program] | list[Program],
+        max_steps: int = 500_000_000,
+    ) -> ChipResult:
+        """Run one program per PE to completion.
+
+        ``programs`` maps pe_id -> Program (PEs without one stay halted) or
+        is a list applied to PEs in order.
+        """
+        if isinstance(programs, list):
+            programs = dict(enumerate(programs))
+        active: list[tuple[float, int]] = []
+        for pe_id, program in programs.items():
+            if pe_id >= len(self.pes):
+                raise SimulationError(f"no PE {pe_id} in this chip")
+            self.pes[pe_id].load(program)
+            heapq.heappush(active, (0.0, pe_id))
+        blocked: set[int] = set()
+        steps = 0
+        while active:
+            key, pe_id = heapq.heappop(active)
+            pe = self.pes[pe_id]
+            if pe.status is PEStatus.RUNNING:
+                # Conservative ordering: execute only when this PE's next
+                # instruction issues no later than every other PE's bound;
+                # otherwise re-queue at the refined time.  This keeps
+                # mutations of shared DRAM/NoC state in global time order
+                # even when one instruction stalls for hundreds of cycles.
+                bound = pe.next_issue_lower_bound()
+                if active and bound > active[0][0]:
+                    heapq.heappush(active, (bound, pe_id))
+                    continue
+                pe.step()
+                steps += 1
+                if steps > max_steps:
+                    raise SimulationError(f"exceeded {max_steps} chip steps")
+            if pe.status is PEStatus.RUNNING:
+                heapq.heappush(active, (pe.clock, pe_id))
+            elif pe.status is PEStatus.BLOCKED:
+                blocked.add(pe_id)
+            # Any store may have freed blocked PEs; wake the eligible ones.
+            if blocked:
+                for waiting_id in list(blocked):
+                    waiter = self.pes[waiting_id]
+                    addr = waiter.blocked_addr
+                    if addr is not None and self.fe_pending(addr):
+                        port: _ChipPort = waiter.memory  # type: ignore[assignment]
+                        value, ready = self.fe_pop(addr)  # type: ignore[misc]
+                        done = max(waiter.clock, ready) + port._fe_latency(addr)
+                        waiter.resume_fe(done, value)
+                        blocked.discard(waiting_id)
+                        heapq.heappush(active, (waiter.clock, waiting_id))
+            if not active and blocked:
+                raise DeadlockError(
+                    f"all PEs blocked on full-empty variables: "
+                    f"{sorted((i, self.pes[i].blocked_addr) for i in blocked)}"
+                )
+        if blocked:
+            raise DeadlockError(f"PEs {sorted(blocked)} still blocked at end of run")
+        return self._result([pe_id for pe_id in programs])
+
+    def _result(self, pe_ids: list[int]) -> ChipResult:
+        cycles = max(self.pes[i].result().cycles for i in pe_ids)
+        counters = PECounters()
+        for i in pe_ids:
+            counters = counters.merge(self.pes[i].counters)
+        return ChipResult(
+            cycles=cycles,
+            counters=counters,
+            pe_cycles=[self.pes[i].result().cycles for i in pe_ids],
+            bytes_moved=self.hmc.total_bytes_moved,
+            achieved_bandwidth_gbps=self.hmc.achieved_bandwidth_gbps(cycles),
+            noc_messages=self.noc.stats.messages,
+        )

@@ -1,0 +1,118 @@
+"""Synchronization primitives built on full-empty DRAM variables.
+
+Section IV-A: "We use full-empty synchronization variables in DRAM to
+synchronize producer-consumer PEs at tile boundaries.  A distributed barrier
+(written so that PEs access either their own vaults or immediate neighbors)
+is used to synchronize all PEs at the end of message updates in a given
+direction."
+
+:class:`SyncAllocator` hands out 8-byte-aligned DRAM words for full-empty
+variables.  :func:`emit_chain_barrier` emits the two-phase chain barrier
+described above into per-PE :class:`~repro.isa.builder.ProgramBuilder`
+streams: a gather chain (PE *i* waits for PE *i-1*'s token, then publishes
+its own) followed by a release chain in the reverse direction, so every PE
+only ever touches the variables of its immediate neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.isa.builder import ProgramBuilder
+
+
+@dataclass
+class SyncAllocator:
+    """Bump allocator for full-empty variable addresses in DRAM."""
+
+    base: int
+    limit: int
+    _cursor: int = -1
+
+    def __post_init__(self):
+        if self.base % 8:
+            raise ConfigError("sync region must be 8-byte aligned")
+        self._cursor = self.base
+
+    def alloc(self, count: int = 1) -> list[int]:
+        """Allocate ``count`` consecutive 8-byte variables."""
+        addrs = [self._cursor + 8 * i for i in range(count)]
+        self._cursor += 8 * count
+        if self._cursor > self.limit:
+            raise ConfigError("sync region exhausted")
+        return addrs
+
+    def alloc_one(self) -> int:
+        return self.alloc(1)[0]
+
+
+class ChainBarrier:
+    """One barrier instance over ``n`` participants.
+
+    Every *use* of the barrier needs fresh full-empty variables (a variable
+    is consumed by its single reader), so :meth:`emit` allocates a new set
+    per call.  The emitted code uses two scratch scalar registers per
+    builder, allocated lazily and reused across barrier invocations.
+    """
+
+    def __init__(self, allocator: SyncAllocator, n: int):
+        if n < 1:
+            raise ConfigError("barrier needs at least one participant")
+        self.allocator = allocator
+        self.n = n
+
+    def emit(self, builders: list[ProgramBuilder]) -> None:
+        """Emit one barrier episode into the ``n`` program builders."""
+        if len(builders) != self.n:
+            raise ConfigError(f"expected {self.n} builders, got {len(builders)}")
+        if self.n == 1:
+            return
+        gather = self.allocator.alloc(self.n - 1)
+        release = self.allocator.alloc(self.n - 1)
+        for rank, b in enumerate(builders):
+            addr_reg, token_reg = _scratch_regs(b)
+            # Gather phase: wait for the left neighbor, publish to the right.
+            if rank > 0:
+                b.movi(addr_reg, gather[rank - 1])
+                b.ld_fe(token_reg, addr_reg)
+            if rank < self.n - 1:
+                b.movi(addr_reg, gather[rank])
+                b.movi(token_reg, rank + 1)
+                b.st_fe(token_reg, addr_reg)
+            # Release phase: the last PE releases leftward down the chain.
+            if rank < self.n - 1:
+                b.movi(addr_reg, release[rank])
+                b.ld_fe(token_reg, addr_reg)
+            if rank > 0:
+                b.movi(addr_reg, release[rank - 1])
+                b.movi(token_reg, rank)
+                b.st_fe(token_reg, addr_reg)
+
+
+def _scratch_regs(builder: ProgramBuilder) -> tuple[int, int]:
+    """Get (or lazily allocate) the barrier scratch registers of a builder."""
+    try:
+        addr_reg = builder.reg("_sync_addr")
+        token_reg = builder.reg("_sync_token")
+    except KeyError:
+        addr_reg = builder.alloc_reg("_sync_addr")
+        token_reg = builder.alloc_reg("_sync_token")
+    return addr_reg, token_reg
+
+
+def emit_signal(builder: ProgramBuilder, addr: int, value: int = 1) -> None:
+    """Emit a producer-side full-empty signal (``st.fe``)."""
+    addr_reg, token_reg = _scratch_regs(builder)
+    builder.movi(addr_reg, addr)
+    builder.movi(token_reg, value)
+    builder.st_fe(token_reg, addr_reg)
+
+
+def emit_wait(builder: ProgramBuilder, addr: int) -> int:
+    """Emit a consumer-side full-empty wait (``ld.fe``); returns the
+    register that receives the token value."""
+    addr_reg, token_reg = _scratch_regs(builder)
+    builder.movi(addr_reg, addr)
+    builder.ld_fe(token_reg, addr_reg)
+    return token_reg

@@ -1,0 +1,1 @@
+"""The paper's workload families: BP on MRFs, CNNs, and MLPs."""

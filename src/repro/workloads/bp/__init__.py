@@ -1,0 +1,62 @@
+"""Belief propagation on grid MRFs: the paper's flagship workload."""
+
+from repro.workloads.bp.hierarchical import (
+    construct_coarse,
+    copy_messages_up,
+    run_hierarchical_bpm,
+)
+from repro.workloads.bp.mrf import (
+    DIRECTIONS,
+    OPPOSITE,
+    GridMRF,
+    potts_smoothness,
+    truncated_linear_smoothness,
+)
+from repro.workloads.bp.reference import (
+    decode_labels,
+    effective_belief,
+    iteration,
+    message_from,
+    message_update_count,
+    ops_per_message_update,
+    run_bpm,
+    sweep,
+)
+from repro.workloads.bp.runner import ChipBPResult, run_bpm_on_chip
+from repro.workloads.bp.stereo import (
+    StereoScene,
+    disparity_accuracy,
+    make_scene,
+    matching_cost,
+    stereo_mrf,
+)
+from repro.workloads.bp.tiling import TileGrid, fullhd_tile_grid, ring_order
+
+__all__ = [
+    "ChipBPResult",
+    "DIRECTIONS",
+    "GridMRF",
+    "OPPOSITE",
+    "StereoScene",
+    "TileGrid",
+    "construct_coarse",
+    "copy_messages_up",
+    "decode_labels",
+    "disparity_accuracy",
+    "effective_belief",
+    "fullhd_tile_grid",
+    "iteration",
+    "make_scene",
+    "matching_cost",
+    "message_from",
+    "message_update_count",
+    "ops_per_message_update",
+    "potts_smoothness",
+    "ring_order",
+    "run_bpm",
+    "run_bpm_on_chip",
+    "run_hierarchical_bpm",
+    "stereo_mrf",
+    "sweep",
+    "truncated_linear_smoothness",
+]

@@ -1,0 +1,61 @@
+"""Hierarchical BP-M (Section VI-A).
+
+Four phases, following Felzenszwalb & Huttenlocher's coarse-to-fine scheme
+as adapted by the paper:
+
+1. **construct** — build a coarser (half resolution per axis) MRF by
+   pooling neighboring data costs (a pure vector-add kernel; the paper
+   notes its arithmetic intensity is low because it "simply adds four
+   vectors");
+2. run BP-M on the coarse (quarter-HD) MRF;
+3. **copy** — copy the converged coarse messages back to the full-
+   resolution MRF (each coarse message initializes its 2x2 children);
+4. run BP-M on the fine MRF.
+
+Hierarchical BP-M converges in fewer fine-level iterations (the paper uses
+5 instead of 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import saturate
+from repro.workloads.bp.mrf import DIRECTIONS, GridMRF
+from repro.workloads.bp.reference import decode_labels, iteration
+
+
+def construct_coarse(mrf: GridMRF) -> GridMRF:
+    """Pool 2x2 neighborhoods of data costs (saturating sum)."""
+    if mrf.rows % 2 or mrf.cols % 2:
+        raise ConfigError("hierarchical BP needs even dimensions")
+    d = mrf.data_cost.astype(np.int64)
+    pooled = d[0::2, 0::2] + d[0::2, 1::2] + d[1::2, 0::2] + d[1::2, 1::2]
+    return GridMRF(
+        data_cost=saturate(pooled, 16).astype(np.int16), smoothness=mrf.smoothness
+    )
+
+
+def copy_messages_up(coarse_messages: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Upsample coarse messages: each coarse vertex's message initializes
+    its four children."""
+    fine = {}
+    for d in DIRECTIONS:
+        m = coarse_messages[d]
+        fine[d] = np.repeat(np.repeat(m, 2, axis=0), 2, axis=1).astype(np.int16)
+    return fine
+
+
+def run_hierarchical_bpm(
+    mrf: GridMRF, coarse_iterations: int = 5, fine_iterations: int = 5
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Full hierarchical pipeline; returns (labels, fine messages)."""
+    coarse = construct_coarse(mrf)
+    coarse_messages = coarse.zero_messages()
+    for _ in range(coarse_iterations):
+        iteration(coarse, coarse_messages)
+    messages = copy_messages_up(coarse_messages)
+    for _ in range(fine_iterations):
+        iteration(mrf, messages)
+    return decode_labels(mrf, messages), messages

@@ -1,0 +1,109 @@
+"""Grid Markov random fields for vision labeling tasks (Section II-A).
+
+A :class:`GridMRF` is the 2-D, 4-connected MRF the paper's belief
+propagation workloads operate on: a vertex per pixel, a *data cost* vector
+``theta[y, x, :]`` of length ``L`` (labels) per vertex, and one *smoothness
+cost* matrix ``S[l, l']`` shared by every edge (the paper makes no
+assumption about its structure, and neither does the kernel — it is loaded
+into the scratchpad like any other matrix).
+
+Costs are negative log-probabilities stored in 16-bit fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Message/sweep directions, named by the way the message *flows*:
+#: ``DOWN`` messages travel from a pixel to the pixel below it.
+DIRECTIONS = ("down", "up", "right", "left")
+
+#: Opposite of each direction (the neighbor excluded from the update).
+OPPOSITE = {"down": "up", "up": "down", "right": "left", "left": "right"}
+
+
+@dataclass
+class GridMRF:
+    """A grid MRF instance: data costs + shared smoothness matrix."""
+
+    data_cost: np.ndarray  # (rows, cols, labels) int16
+    smoothness: np.ndarray  # (labels, labels) int16
+
+    def __post_init__(self):
+        self.data_cost = np.asarray(self.data_cost, dtype=np.int16)
+        self.smoothness = np.asarray(self.smoothness, dtype=np.int16)
+        if self.data_cost.ndim != 3:
+            raise ConfigError("data_cost must be (rows, cols, labels)")
+        labels = self.data_cost.shape[2]
+        if self.smoothness.shape != (labels, labels):
+            raise ConfigError(
+                f"smoothness must be ({labels}, {labels}), "
+                f"got {self.smoothness.shape}"
+            )
+
+    @property
+    def rows(self) -> int:
+        return self.data_cost.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.data_cost.shape[1]
+
+    @property
+    def labels(self) -> int:
+        return self.data_cost.shape[2]
+
+    @property
+    def num_edges(self) -> int:
+        return self.rows * (self.cols - 1) + self.cols * (self.rows - 1)
+
+    def zero_messages(self) -> dict[str, np.ndarray]:
+        """Fresh all-zero message arrays, one (rows, cols, labels) array per
+        inbound direction."""
+        return {
+            d: np.zeros((self.rows, self.cols, self.labels), dtype=np.int16)
+            for d in DIRECTIONS
+        }
+
+    def energy(self, labeling: np.ndarray) -> int:
+        """Total labeling energy: data terms plus smoothness over all edges.
+
+        Lower is better; used by tests to check that BP improves on the
+        data-cost-only labeling.
+        """
+        labeling = np.asarray(labeling)
+        if labeling.shape != (self.rows, self.cols):
+            raise ConfigError("labeling shape mismatch")
+        ys, xs = np.indices(labeling.shape)
+        data = int(self.data_cost[ys, xs, labeling].sum(dtype=np.int64))
+        smooth = int(
+            self.smoothness[labeling[:, :-1], labeling[:, 1:]].sum(dtype=np.int64)
+        ) + int(self.smoothness[labeling[:-1, :], labeling[1:, :]].sum(dtype=np.int64))
+        return data + smooth
+
+
+def truncated_linear_smoothness(
+    labels: int, weight: int = 10, truncation: int = 4
+) -> np.ndarray:
+    """The truncated-linear smoothness model common in stereo:
+    ``S[l, l'] = weight * min(|l - l'|, truncation)``.
+
+    The VIP kernels never exploit this structure (the paper stresses that
+    neither its GPU baseline nor VIP assumes anything about the smoothness
+    function); it is just a realistic instance.
+    """
+    if labels <= 0:
+        raise ConfigError("labels must be positive")
+    idx = np.arange(labels)
+    return (weight * np.minimum(np.abs(idx[:, None] - idx[None, :]), truncation)).astype(
+        np.int16
+    )
+
+
+def potts_smoothness(labels: int, penalty: int = 20) -> np.ndarray:
+    """The Potts model: 0 on the diagonal, a constant penalty elsewhere."""
+    return (penalty * (1 - np.eye(labels, dtype=np.int16))).astype(np.int16)

@@ -1,0 +1,148 @@
+"""NumPy reference implementation of min-sum BP-M (Tappen & Freeman).
+
+This plays the role of the paper's "reference C++ implementation" used to
+verify simulated kernels (Section V-A).  It therefore mirrors the VIP
+hardware semantics exactly: all additions saturate at 16 bits and message
+values are int16, so a VIP kernel simulated on the same inputs must produce
+*bit-identical* messages.
+
+BP-M imposes a strict sequential order for message updates in a given
+direction, with parallelism in the orthogonal direction (Section IV-A);
+that is exactly the sweep structure implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import sat_add
+from repro.workloads.bp.mrf import DIRECTIONS, OPPOSITE, GridMRF
+
+
+def effective_belief(
+    mrf: GridMRF, messages: dict[str, np.ndarray], exclude: str | None = None
+) -> np.ndarray:
+    """Compute theta-hat = data cost + sum of incoming messages, optionally
+    excluding one direction (Equation 1a), with saturating adds."""
+    acc = mrf.data_cost.astype(np.int64)
+    for d in DIRECTIONS:
+        if d == exclude:
+            continue
+        acc = sat_add(acc, messages[d], 16)
+    return acc
+
+
+def normalize(theta_hat: np.ndarray) -> np.ndarray:
+    """Subtract the per-vertex minimum from theta-hat.
+
+    Min-sum messages are defined only up to an additive constant; without
+    normalization they grow without bound and saturate 16-bit storage
+    within a few sweeps.  Normalizing theta-hat (rather than the outgoing
+    message) bounds messages to [0, max(S)] and maps onto VIP as one
+    ``m.v.nop.min`` (mr=1) producing the scalar in the scratchpad followed
+    by one ``v.s.sub``.
+    """
+    return theta_hat - theta_hat.min(axis=-1, keepdims=True)
+
+
+def message_from(theta_hat: np.ndarray, smoothness: np.ndarray) -> np.ndarray:
+    """Equation 1b: the min-sum "matrix-vector product".
+
+    ``theta_hat`` is (..., L); returns (..., L) where
+    ``out[..., l'] = min_l (S[l', l] + norm(theta_hat)[..., l])``.
+
+    Note the index order: the VIP kernel computes this as ``m.v.add.min``
+    with S stored row-major, each output element reducing one row of S.
+    """
+    stacked = sat_add(normalize(theta_hat)[..., None, :], smoothness, 16)
+    return stacked.min(axis=-1)
+
+
+def sweep(mrf: GridMRF, messages: dict[str, np.ndarray], direction: str) -> None:
+    """One BP-M directional sweep, updating ``messages[direction]`` in place.
+
+    The sweep advances one row (or column) at a time — the strict sequential
+    order — while the whole orthogonal row of vertices updates at once.
+    """
+    if direction not in DIRECTIONS:
+        raise ConfigError(f"unknown direction {direction!r}")
+    m = messages[direction]
+    exclude = OPPOSITE[direction]
+    if direction == "down":
+        for y in range(mrf.rows - 1):
+            theta_hat = effective_belief_row(mrf, messages, exclude, y=y)
+            m[y + 1, :, :] = message_from(theta_hat, mrf.smoothness).astype(np.int16)
+    elif direction == "up":
+        for y in range(mrf.rows - 1, 0, -1):
+            theta_hat = effective_belief_row(mrf, messages, exclude, y=y)
+            m[y - 1, :, :] = message_from(theta_hat, mrf.smoothness).astype(np.int16)
+    elif direction == "right":
+        for x in range(mrf.cols - 1):
+            theta_hat = effective_belief_row(mrf, messages, exclude, x=x)
+            m[:, x + 1, :] = message_from(theta_hat, mrf.smoothness).astype(np.int16)
+    else:  # left
+        for x in range(mrf.cols - 1, 0, -1):
+            theta_hat = effective_belief_row(mrf, messages, exclude, x=x)
+            m[:, x - 1, :] = message_from(theta_hat, mrf.smoothness).astype(np.int16)
+
+
+def effective_belief_row(
+    mrf: GridMRF,
+    messages: dict[str, np.ndarray],
+    exclude: str,
+    y: int | None = None,
+    x: int | None = None,
+) -> np.ndarray:
+    """theta-hat for a single row (y fixed) or column (x fixed)."""
+    if (y is None) == (x is None):
+        raise ConfigError("exactly one of y/x must be given")
+    index = (y, slice(None)) if y is not None else (slice(None), x)
+    acc = mrf.data_cost[index].astype(np.int64)
+    for d in DIRECTIONS:
+        if d == exclude:
+            continue
+        acc = sat_add(acc, messages[d][index], 16)
+    return acc
+
+
+def iteration(mrf: GridMRF, messages: dict[str, np.ndarray]) -> None:
+    """One full BP-M iteration: all four directional sweeps."""
+    for direction in DIRECTIONS:
+        sweep(mrf, messages, direction)
+
+
+def decode_labels(mrf: GridMRF, messages: dict[str, np.ndarray]) -> np.ndarray:
+    """Equation 2: the most favorable label per vertex."""
+    return effective_belief(mrf, messages).argmin(axis=-1)
+
+
+def run_bpm(
+    mrf: GridMRF,
+    iterations: int = 8,
+    messages: dict[str, np.ndarray] | None = None,
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Run BP-M for ``iterations`` and return (labels, final messages)."""
+    if messages is None:
+        messages = mrf.zero_messages()
+    for _ in range(iterations):
+        iteration(mrf, messages)
+    return decode_labels(mrf, messages), messages
+
+
+def message_update_count(mrf: GridMRF, iterations: int) -> int:
+    """Number of message updates (the paper counts 4 * Ix * Iy per
+    iteration; edge vertices make it marginally fewer)."""
+    per_sweep = {
+        "down": (mrf.rows - 1) * mrf.cols,
+        "up": (mrf.rows - 1) * mrf.cols,
+        "right": (mrf.cols - 1) * mrf.rows,
+        "left": (mrf.cols - 1) * mrf.rows,
+    }
+    return iterations * sum(per_sweep.values())
+
+
+def ops_per_message_update(labels: int) -> int:
+    """ALU operations per message update: 3L for Equation 1a plus 2L^2 for
+    Equation 1b (Section II-A: "3L + 2L^2 operations")."""
+    return 3 * labels + 2 * labels * labels

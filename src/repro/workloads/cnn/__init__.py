@@ -1,0 +1,42 @@
+"""Convolutional neural networks: VGG-16/19 and the layer algebra."""
+
+from repro.workloads.cnn.layers import (
+    ELEMENT_BYTES,
+    ConvSpec,
+    FCSpec,
+    LayerInstance,
+    PoolSpec,
+    TensorShape,
+)
+from repro.workloads.cnn.reference import (
+    conv2d,
+    conv2d_vip,
+    fc,
+    fc_vip,
+    maxpool2d,
+    relu,
+)
+from repro.workloads.cnn.tiling import ConvPlacement, FCPlacement, plan_conv, plan_fc
+from repro.workloads.cnn.vgg import Network, vgg16, vgg19
+
+__all__ = [
+    "ConvPlacement",
+    "ConvSpec",
+    "ELEMENT_BYTES",
+    "FCPlacement",
+    "FCSpec",
+    "LayerInstance",
+    "Network",
+    "PoolSpec",
+    "TensorShape",
+    "conv2d",
+    "conv2d_vip",
+    "fc",
+    "fc_vip",
+    "maxpool2d",
+    "plan_conv",
+    "plan_fc",
+    "relu",
+    "vgg16",
+    "vgg19",
+]

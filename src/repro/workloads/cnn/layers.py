@@ -1,0 +1,152 @@
+"""CNN layer algebra: shapes, operation counts, memory footprints.
+
+These specs drive three consumers: the NumPy reference inference, the VIP
+kernel generators (which need exact loop trip counts), and the performance
+model (which needs MAC counts and data movement per layer to place kernels
+on the roofline of Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Bytes per element everywhere in this reproduction (16-bit fixed point).
+ELEMENT_BYTES = 2
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A (channels, height, width) activation shape."""
+
+    channels: int
+    height: int
+    width: int
+
+    @property
+    def elements(self) -> int:
+        return self.channels * self.height * self.width
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * ELEMENT_BYTES
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """A convolution layer (with bias and optional ReLU, Equation 3)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+    relu: bool = True
+
+    def out_shape(self, in_shape: TensorShape) -> TensorShape:
+        if in_shape.channels != self.in_channels:
+            raise ConfigError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {in_shape.channels}"
+            )
+        h = (in_shape.height + 2 * self.padding - self.kernel) // self.stride + 1
+        w = (in_shape.width + 2 * self.padding - self.kernel) // self.stride + 1
+        return TensorShape(self.out_channels, h, w)
+
+    def macs(self, in_shape: TensorShape) -> int:
+        out = self.out_shape(in_shape)
+        return out.height * out.width * self.out_channels * (
+            self.kernel * self.kernel * self.in_channels
+        )
+
+    def weight_elements(self) -> int:
+        return self.out_channels * self.in_channels * self.kernel * self.kernel
+
+    def weight_bytes(self) -> int:
+        return self.weight_elements() * ELEMENT_BYTES
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Max pooling (Section II-B)."""
+
+    name: str
+    kernel: int = 2
+    stride: int = 2
+
+    def out_shape(self, in_shape: TensorShape) -> TensorShape:
+        return TensorShape(
+            in_shape.channels,
+            (in_shape.height - self.kernel) // self.stride + 1,
+            (in_shape.width - self.kernel) // self.stride + 1,
+        )
+
+    def ops(self, in_shape: TensorShape) -> int:
+        """Comparison operations: k*k - 1 per output element."""
+        out = self.out_shape(in_shape)
+        return out.elements * (self.kernel * self.kernel - 1)
+
+
+@dataclass(frozen=True)
+class FCSpec:
+    """A fully-connected layer (Equation 4)."""
+
+    name: str
+    in_features: int
+    out_features: int
+    relu: bool = True
+
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    def weight_elements(self) -> int:
+        return self.in_features * self.out_features
+
+    def weight_bytes(self) -> int:
+        return self.weight_elements() * ELEMENT_BYTES
+
+
+LayerSpec = ConvSpec | PoolSpec | FCSpec
+
+
+@dataclass(frozen=True)
+class LayerInstance:
+    """A layer bound to its concrete input shape within a network."""
+
+    spec: LayerSpec
+    in_shape: TensorShape
+    out_shape: TensorShape
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def macs(self, batch: int = 1) -> int:
+        if isinstance(self.spec, ConvSpec):
+            return batch * self.spec.macs(self.in_shape)
+        if isinstance(self.spec, FCSpec):
+            return batch * self.spec.macs()
+        return 0
+
+    def ops(self, batch: int = 1) -> int:
+        """16-bit ALU operations (1 MAC = 2 Op, following the paper)."""
+        if isinstance(self.spec, PoolSpec):
+            return batch * self.spec.ops(self.in_shape)
+        return 2 * self.macs(batch)
+
+    def dram_bytes(self, batch: int = 1) -> int:
+        """Minimum data movement: inputs + outputs per batch, weights once.
+
+        This is the arithmetic-intensity denominator for the roofline; the
+        VIP simulation reports *actual* bytes moved, which exceed this when
+        filters are re-streamed.
+        """
+        moved = batch * (self.in_shape.bytes + self.out_shape.bytes)
+        if isinstance(self.spec, (ConvSpec, FCSpec)):
+            moved += self.spec.weight_bytes()
+        return moved
+
+    def arithmetic_intensity(self, batch: int = 1) -> float:
+        return self.ops(batch) / self.dram_bytes(batch)

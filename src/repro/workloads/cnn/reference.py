@@ -1,0 +1,152 @@
+"""NumPy reference inference for CNN layers.
+
+Two flavors:
+
+* **float** (:func:`conv2d`, :func:`maxpool2d`, :func:`fc`, :func:`relu`) —
+  plain float32 math for end-to-end examples;
+* **VIP fixed point** (:func:`conv2d_vip`, :func:`fc_vip`) — bit-exact
+  mirrors of what the VIP kernels compute: int16 operands, each product
+  arithmetic-shifted right by ``fx`` and saturated (the vertical
+  multiplier), 64-bit horizontal accumulation saturated to 16 bits on
+  writeback, saturating bias add, ReLU as max(x, 0).
+
+The fixed-point flavor is what simulated kernels are verified against,
+playing the role of the paper's "reference C++ implementation".
+
+Tensor layout is channels-last ``(H, W, C)`` — the layout the VIP kernels
+use so that a dot product over (kernel column x channels) is contiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import sat_add, sat_mul, saturate
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit: max(x, 0)."""
+    return np.maximum(x, 0)
+
+
+def conv2d(inputs: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+           stride: int = 1, padding: int = 1) -> np.ndarray:
+    """Float convolution.  ``inputs`` is (H, W, Cin); ``weights`` is
+    (Cout, k, k, Cin); returns (Hout, Wout, Cout)."""
+    h, w, cin = inputs.shape
+    cout, k, k2, cin2 = weights.shape
+    if k != k2 or cin != cin2:
+        raise ConfigError("weight shape mismatch")
+    padded = np.pad(inputs, ((padding, padding), (padding, padding), (0, 0)))
+    hout = (h + 2 * padding - k) // stride + 1
+    wout = (w + 2 * padding - k) // stride + 1
+    out = np.empty((hout, wout, cout), dtype=np.float64)
+    wmat = weights.reshape(cout, -1)
+    for y in range(hout):
+        for x in range(wout):
+            window = padded[y * stride : y * stride + k, x * stride : x * stride + k, :]
+            out[y, x, :] = wmat @ window.ravel()
+    return out + bias[None, None, :]
+
+
+def maxpool2d(inputs: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray:
+    """Max pooling on (H, W, C)."""
+    h, w, c = inputs.shape
+    hout = (h - kernel) // stride + 1
+    wout = (w - kernel) // stride + 1
+    out = np.full((hout, wout, c), -np.inf if inputs.dtype.kind == "f" else np.iinfo(inputs.dtype).min,
+                  dtype=inputs.dtype)
+    for dy in range(kernel):
+        for dx in range(kernel):
+            out = np.maximum(
+                out,
+                inputs[dy : dy + hout * stride : stride, dx : dx + wout * stride : stride, :],
+            )
+    return out
+
+
+def fc(inputs: np.ndarray, weights: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Float fully-connected layer: ``weights`` is (out, in)."""
+    return weights @ inputs.ravel() + bias
+
+
+# ---------------------------------------------------------------------------
+# VIP fixed-point mirrors
+
+
+def conv2d_vip(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+    fx: int,
+    stride: int = 1,
+    padding: int = 1,
+    apply_relu: bool = True,
+) -> np.ndarray:
+    """Bit-exact model of the VIP convolution kernel.
+
+    Matches the kernel's dataflow: for each output pixel, ``k`` column-wise
+    ``m.v.mul.add`` dot products (each internally 64-bit, saturated to 16
+    bits on writeback) accumulated with saturating ``v.v.add``, then a
+    saturating bias add and ReLU.
+    """
+    inputs = np.asarray(inputs, dtype=np.int16)
+    weights = np.asarray(weights, dtype=np.int16)
+    bias = np.asarray(bias, dtype=np.int16)
+    h, w, cin = inputs.shape
+    cout, k, _, _ = weights.shape
+    padded = np.pad(inputs, ((padding, padding), (padding, padding), (0, 0)))
+    hout = (h + 2 * padding - k) // stride + 1
+    wout = (w + 2 * padding - k) // stride + 1
+    out = np.empty((hout, wout, cout), dtype=np.int16)
+    # One "matrix row" per (filter, kernel column): shape (cout, k, k*cin).
+    wcols = weights.transpose(0, 2, 1, 3).reshape(cout, k, k * cin)
+    for y in range(hout):
+        for x in range(wout):
+            acc = np.zeros(cout, dtype=np.int64)
+            for i in range(k):
+                # Column i of the receptive field: (k, cin) contiguous.
+                col = padded[y * stride : y * stride + k, x * stride + i, :].ravel()
+                prod = sat_mul(wcols[:, i, :], col[None, :], 16, frac_shift=fx)
+                partial = saturate(prod.sum(axis=1, dtype=np.int64), 16)
+                acc = sat_add(acc, partial, 16)
+            acc = sat_add(acc, bias, 16)
+            if apply_relu:
+                acc = np.maximum(acc, 0)
+            out[y, x, :] = acc.astype(np.int16)
+    return out
+
+
+def fc_vip(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+    fx: int,
+    apply_relu: bool = True,
+    chunk: int | None = None,
+) -> np.ndarray:
+    """Bit-exact model of the VIP fully-connected kernel.
+
+    ``chunk`` is the number of input elements each ``m.v.mul.add``
+    processes (bounded by scratchpad capacity); partial sums accumulate
+    with saturating adds, mirroring the kernel's multi-pass structure.
+    """
+    inputs = np.asarray(inputs, dtype=np.int16).ravel()
+    weights = np.asarray(weights, dtype=np.int16)
+    bias = np.asarray(bias, dtype=np.int16)
+    n_out, n_in = weights.shape
+    if inputs.size != n_in:
+        raise ConfigError("fc input size mismatch")
+    if chunk is None:
+        chunk = n_in
+    acc = np.zeros(n_out, dtype=np.int64)
+    for start in range(0, n_in, chunk):
+        end = min(start + chunk, n_in)
+        prod = sat_mul(weights[:, start:end], inputs[None, start:end], 16, frac_shift=fx)
+        partial = saturate(prod.sum(axis=1, dtype=np.int64), 16)
+        acc = sat_add(acc, partial, 16)
+    acc = sat_add(acc, bias, 16)
+    if apply_relu:
+        acc = np.maximum(acc, 0)
+    return acc.astype(np.int16)

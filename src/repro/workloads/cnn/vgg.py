@@ -1,0 +1,115 @@
+"""VGG-16 and VGG-19 network definitions [Simonyan & Zisserman].
+
+Layer naming follows the paper's Figure 3 labels (``c1_1`` .. ``c5_3``,
+``p1`` .. ``p5``, ``fc6`` .. ``fc8``).  VGG-16's thirteen convolution layers
+perform 15.3 billion MACs on a 224x224 input — the number the paper quotes
+in Section II-B — and the three fully-connected layers hold 123.6 million
+weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.workloads.cnn.layers import (
+    ConvSpec,
+    FCSpec,
+    LayerInstance,
+    PoolSpec,
+    TensorShape,
+)
+
+#: Convolution blocks: (block index, output channels, convs in VGG-16 / 19).
+_BLOCKS = (
+    (1, 64, 2, 2),
+    (2, 128, 2, 2),
+    (3, 256, 3, 4),
+    (4, 512, 3, 4),
+    (5, 512, 3, 4),
+)
+
+
+@dataclass(frozen=True)
+class Network:
+    """An ordered, shape-bound stack of layers."""
+
+    name: str
+    layers: tuple[LayerInstance, ...]
+    input_shape: TensorShape
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def layer(self, name: str) -> LayerInstance:
+        for inst in self.layers:
+            if inst.name == name:
+                return inst
+        raise ConfigError(f"{self.name} has no layer named {name!r}")
+
+    @property
+    def conv_layers(self) -> tuple[LayerInstance, ...]:
+        return tuple(l for l in self.layers if isinstance(l.spec, ConvSpec))
+
+    @property
+    def pool_layers(self) -> tuple[LayerInstance, ...]:
+        return tuple(l for l in self.layers if isinstance(l.spec, PoolSpec))
+
+    @property
+    def fc_layers(self) -> tuple[LayerInstance, ...]:
+        return tuple(l for l in self.layers if isinstance(l.spec, FCSpec))
+
+    def total_macs(self, batch: int = 1, convs_only: bool = False) -> int:
+        layers = self.conv_layers if convs_only else self.layers
+        return sum(l.macs(batch) for l in layers)
+
+    def total_weight_bytes(self) -> int:
+        return sum(
+            l.spec.weight_bytes()
+            for l in self.layers
+            if isinstance(l.spec, (ConvSpec, FCSpec))
+        )
+
+
+def _build(name: str, convs_per_block_index: int) -> Network:
+    specs: list = []
+    in_channels = 3
+    for block, channels, convs16, convs19 in _BLOCKS:
+        convs = (convs16, convs19)[convs_per_block_index]
+        for i in range(convs):
+            specs.append(
+                ConvSpec(f"c{block}_{i + 1}", in_channels=in_channels, out_channels=channels)
+            )
+            in_channels = channels
+        specs.append(PoolSpec(f"p{block}"))
+    specs.append(FCSpec("fc6", in_features=512 * 7 * 7, out_features=4096))
+    specs.append(FCSpec("fc7", in_features=4096, out_features=4096))
+    specs.append(FCSpec("fc8", in_features=4096, out_features=1000, relu=False))
+
+    shape = TensorShape(3, 224, 224)
+    layers = []
+    for spec in specs:
+        if isinstance(spec, FCSpec):
+            in_shape = shape
+            out_shape = TensorShape(spec.out_features, 1, 1)
+            if in_shape.elements != spec.in_features:
+                raise ConfigError(
+                    f"{spec.name}: expects {spec.in_features} inputs, "
+                    f"previous layer produces {in_shape.elements}"
+                )
+        else:
+            in_shape = shape
+            out_shape = spec.out_shape(shape)
+        layers.append(LayerInstance(spec=spec, in_shape=in_shape, out_shape=out_shape))
+        shape = out_shape
+    return Network(name=name, layers=tuple(layers), input_shape=TensorShape(3, 224, 224))
+
+
+def vgg16() -> Network:
+    """VGG-16: 13 convolution + 5 pool + 3 FC layers."""
+    return _build("VGG-16", 0)
+
+
+def vgg19() -> Network:
+    """VGG-19: 16 convolution + 5 pool + 3 FC layers."""
+    return _build("VGG-19", 1)

@@ -1,0 +1,5 @@
+"""Multi-layer perceptrons (fully-connected stacks)."""
+
+from repro.workloads.mlp.reference import MLPLayer, random_mlp, run_mlp, run_mlp_vip
+
+__all__ = ["MLPLayer", "random_mlp", "run_mlp", "run_mlp_vip"]

@@ -1,0 +1,67 @@
+"""Multi-layer perceptron reference (Section II-C).
+
+An MLP here is a stack of fully-connected layers; the VGG classifier head
+(fc6-fc8) is the paper's MLP workload, and :func:`run_mlp` /
+:func:`run_mlp_vip` run an arbitrary stack in float or in the bit-exact
+VIP fixed-point semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workloads.cnn.reference import fc, fc_vip, relu
+
+
+@dataclass
+class MLPLayer:
+    """Weights + bias of one fully-connected layer."""
+
+    weights: np.ndarray  # (out, in)
+    bias: np.ndarray  # (out,)
+    relu: bool = True
+
+    def __post_init__(self):
+        self.weights = np.asarray(self.weights)
+        self.bias = np.asarray(self.bias)
+        if self.weights.ndim != 2 or self.bias.shape != (self.weights.shape[0],):
+            raise ConfigError("bad MLP layer shapes")
+
+
+def random_mlp(sizes: list[int], seed: int = 0, scale: float = 0.05) -> list[MLPLayer]:
+    """A random MLP with the given layer sizes (last layer linear)."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i in range(len(sizes) - 1):
+        layers.append(
+            MLPLayer(
+                weights=rng.normal(0, scale, (sizes[i + 1], sizes[i])),
+                bias=rng.normal(0, scale, sizes[i + 1]),
+                relu=i < len(sizes) - 2,
+            )
+        )
+    return layers
+
+
+def run_mlp(layers: list[MLPLayer], inputs: np.ndarray) -> np.ndarray:
+    """Float forward pass."""
+    x = np.asarray(inputs, dtype=np.float64).ravel()
+    for layer in layers:
+        x = fc(x, layer.weights, layer.bias)
+        if layer.relu:
+            x = relu(x)
+    return x
+
+
+def run_mlp_vip(
+    layers: list[MLPLayer], inputs: np.ndarray, fx: int, chunk: int | None = None
+) -> np.ndarray:
+    """Fixed-point forward pass with VIP kernel semantics (all layers must
+    already hold int16 weights/biases)."""
+    x = np.asarray(inputs, dtype=np.int16).ravel()
+    for layer in layers:
+        x = fc_vip(x, layer.weights, layer.bias, fx, apply_relu=layer.relu, chunk=chunk)
+    return x

@@ -1,0 +1,77 @@
+"""Baseline model tests: GPU analytic model, published scaling, silicon."""
+
+import pytest
+
+from repro.baselines import (
+    JETSON_TX2,
+    MRF_BASELINES,
+    TITAN_X_PASCAL,
+    bpm_frame_ms,
+    bpm_iteration_ms,
+    eyeriss_scaled_time_ms,
+    vip_summary,
+    volta_area_ratio,
+)
+from repro.baselines.silicon import HMCSilicon, PESilicon
+
+
+class TestGPUModel:
+    def test_titan_x_calibrated_to_paper(self):
+        """11.5 ms per iteration, 92.2 ms for eight (Section VI-A)."""
+        assert bpm_iteration_ms() == pytest.approx(11.5, rel=0.02)
+        assert bpm_frame_ms(iterations=8) == pytest.approx(92.2, rel=0.02)
+
+    def test_jetson_memory_bound(self):
+        """The paper: the Jetson is 'severely bottlenecked by its 60 GB/s'."""
+        fast_mem = JETSON_TX2.__class__(**{**JETSON_TX2.__dict__,
+                                           "bandwidth_gbps": 480.0})
+        assert bpm_iteration_ms(JETSON_TX2) > bpm_iteration_ms(fast_mem)
+
+    def test_smaller_image_faster(self):
+        qhd = bpm_iteration_ms(width=960, height=540)
+        assert qhd < bpm_iteration_ms()
+
+    def test_occupancy_model(self):
+        assert TITAN_X_PASCAL.sustained_ops_per_s(10**9) == pytest.approx(11e12)
+        half = TITAN_X_PASCAL.sustained_ops_per_s(
+            TITAN_X_PASCAL.threads_for_full_occupancy // 2)
+        assert half == pytest.approx(5.5e12)
+
+
+class TestPublished:
+    def test_eyeriss_scaling_arithmetic(self):
+        """4309 / (18/12) / (65/28)^2 / (1.25/0.2) ~ 85 ms: VIP's 91.6 ms is
+        'less than 10% worse' (Section VI-A)."""
+        scaled = eyeriss_scaled_time_ms()
+        assert scaled == pytest.approx(85.3, rel=0.01)
+        assert abs(91.6 / scaled - 1) < 0.10
+
+    def test_volta_area_ratio_250x(self):
+        assert volta_area_ratio() == pytest.approx(250, rel=0.05)
+
+    def test_mrf_baselines_present(self):
+        systems = {b.system for b in MRF_BASELINES}
+        assert "Tile-BP (720p)" in systems
+        assert "Optical Gibbs' Sampling" in systems
+
+
+class TestSilicon:
+    def test_pe_area_and_power(self):
+        """Section VII: 0.141 mm^2, 27/38 mW per PE; 18 mm^2, 3.5-4.8 W."""
+        pe = PESilicon()
+        assert pe.chip_area_mm2(128) == pytest.approx(18.0, rel=0.01)
+        assert pe.chip_power_w("bp") == pytest.approx(3.5, rel=0.02)
+        assert pe.chip_power_w("cnn") == pytest.approx(4.8, rel=0.02)
+
+    def test_hmc_prototype_power(self):
+        """10 pJ/bit at 320 GB/s = 25.6 W (Section VII)."""
+        assert HMCSilicon().prototype_power_w() == pytest.approx(25.6, rel=0.01)
+
+    def test_vault_controllers(self):
+        assert HMCSilicon().controllers_mm2 == pytest.approx(19.84, rel=0.01)
+
+    def test_summary_dict(self):
+        summary = vip_summary()
+        assert summary["chip_area_mm2"] == 18.0
+        assert summary["power_bp_w"] == 3.5
+        assert summary["power_cnn_w"] == 4.8

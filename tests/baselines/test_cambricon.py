@@ -1,0 +1,30 @@
+"""Section II-D's Cambricon bound."""
+
+import pytest
+
+from repro.baselines.cambricon import (
+    CambriconSpec,
+    equation_1a_seconds,
+    max_fps,
+    supports_min_sum_reduction,
+)
+
+
+def test_equation_1a_exceeds_130ms_per_frame():
+    """The paper: "Cambricon will therefore require over 0.13 s just to
+    compute Equation (1a) for one frame of a full-HD image"."""
+    assert equation_1a_seconds() > 0.13
+
+
+def test_fps_below_8():
+    """"...severely limiting its throughput (to less than 8 fps)"."""
+    assert max_fps() < 8.0
+
+
+def test_matrix_units_do_not_help():
+    assert not supports_min_sum_reduction()
+
+
+def test_wider_vector_datapath_would_fix_it():
+    vip_like = CambriconSpec(vector_alus=1024, clock_ghz=1.25)
+    assert max_fps(vip_like) > 24

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.pe import PE, FlatMemory
+from repro.workloads.bp.mrf import DIRECTIONS, GridMRF, truncated_linear_smoothness
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pe():
+    """A fresh PE on an idealized flat memory."""
+    return PE(memory=FlatMemory())
+
+
+@pytest.fixture
+def small_mrf(rng):
+    """An 8x12, 8-label MRF with non-trivial messages."""
+    mrf = GridMRF(
+        rng.integers(0, 50, (8, 12, 8)).astype(np.int16),
+        truncated_linear_smoothness(8, weight=8, truncation=2),
+    )
+    messages = {
+        d: rng.integers(0, 16, (8, 12, 8)).astype(np.int16) for d in DIRECTIONS
+    }
+    return mrf, messages

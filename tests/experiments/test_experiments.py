@@ -1,0 +1,78 @@
+"""Experiment-module tests (fast paths: descriptive tables + registry;
+the heavy simulations are covered by the benchmark harness and by
+small-scale model tests in tests/perf)."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    render_table4,
+    table1,
+    table2,
+    table3,
+    table4_mrf,
+)
+from repro.experiments.tables import Table4Row
+from repro.perf import BPPerformanceModel, HierarchicalBPModel
+
+
+class TestDescriptiveTables:
+    def test_table1_contains_all_platforms(self):
+        text = table1()
+        for platform in ("CPU", "GPU", "FPGA", "Tile-BP", "Eyeriss", "TPU", "VIP"):
+            assert platform in text
+
+    def test_table2_covers_isa_groups(self):
+        text = table2()
+        for group in ("Matrix-vector", "Vector-vector", "Scalar ALU",
+                      "Load-store", "Control"):
+            assert group in text
+
+    def test_table3_lists_timing_parameters(self):
+        text = table3()
+        for param in ("tCK", "tCL", "tRFC", "tREFI", "open-page"):
+            assert param in text
+
+    def test_registry_complete(self):
+        for key in ("table1", "table2", "table3", "table4-mrf", "table4-cnn",
+                    "figure3a", "figure3b", "figure3c", "figure4", "figure5"):
+            assert key in REGISTRY
+            description, bench = REGISTRY[key]
+            assert bench.startswith("benchmarks/")
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def small_models(self):
+        bp = BPPerformanceModel(image_rows=128, image_cols=256, labels=8)
+        return bp, HierarchicalBPModel(bp)
+
+    def test_mrf_block_structure(self, small_models):
+        bp, hier = small_models
+        rows = table4_mrf(bp, hier)
+        systems = [r.system for r in rows]
+        assert "VIP (baseline BP-M)" in systems
+        assert "VIP (hierarchical BP-M)" in systems
+        assert "Pascal Titan X" in systems
+        assert all(r.time_ms > 0 for r in rows)
+
+    def test_sources_labeled(self, small_models):
+        rows = table4_mrf(*small_models)
+        assert {r.source for r in rows} <= {"published", "model", "simulated"}
+
+    def test_render(self, small_models):
+        text = render_table4(table4_mrf(*small_models), "Table IV test")
+        assert "Time (ms)" in text
+
+    def test_row_dataclass(self):
+        row = Table4Row("s", "w", "d", 1.0, None, None, None, "model")
+        assert row.power_w is None
+
+
+class TestRegistryTargets:
+    def test_bench_targets_exist_on_disk(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for _, (_, bench) in REGISTRY.items():
+            assert (root / bench).is_file(), bench

@@ -1,0 +1,70 @@
+"""End-to-end integration: a small CNN inference entirely through VIP
+kernels (conv+ReLU -> maxpool -> FC), bit-exact against the fixed-point
+reference chain."""
+
+import numpy as np
+
+from repro.fixedpoint import sat_add, sat_mul, saturate
+from repro.kernels import (
+    ConvTileLayout,
+    FCTileLayout,
+    PoolTileLayout,
+    build_conv_pass_program,
+    build_fc_partial_program,
+    build_pool_program,
+)
+from repro.memory import HMC
+from repro.pe import PE, LocalVaultMemory
+from repro.workloads.cnn.reference import conv2d_vip, fc_vip, maxpool2d
+
+
+def test_tiny_network_end_to_end(rng):
+    """Input 8x8x4 -> conv 3x3 (8 filters, ReLU) -> pool 2x2 -> FC(10)."""
+    fx = 6
+    h = w = 8
+    z, filters, classes = 4, 8, 10
+    inputs = rng.integers(-25, 25, (h, w, z)).astype(np.int16)
+    conv_w = rng.integers(-15, 15, (filters, 3, 3, z)).astype(np.int16)
+    conv_b = rng.integers(-5, 5, filters).astype(np.int16)
+    fc_features = (h // 2) * (w // 2) * filters
+    fc_w = rng.integers(-8, 8, (classes, fc_features)).astype(np.int16)
+
+    # --- reference chain -------------------------------------------------
+    ref_conv = conv2d_vip(inputs, conv_w, conv_b, fx)
+    ref_pool = maxpool2d(ref_conv)
+    ref_logits = fc_vip(ref_pool.ravel(), fc_w, np.zeros(classes, np.int16),
+                        fx, apply_relu=False, chunk=64)
+
+    # --- VIP kernel chain -------------------------------------------------
+    hmc = HMC()
+    conv_layout = ConvTileLayout(base=4096, in_h=h + 2, in_w=w + 2, z=z, k=3,
+                                 num_filters=filters, out_h=h, out_w=w)
+    conv_layout.stage(hmc.store, inputs, conv_w, conv_b)
+    PE(memory=LocalVaultMemory(hmc, vault=0)).run(
+        build_conv_pass_program(conv_layout, 0, 2, 0, h, fx=fx, strip_rows=2,
+                                passes=filters // 2)
+    )
+    conv_out = conv_layout.read_output(hmc.store)
+    assert np.array_equal(conv_out, ref_conv)
+
+    pool_layout = PoolTileLayout(base=conv_layout.output_base, in_h=h, in_w=w,
+                                 z=filters)
+    PE(memory=LocalVaultMemory(hmc, vault=0)).run(
+        build_pool_program(pool_layout, 0, h // 2)
+    )
+    pool_out = pool_layout.read_output(hmc.store)
+    assert np.array_equal(pool_out, ref_pool)
+
+    # FC: stream the weight tile against the (flattened, channels-last)
+    # pooled activations, chunked like the real kernel.
+    chunk = 64
+    acc = np.zeros(classes, dtype=np.int64)
+    x = pool_out.ravel()
+    for c0 in range(0, fc_features, chunk):
+        layout = FCTileLayout(base=1 << 20, rows=classes, chunk=chunk, batch=1)
+        layout.stage(hmc.store, fc_w[:, c0 : c0 + chunk], x[None, c0 : c0 + chunk])
+        PE(memory=LocalVaultMemory(hmc, vault=0)).run(
+            build_fc_partial_program(layout, fx=fx))
+        acc = sat_add(acc, layout.read_partials(hmc.store)[0], 16)
+    logits = saturate(acc, 16).astype(np.int16)
+    assert np.array_equal(logits, ref_logits)

@@ -1,0 +1,43 @@
+"""Smoke-run the fast example scripts (the slow ones are exercised by the
+same code paths in other tests)."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, env: dict | None = None) -> str:
+    merged = {**os.environ, **(env or {})}
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300, env=merged,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "matches the NumPy reference: yes" in out
+
+
+def test_custom_kernel():
+    out = run_example("custom_kernel.py")
+    assert "match: True" in out
+
+
+def test_vgg_inference_functional_part():
+    out = run_example("vgg_inference.py", env={"REPRO_QUICK": "1"})
+    assert "matches reference: True" in out
+
+
+@pytest.mark.parametrize("name", ["stereo_depth.py", "memory_explorer.py"])
+def test_slow_examples_importable(name):
+    """Compile-check the slower examples without executing them."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

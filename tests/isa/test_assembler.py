@@ -1,0 +1,158 @@
+"""Assembler parsing, labels, pseudo-instructions, and error reporting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa import Assembler, Opcode, assemble, disassemble
+
+
+class TestParsing:
+    def test_paper_fragment_assembles(self):
+        """The assembly fragment from the paper's Figure 2."""
+        program = assemble(
+            """
+            ld.sram[16-bit] r11, r7, r61   ; Load messages
+            ld.sram[16-bit] r12, r8, r61   ; r61 = vector length
+            ld.sram[16-bit] r13, r9, r61   ; r7-9 = DRAM addresses
+            v.v.add[16-bit] r11, r11, r12  ; Update message
+            v.v.add[16-bit] r11, r11, r13
+            v.v.add[16-bit] r11, r11, r14
+            m.v.add.min[16-bit] r10, r15, r11
+            st.sram[16-bit] r10, r14, r61
+            """
+        )
+        assert len(program) == 8
+        assert program[6].opcode is Opcode.MV
+        assert program[6].vop == "add" and program[6].hop == "min"
+
+    def test_width_shorthand(self):
+        program = assemble("v.v.add[16] r1, r2, r3")
+        assert program[0].width == 16
+
+    def test_default_width(self):
+        program = assemble("ld.sram r1, r2, r3")
+        assert program[0].width == 16
+
+    def test_all_widths(self):
+        for w in (8, 16, 32, 64):
+            assert assemble(f"v.v.min[{w}] r1, r2, r3")[0].width == w
+
+    def test_hex_and_binary_immediates(self):
+        program = assemble("mov.imm r1, 0x10\nmov.imm r2, 0b101")
+        assert program[0].imm == 16
+        assert program[1].imm == 5
+
+    def test_alu_reg_vs_imm(self):
+        program = assemble("add r1, r2, r3\nadd r1, r2, 5")
+        assert program[0].imm is None
+        assert program[1].imm == 5
+
+    def test_set_vl_reg_or_imm(self):
+        program = assemble("set.vl r5\nset.vl 16")
+        assert program[0].rs1 == 5 and program[0].imm is None
+        assert program[1].imm == 16
+
+    def test_comments_both_styles(self):
+        assert len(assemble("nop ; one\nnop # two\n; only comment")) == 2
+
+    def test_empty_program(self):
+        assert len(assemble("")) == 0
+
+
+class TestLabels:
+    def test_branch_targets_resolved(self):
+        program = assemble(
+            """
+            mov.imm r1, 0
+            loop:
+            add r1, r1, 1
+            blt r1, r2, loop
+            halt
+            """
+        )
+        assert program[2].imm == 1
+
+    def test_forward_reference(self):
+        program = assemble("jmp end\nnop\nend: halt")
+        assert program[0].imm == 2
+
+    def test_label_on_same_line(self):
+        program = assemble("start: nop\njmp start")
+        assert program[1].imm == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a: nop\na: nop")
+
+
+class TestLi:
+    def test_small_value_single_instruction(self):
+        assert len(assemble("li r1, 100")) == 1
+
+    def test_large_value_expands(self):
+        program = assemble(f"li r1, {1 << 33}")
+        assert len(program) == 3
+
+    def test_negative_small(self):
+        assert assemble("li r1, -7")[0].imm == -7
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("frobnicate r1", "unknown mnemonic"),
+            ("add r1, r2", "expects 3"),
+            ("v.v.add[12] r1, r2, r3", "bad element width"),
+            ("add r99, r1, r2", "out of range"),
+            ("mov.imm r1, banana", "expected immediate"),
+            ("v.v.add r1, 5, r3", "expected register"),
+            ("m.v.add.sub[16] r1, r2, r3", "bad m.v composition"),
+        ],
+    )
+    def test_rejects(self, text, match):
+        with pytest.raises(AssemblerError, match=match):
+            assemble(text)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")
+
+
+class TestDisassembleRoundTrip:
+    SOURCE = """
+        set.vl 16
+        set.mr 16
+        mov.imm r1, 4096
+        loop:
+        ld.sram[16] r2, r1, r3
+        v.v.add[16] r2, r2, r4
+        m.v.add.min[16] r5, r6, r2
+        v.s.sub[16] r2, r2, r7
+        st.sram[16] r5, r1, r3
+        add r1, r1, 32
+        blt r1, r8, loop
+        v.drain
+        memfence
+        halt
+    """
+
+    def test_reassembles_identically(self):
+        first = assemble(self.SOURCE)
+        second = assemble(disassemble(first))
+        assert first.instructions == second.instructions
+
+
+@given(st.integers(0, (1 << 40)))
+def test_li_loads_exact_value(value):
+    """li must place exactly `value` in the register (via PE execution)."""
+    from repro.pe import PE
+
+    pe = PE()
+    pe.run(assemble(f"li r1, {value}\nhalt"))
+    assert pe.regs[1] == value

@@ -1,0 +1,98 @@
+"""ProgramBuilder tests."""
+
+import pytest
+
+from repro.errors import AssemblerError, SimulationError
+from repro.isa import Opcode, ProgramBuilder
+from repro.isa.instructions import INSTRUCTION_BUFFER_ENTRIES
+
+
+class TestRegisters:
+    def test_allocation_starts_at_r1(self):
+        b = ProgramBuilder()
+        assert b.alloc_reg() == 1
+        assert b.alloc_reg() == 2
+
+    def test_named_lookup(self):
+        b = ProgramBuilder()
+        reg = b.alloc_reg("ptr")
+        assert b.reg("ptr") == reg
+
+    def test_duplicate_name_rejected(self):
+        b = ProgramBuilder()
+        b.alloc_reg("x")
+        with pytest.raises(AssemblerError):
+            b.alloc_reg("x")
+
+    def test_exhaustion(self):
+        b = ProgramBuilder()
+        for _ in range(63):
+            b.alloc_reg()
+        with pytest.raises(AssemblerError):
+            b.alloc_reg()
+
+    def test_free_registers(self):
+        b = ProgramBuilder()
+        before = b.free_registers
+        b.alloc_reg()
+        assert b.free_registers == before - 1
+
+
+class TestEmission:
+    def test_label_resolution(self):
+        b = ProgramBuilder()
+        b.movi(1, 0)
+        top = b.label("top")
+        b.add(1, 1, imm=1)
+        b.blt(1, 2, top)
+        b.halt()
+        program = b.build()
+        assert program[2].imm == 1
+
+    def test_forward_label(self):
+        b = ProgramBuilder()
+        b.jmp("end")
+        b.nop()
+        b.label("end")
+        b.halt()
+        assert b.build()[0].imm == 2
+
+    def test_unresolved_label_fails_at_build(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(AssemblerError):
+            b.build()
+
+    def test_movi_expands_large_values(self):
+        b = ProgramBuilder()
+        b.movi(1, 1 << 35)
+        assert len(b.build()) == 3
+
+    def test_alu_needs_exactly_one_source(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError):
+            b.alu("add", 1, 2)
+        with pytest.raises(AssemblerError):
+            b.alu("add", 1, 2, rs2=3, imm=4)
+
+    def test_set_vl_variants(self):
+        b = ProgramBuilder()
+        b.set_vl(16)
+        b.set_vl(reg=4)
+        program_instrs = b._instructions
+        assert program_instrs[0].imm == 16
+        assert program_instrs[1].rs1 == 4
+
+    def test_program_size_limit_enforced(self):
+        b = ProgramBuilder()
+        for _ in range(INSTRUCTION_BUFFER_ENTRIES + 1):
+            b.nop()
+        with pytest.raises(SimulationError):
+            b.build()
+
+    def test_mv_emission(self):
+        b = ProgramBuilder()
+        b.mv("add", "min", dst=1, matrix=2, vector=3, width=16)
+        instr = b.build()[0]
+        assert instr.opcode is Opcode.MV
+        assert (instr.vop, instr.hop) == ("add", "min")

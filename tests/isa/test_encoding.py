@@ -1,0 +1,94 @@
+"""Binary encoding round-trip tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import Instruction, Opcode, decode, encode
+from repro.isa.encoding import IMM_MAX, IMM_MIN, decode_program, encode_program
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    ELEMENTWISE_OPS,
+    HORIZONTAL_OPS,
+    SCALAR_OPS,
+    VERTICAL_OPS,
+    WIDTHS,
+)
+
+_reg = st.integers(0, 63)
+
+
+@st.composite
+def instructions(draw):
+    """Random valid instructions across all opcode groups."""
+    kind = draw(st.sampled_from(["mv", "vv", "vs", "alu", "alui", "movi",
+                                 "branch", "jmp", "ldsram", "ldreg", "bare",
+                                 "setvl"]))
+    width = draw(st.sampled_from(WIDTHS))
+    imm = draw(st.integers(IMM_MIN, IMM_MAX))
+    if kind == "mv":
+        return Instruction(Opcode.MV, width=width, rd=draw(_reg), rs1=draw(_reg),
+                           rs2=draw(_reg), vop=draw(st.sampled_from(VERTICAL_OPS)),
+                           hop=draw(st.sampled_from(HORIZONTAL_OPS)))
+    if kind in ("vv", "vs"):
+        return Instruction(Opcode.VV if kind == "vv" else Opcode.VS, width=width,
+                           rd=draw(_reg), rs1=draw(_reg), rs2=draw(_reg),
+                           vop=draw(st.sampled_from(ELEMENTWISE_OPS)))
+    if kind == "alu":
+        return Instruction(Opcode.ALU, rd=draw(_reg), rs1=draw(_reg),
+                           rs2=draw(_reg), sop=draw(st.sampled_from(SCALAR_OPS)))
+    if kind == "alui":
+        return Instruction(Opcode.ALU, rd=draw(_reg), rs1=draw(_reg), imm=imm,
+                           sop=draw(st.sampled_from(SCALAR_OPS)))
+    if kind == "movi":
+        return Instruction(Opcode.MOVI, rd=draw(_reg), imm=imm)
+    if kind == "branch":
+        return Instruction(Opcode.BRANCH, rs1=draw(_reg), rs2=draw(_reg),
+                           imm=draw(st.integers(0, 1023)),
+                           sop=draw(st.sampled_from(BRANCH_OPS)))
+    if kind == "jmp":
+        return Instruction(Opcode.JMP, imm=draw(st.integers(0, 1023)))
+    if kind == "ldsram":
+        return Instruction(draw(st.sampled_from([Opcode.LD_SRAM, Opcode.ST_SRAM])),
+                           width=width, rd=draw(_reg), rs1=draw(_reg), rs2=draw(_reg))
+    if kind == "ldreg":
+        return Instruction(draw(st.sampled_from(
+            [Opcode.LD_REG, Opcode.ST_REG, Opcode.LD_FE, Opcode.ST_FE])),
+            rd=draw(_reg), rs1=draw(_reg))
+    if kind == "setvl":
+        return Instruction(draw(st.sampled_from([Opcode.SET_VL, Opcode.SET_MR])),
+                           imm=draw(st.integers(1, 4096)))
+    return Instruction(draw(st.sampled_from(
+        [Opcode.MEMFENCE, Opcode.HALT, Opcode.NOP, Opcode.V_DRAIN])))
+
+
+@given(instructions())
+def test_roundtrip(instr):
+    assert decode(encode(instr)) == instr
+
+
+@given(st.lists(instructions(), max_size=20))
+def test_program_roundtrip(instrs):
+    assert decode_program(encode_program(instrs)) == instrs
+
+
+class TestEncodeErrors:
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.JMP, label="loop"))
+
+    def test_oversized_immediate_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.MOVI, rd=1, imm=1 << 40))
+
+    def test_bad_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+    def test_bad_blob_length(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"abc")
+
+    def test_word_is_64_bits(self):
+        word = encode(Instruction(Opcode.MOVI, rd=63, imm=IMM_MIN))
+        assert 0 <= word < (1 << 64)

@@ -1,0 +1,82 @@
+"""Instruction definition and validation tests."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import Instruction, Opcode
+
+
+class TestValidation:
+    def test_valid_mv(self):
+        i = Instruction(Opcode.MV, rd=1, rs1=2, rs2=3, vop="add", hop="min")
+        assert i.mnemonic == "m.v.add.min"
+
+    def test_mv_rejects_bad_vertical(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.MV, vop="xor", hop="min")
+
+    def test_mv_rejects_bad_horizontal(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.MV, vop="add", hop="sub")
+
+    def test_vv_rejects_nop(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.VV, vop="nop")
+
+    def test_alu_requires_known_op(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.ALU, sop="mul")
+
+    def test_branch_requires_target(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.BRANCH, sop="blt")
+
+    def test_branch_with_label_ok(self):
+        Instruction(Opcode.BRANCH, sop="blt", label="loop")
+
+    def test_register_range_checked(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.MOV, rd=64, rs1=0)
+
+    def test_width_checked(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.VV, vop="add", width=24)
+
+    def test_movi_requires_immediate(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.MOVI, rd=1)
+
+
+class TestClassification:
+    def test_vector_group(self):
+        assert Instruction(Opcode.VV, vop="add").is_vector
+        assert Instruction(Opcode.V_DRAIN).is_vector
+
+    def test_loadstore_group(self):
+        assert Instruction(Opcode.LD_SRAM).is_loadstore
+        assert Instruction(Opcode.MEMFENCE).is_loadstore
+
+    def test_scalar_group(self):
+        assert Instruction(Opcode.ALU, sop="add").is_scalar
+        assert Instruction(Opcode.HALT).is_scalar
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "instr, expected",
+        [
+            (Instruction(Opcode.VV, width=16, rd=1, rs1=2, rs2=3, vop="add"),
+             "v.v.add[16] r1, r2, r3"),
+            (Instruction(Opcode.MV, width=8, rd=4, rs1=5, rs2=6, vop="mul", hop="add"),
+             "m.v.mul.add[8] r4, r5, r6"),
+            (Instruction(Opcode.ALU, rd=1, rs1=2, imm=7, sop="sll"),
+             "sll r1, r2, 7"),
+            (Instruction(Opcode.MOVI, rd=9, imm=-5), "mov.imm r9, -5"),
+            (Instruction(Opcode.JMP, imm=3), "jmp 3"),
+            (Instruction(Opcode.MEMFENCE), "memfence"),
+            (Instruction(Opcode.SET_VL, imm=16), "set.vl 16"),
+            (Instruction(Opcode.SET_VL, rs1=5), "set.vl r5"),
+        ],
+    )
+    def test_render(self, instr, expected):
+        assert instr.render() == expected

@@ -1,0 +1,186 @@
+"""BP sweep/construct/copy kernel tests: bit-exact against the reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import (
+    BPTileLayout,
+    build_construct_program,
+    build_copy_program,
+    build_sweep_program,
+    build_vault_sweep_programs,
+)
+from repro.kernels.bp_kernel import cross_extent, operand_runs, sweep_geometry
+from repro.kernels.common import split_evenly
+from repro.system import Chip
+from repro.workloads.bp import DIRECTIONS, construct_coarse, copy_messages_up
+from repro.workloads.bp.mrf import GridMRF, truncated_linear_smoothness
+from repro.workloads.bp.reference import sweep
+
+
+def make_tile(rng, rows, cols, labels):
+    mrf = GridMRF(
+        rng.integers(0, 50, (rows, cols, labels)).astype(np.int16),
+        truncated_linear_smoothness(labels, weight=8, truncation=2),
+    )
+    messages = {
+        d: rng.integers(0, 16, (rows, cols, labels)).astype(np.int16)
+        for d in DIRECTIONS
+    }
+    return mrf, messages
+
+
+class TestLayout:
+    def test_block_interleaving_roundtrip(self, rng):
+        mrf, messages = make_tile(rng, 6, 8, 8)
+        layout = BPTileLayout(base=4096, rows=6, cols=8, labels=8)
+        chip = Chip(num_pes=1)
+        layout.stage(chip.hmc.store, mrf, messages)
+        back = layout.read_messages(chip.hmc.store)
+        for d in DIRECTIONS:
+            assert np.array_equal(back[d], messages[d])
+        assert np.array_equal(layout.read_theta(chip.hmc.store), mrf.data_cost)
+
+    def test_operand_runs_down_is_single_run(self):
+        layout = BPTileLayout(base=0, rows=4, cols=4, labels=16)
+        runs = operand_runs(layout, "down")
+        assert len(runs) == 1
+        assert runs[0][1] == 4 * 32
+
+    def test_operand_runs_up_is_two_runs(self):
+        layout = BPTileLayout(base=0, rows=4, cols=4, labels=16)
+        assert len(operand_runs(layout, "up")) == 2
+
+    def test_geometry_strides(self):
+        layout = BPTileLayout(base=0, rows=4, cols=6, labels=8)
+        down = sweep_geometry(layout, "down")
+        assert down.seq_steps == 3
+        assert down.cross_stride == layout.block_bytes
+        right = sweep_geometry(layout, "right")
+        assert right.seq_steps == 5
+        assert right.cross_stride == layout.row_stride
+
+    def test_cross_extent(self):
+        layout = BPTileLayout(base=0, rows=4, cols=6, labels=8)
+        assert cross_extent(layout, "down") == 6
+        assert cross_extent(layout, "left") == 4
+
+    def test_bad_direction(self):
+        layout = BPTileLayout(base=0, rows=4, cols=4, labels=8)
+        with pytest.raises(ConfigError):
+            sweep_geometry(layout, "sideways")
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+def test_sweep_kernel_bit_exact(rng, direction):
+    rows, cols, labels = 10, 12, 8
+    mrf, messages = make_tile(rng, rows, cols, labels)
+    layout = BPTileLayout(base=4096, rows=rows, cols=cols, labels=labels)
+    chip = Chip(num_pes=4)
+    layout.stage(chip.hmc.store, mrf, messages)
+    reference = {d: m.copy() for d, m in messages.items()}
+    sweep(mrf, reference, direction)
+    chip.run(build_vault_sweep_programs(layout, direction, num_pes=4))
+    result = layout.read_messages(chip.hmc.store)
+    for d in DIRECTIONS:
+        assert np.array_equal(result[d], reference[d]), d
+
+
+def test_full_iteration_bit_exact(rng):
+    """Four sweeps back-to-back on the chip equal a reference iteration."""
+    rows, cols, labels = 8, 8, 8
+    mrf, messages = make_tile(rng, rows, cols, labels)
+    layout = BPTileLayout(base=4096, rows=rows, cols=cols, labels=labels)
+    chip = Chip(num_pes=4)
+    layout.stage(chip.hmc.store, mrf, messages)
+    reference = {d: m.copy() for d, m in messages.items()}
+    for direction in DIRECTIONS:
+        sweep(mrf, reference, direction)
+        chip.run(build_vault_sweep_programs(layout, direction, num_pes=4))
+    result = layout.read_messages(chip.hmc.store)
+    for d in DIRECTIONS:
+        assert np.array_equal(result[d], reference[d]), d
+
+
+def test_sweep_without_reduction_unit_bit_exact(rng):
+    rows, cols, labels = 6, 8, 8
+    mrf, messages = make_tile(rng, rows, cols, labels)
+    layout = BPTileLayout(base=4096, rows=rows, cols=cols, labels=labels)
+    chip = Chip(num_pes=2)
+    layout.stage(chip.hmc.store, mrf, messages)
+    reference = {d: m.copy() for d, m in messages.items()}
+    sweep(mrf, reference, "down")
+    programs = [
+        build_sweep_program(layout, "down", start, count, use_reduction_unit=False)
+        for start, count in split_evenly(cols, 2)
+    ]
+    chip.run(programs)
+    assert np.array_equal(layout.read_messages(chip.hmc.store)["down"],
+                          reference["down"])
+
+
+def test_single_pe_sweep(rng):
+    mrf, messages = make_tile(rng, 5, 6, 4)
+    layout = BPTileLayout(base=4096, rows=5, cols=6, labels=4)
+    chip = Chip(num_pes=1)
+    layout.stage(chip.hmc.store, mrf, messages)
+    reference = {d: m.copy() for d, m in messages.items()}
+    sweep(mrf, reference, "right")
+    chip.run([build_sweep_program(layout, "right", 0, 5)])
+    assert np.array_equal(layout.read_messages(chip.hmc.store)["right"],
+                          reference["right"])
+
+
+def test_too_many_pes_rejected(rng):
+    layout = BPTileLayout(base=4096, rows=3, cols=3, labels=4)
+    with pytest.raises(ConfigError):
+        build_vault_sweep_programs(layout, "down", num_pes=4)
+
+
+class TestHierarchicalKernels:
+    def test_construct_kernel_matches_reference(self, rng):
+        rows, cols, labels = 8, 8, 8
+        mrf, messages = make_tile(rng, rows, cols, labels)
+        fine = BPTileLayout(base=4096, rows=rows, cols=cols, labels=labels)
+        coarse = BPTileLayout(base=4096 + fine.total_bytes + 4096,
+                              rows=rows // 2, cols=cols // 2, labels=labels)
+        chip = Chip(num_pes=2)
+        fine.stage(chip.hmc.store, mrf, messages)
+        coarse_ref = construct_coarse(mrf)
+        zero = {d: np.zeros_like(coarse_ref.data_cost) for d in DIRECTIONS}
+        coarse.stage(chip.hmc.store, coarse_ref, zero)  # stage smoothness etc.
+        programs = [
+            build_construct_program(fine, coarse, start, count)
+            for start, count in split_evenly(coarse.rows, 2)
+        ]
+        chip.run(programs)
+        assert np.array_equal(coarse.read_theta(chip.hmc.store),
+                              coarse_ref.data_cost)
+
+    def test_copy_kernel_matches_reference(self, rng):
+        rows, cols, labels = 8, 8, 4
+        mrf, messages = make_tile(rng, rows, cols, labels)
+        fine = BPTileLayout(base=4096, rows=rows, cols=cols, labels=labels)
+        coarse = BPTileLayout(base=4096 + fine.total_bytes + 4096,
+                              rows=rows // 2, cols=cols // 2, labels=labels)
+        chip = Chip(num_pes=4)
+        coarse_mrf = construct_coarse(mrf)
+        coarse_msgs = {d: messages[d][: rows // 2, : cols // 2] for d in DIRECTIONS}
+        fine.stage(chip.hmc.store, mrf, {d: np.zeros_like(m) for d, m in messages.items()})
+        coarse.stage(chip.hmc.store, coarse_mrf, coarse_msgs)
+        programs = [
+            build_copy_program(fine, coarse, d, 0, coarse.rows)
+            for d in DIRECTIONS
+        ]
+        chip.run(programs)
+        expected = copy_messages_up(coarse_msgs)
+        result = fine.read_messages(chip.hmc.store)
+        for d in DIRECTIONS:
+            assert np.array_equal(result[d], expected[d]), d
+
+    def test_construct_requires_half_layout(self):
+        fine = BPTileLayout(base=0, rows=8, cols=8, labels=4)
+        coarse = BPTileLayout(base=100000, rows=3, cols=4, labels=4)
+        with pytest.raises(ConfigError):
+            build_construct_program(fine, coarse, 0, 3)

@@ -1,0 +1,173 @@
+"""Conv / pool / FC / accumulate kernel tests: bit-exact vs references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import sat_mul, saturate
+from repro.kernels import (
+    ConvTileLayout,
+    FCTileLayout,
+    PoolTileLayout,
+    build_accumulate_program,
+    build_conv_pass_program,
+    build_fc_partial_program,
+    build_pool_program,
+)
+from repro.memory import HMC
+from repro.pe import PE, LocalVaultMemory
+from repro.system import Chip
+from repro.workloads.cnn.reference import conv2d_vip, fc_vip, maxpool2d
+
+
+def conv_setup(rng, out_h, out_w, z, k, filters):
+    inputs = rng.integers(-30, 30, (out_h, out_w, z)).astype(np.int16)
+    weights = rng.integers(-20, 20, (filters, k, k, z)).astype(np.int16)
+    bias = rng.integers(-10, 10, filters).astype(np.int16)
+    layout = ConvTileLayout(base=4096, in_h=out_h + 2, in_w=out_w + 2, z=z, k=k,
+                            num_filters=filters, out_h=out_h, out_w=out_w)
+    hmc = HMC()
+    layout.stage(hmc.store, inputs, weights, bias)
+    return layout, hmc, inputs, weights, bias
+
+
+class TestConvKernel:
+    @pytest.mark.parametrize("shape", [(6, 8, 4, 2), (5, 5, 8, 2), (4, 4, 16, 4)])
+    def test_bit_exact(self, rng, shape):
+        out_h, out_w, z, F = shape
+        layout, hmc, inputs, weights, bias = conv_setup(rng, out_h, out_w, z, 3, F * 2)
+        for f0 in range(0, F * 2, F):
+            pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+            pe.run(build_conv_pass_program(layout, f0, F, 0, out_h, fx=4,
+                                           strip_rows=2))
+        assert np.array_equal(layout.read_output(hmc.store),
+                              conv2d_vip(inputs, weights, bias, 4))
+
+    def test_multi_pass_program(self, rng):
+        layout, hmc, inputs, weights, bias = conv_setup(rng, 6, 6, 4, 3, 8)
+        pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+        pe.run(build_conv_pass_program(layout, 0, 2, 0, 6, fx=4, strip_rows=3,
+                                       passes=4))
+        assert np.array_equal(layout.read_output(hmc.store),
+                              conv2d_vip(inputs, weights, bias, 4))
+
+    def test_row_range_subset(self, rng):
+        layout, hmc, inputs, weights, bias = conv_setup(rng, 6, 6, 4, 3, 2)
+        pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+        pe.run(build_conv_pass_program(layout, 0, 2, 2, 3, fx=4, strip_rows=2))
+        ref = conv2d_vip(inputs, weights, bias, 4)
+        assert np.array_equal(layout.read_output(hmc.store)[2:5], ref[2:5])
+
+    def test_no_relu_keeps_negatives(self, rng):
+        layout, hmc, inputs, weights, bias = conv_setup(rng, 4, 4, 4, 3, 2)
+        pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+        pe.run(build_conv_pass_program(layout, 0, 2, 0, 4, fx=4,
+                                       apply_relu=False))
+        ref = conv2d_vip(inputs, weights, bias, 4, apply_relu=False)
+        assert np.array_equal(layout.read_output(hmc.store), ref)
+        assert (ref < 0).any()
+
+    def test_filter_range_validated(self, rng):
+        layout, *_ = conv_setup(rng, 4, 4, 4, 3, 2)
+        with pytest.raises(ConfigError):
+            build_conv_pass_program(layout, 0, 2, 0, 4, passes=2)
+
+    def test_near_peak_mac_rate_vgg_geometry(self, rng):
+        """A VGG-shaped pass (z=64, F=2) should run near 4 MACs/cycle."""
+        layout, hmc, *_ = conv_setup(rng, 4, 12, 64, 3, 2)
+        pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+        result = pe.run(build_conv_pass_program(layout, 0, 2, 0, 4, fx=8,
+                                                strip_rows=2))
+        macs = 4 * 12 * 2 * 9 * 64
+        assert macs / result.cycles > 2.5
+
+
+class TestPoolKernel:
+    def test_bit_exact(self, rng):
+        inputs = rng.integers(-100, 100, (8, 12, 16)).astype(np.int16)
+        layout = PoolTileLayout(base=65536, in_h=8, in_w=12, z=16)
+        hmc = HMC()
+        layout.stage(hmc.store, inputs)
+        pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+        pe.run(build_pool_program(layout, 0, layout.out_h))
+        assert np.array_equal(layout.read_output(hmc.store), maxpool2d(inputs))
+
+    def test_row_split_across_pes(self, rng):
+        inputs = rng.integers(-100, 100, (8, 8, 8)).astype(np.int16)
+        layout = PoolTileLayout(base=8192, in_h=8, in_w=8, z=8)
+        chip = Chip(num_pes=2)
+        layout.stage(chip.hmc.store, inputs)
+        chip.run([build_pool_program(layout, 0, 2),
+                  build_pool_program(layout, 2, 2)])
+        assert np.array_equal(layout.read_output(chip.hmc.store), maxpool2d(inputs))
+
+    def test_odd_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            PoolTileLayout(base=0, in_h=7, in_w=8, z=4)
+
+
+class TestFCKernel:
+    def test_bit_exact_batch1(self, rng):
+        rows, chunk = 12, 32
+        W = rng.integers(-40, 40, (rows, chunk)).astype(np.int16)
+        X = rng.integers(-40, 40, (1, chunk)).astype(np.int16)
+        layout = FCTileLayout(base=8192, rows=rows, chunk=chunk, batch=1)
+        hmc = HMC()
+        layout.stage(hmc.store, W, X)
+        pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+        pe.run(build_fc_partial_program(layout, fx=6))
+        expected = saturate(
+            sat_mul(W, X[0][None, :], 16, frac_shift=6).sum(axis=1), 16
+        ).astype(np.int16)
+        assert np.array_equal(layout.read_partials(hmc.store)[0], expected)
+
+    def test_bit_exact_batch4(self, rng):
+        rows, chunk, batch = 8, 64, 4
+        W = rng.integers(-30, 30, (rows, chunk)).astype(np.int16)
+        X = rng.integers(-30, 30, (batch, chunk)).astype(np.int16)
+        layout = FCTileLayout(base=8192, rows=rows, chunk=chunk, batch=batch)
+        hmc = HMC()
+        layout.stage(hmc.store, W, X)
+        PE(memory=LocalVaultMemory(hmc, vault=0)).run(
+            build_fc_partial_program(layout, fx=6))
+        got = layout.read_partials(hmc.store)
+        for i in range(batch):
+            expected = saturate(
+                sat_mul(W, X[i][None, :], 16, frac_shift=6).sum(axis=1), 16
+            ).astype(np.int16)
+            assert np.array_equal(got[i], expected)
+
+    def test_chunk_budget_enforced(self):
+        with pytest.raises(ConfigError):
+            build_fc_partial_program(
+                FCTileLayout(base=0, rows=4, chunk=1024, batch=1))
+
+
+class TestAccumulateKernel:
+    def test_sums_partials_with_bias_relu(self, rng):
+        n, chunk = 256, 64
+        partials = [rng.integers(-50, 50, n).astype(np.int16) for _ in range(3)]
+        bias = rng.integers(-10, 10, chunk).astype(np.int16)
+        hmc = HMC()
+        bases = [4096 + i * 2 * n for i in range(3)]
+        for base, p in zip(bases, partials):
+            hmc.store.write_array(base, p, np.int16)
+        bias_base = 4096 + 3 * 2 * n
+        hmc.store.write_array(bias_base, bias, np.int16)
+        out_base = bias_base + 2 * chunk
+        pe = PE(memory=LocalVaultMemory(hmc, vault=0))
+        pe.run(build_accumulate_program(bases, out_base, n, bias_base, chunk,
+                                        chunk_elements=chunk))
+        acc = sum(p.astype(np.int64) for p in partials)
+        expected = np.maximum(
+            saturate(acc + np.tile(bias, n // chunk), 16), 0
+        ).astype(np.int16)
+        assert np.array_equal(hmc.store.read_array(out_base, n, np.int16), expected)
+
+    def test_needs_two_sources(self):
+        with pytest.raises(ConfigError):
+            build_accumulate_program([0], 100, 64)
+
+    def test_uneven_chunking_rejected(self):
+        with pytest.raises(ConfigError):
+            build_accumulate_program([0, 1000], 2000, 100, chunk_elements=64)

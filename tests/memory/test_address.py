@@ -1,0 +1,86 @@
+"""Address mapping tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.memory import AddressMapper, AddressMapping, MemoryConfig
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(MemoryConfig())
+
+
+class TestVaultHigh:
+    def test_vault_in_msbs(self, mapper):
+        cfg = mapper.config
+        assert mapper.vault_of(0) == 0
+        assert mapper.vault_of(cfg.vault_bytes) == 1
+        assert mapper.vault_of(cfg.vault_bytes - 1) == 0
+
+    def test_sequential_stream_hits_one_row_per_256B(self, mapper):
+        """Within one 256 B row, consecutive columns map to the same
+        (vault, bank, row)."""
+        first = mapper.decode(0)
+        for offset in range(0, 256, 32):
+            d = mapper.decode(offset)
+            assert (d.vault, d.bank, d.row) == (first.vault, first.bank, first.row)
+
+    def test_next_row_block_changes_bank(self, mapper):
+        """Sequential streams spread across banks every 256 B (bank-level
+        parallelism for streams)."""
+        a = mapper.decode(0)
+        b = mapper.decode(256)
+        assert b.bank == a.bank + 1
+        assert b.row == a.row
+
+    def test_vault_base(self, mapper):
+        assert mapper.vault_base(3) == 3 * mapper.config.vault_bytes
+
+    def test_out_of_range(self, mapper):
+        with pytest.raises(SimulationError):
+            mapper.decode(mapper.config.total_bytes)
+
+
+class TestVaultLow:
+    def test_low_bits_interleave_vaults(self):
+        cfg = MemoryConfig(address_mapping=AddressMapping.VAULT_LOW)
+        mapper = AddressMapper(cfg)
+        assert mapper.decode(0).vault == 0
+        assert mapper.decode(cfg.row_bytes).vault == 1
+
+
+class TestSplit:
+    def test_aligned_split(self, mapper):
+        pieces = mapper.split_into_columns(0, 96)
+        assert pieces == [(0, 32), (32, 32), (64, 32)]
+
+    def test_unaligned_split(self, mapper):
+        pieces = mapper.split_into_columns(16, 48)
+        assert pieces == [(16, 16), (32, 32)]
+
+    def test_empty(self, mapper):
+        assert mapper.split_into_columns(100, 0) == []
+
+
+@given(st.integers(0, (8 << 30) - 1),
+       st.sampled_from(list(AddressMapping)))
+def test_decode_encode_roundtrip(addr, scheme):
+    mapper = AddressMapper(MemoryConfig(address_mapping=scheme))
+    assert mapper.encode(mapper.decode(addr)) == addr
+
+
+@given(st.integers(0, (8 << 30) - 33), st.integers(1, 300))
+def test_split_covers_range_exactly(addr, nbytes):
+    mapper = AddressMapper(MemoryConfig())
+    pieces = mapper.split_into_columns(addr, nbytes)
+    assert sum(n for _, n in pieces) == nbytes
+    assert pieces[0][0] == addr
+    cursor = addr
+    for piece_addr, piece_len in pieces:
+        assert piece_addr == cursor
+        assert piece_len <= 32
+        # Each piece stays within one column.
+        assert piece_addr // 32 == (piece_addr + piece_len - 1) // 32
+        cursor += piece_len

@@ -1,0 +1,112 @@
+"""Bank timing-model tests."""
+
+import pytest
+
+from repro.memory import MemoryConfig, RowPolicy
+from repro.memory.bank import Bank, RefreshSchedule, TimingCycles
+
+
+@pytest.fixture
+def timing():
+    return TimingCycles.from_config(MemoryConfig())
+
+
+def make_bank(timing, policy=RowPolicy.OPEN_PAGE, write_buffering=False):
+    return Bank(timing, policy, RefreshSchedule(timing),
+                write_buffering=write_buffering)
+
+
+class TestOpenPage:
+    def test_first_access_is_a_miss(self, timing):
+        bank = make_bank(timing)
+        t_data, _ = bank.access(0.0, row=5, is_write=False)
+        assert t_data == pytest.approx(timing.tRCD + timing.tCL)
+        assert bank.open_row == 5
+
+    def test_row_hit_is_cas_only(self, timing):
+        bank = make_bank(timing)
+        bank.access(0.0, row=5, is_write=False)
+        t0 = 1000.0
+        t_data, _ = bank.access(t0, row=5, is_write=False)
+        assert t_data == pytest.approx(t0 + timing.tCL)
+        assert bank.row_hit_rate == 0.5
+
+    def test_row_miss_pays_precharge(self, timing):
+        bank = make_bank(timing)
+        bank.access(0.0, row=5, is_write=False)
+        t0 = 1000.0
+        t_data, _ = bank.access(t0, row=6, is_write=False)
+        assert t_data == pytest.approx(t0 + timing.tRP + timing.tRCD + timing.tCL)
+
+    def test_tras_respected_on_quick_row_switch(self, timing):
+        bank = make_bank(timing)
+        bank.access(0.0, row=5, is_write=False)
+        t_data, _ = bank.access(timing.tRCD + timing.tCL + 1, row=6, is_write=False)
+        # Precharge cannot start before tRAS after the activate.
+        assert t_data >= timing.tRAS + timing.tRP + timing.tRCD + timing.tCL
+
+    def test_back_to_back_hits_tccd_spaced(self, timing):
+        bank = make_bank(timing)
+        bank.access(0.0, row=5, is_write=False)
+        t1, _ = bank.access(1000.0, row=5, is_write=False)
+        t2, _ = bank.access(1000.0, row=5, is_write=False)
+        assert t2 - t1 == pytest.approx(timing.tCCD)
+
+
+class TestClosedPage:
+    def test_never_keeps_row_open(self, timing):
+        bank = make_bank(timing, RowPolicy.CLOSED_PAGE)
+        bank.access(0.0, row=5, is_write=False)
+        assert bank.open_row is None
+
+    def test_closed_slower_for_same_row_stream(self, timing):
+        open_bank = make_bank(timing)
+        closed_bank = make_bank(timing, RowPolicy.CLOSED_PAGE)
+        t_open = t_closed = 0.0
+        for _ in range(8):
+            t_open, _ = open_bank.access(t_open, row=3, is_write=False)
+            t_closed, _ = closed_bank.access(t_closed, row=3, is_write=False)
+        assert t_closed > t_open
+
+
+class TestRefresh:
+    def test_command_pushed_out_of_refresh_window(self, timing):
+        schedule = RefreshSchedule(timing)
+        inside = timing.tREFI + timing.tRFC / 2
+        assert schedule.adjust(inside) == pytest.approx(timing.tREFI + timing.tRFC)
+
+    def test_command_outside_window_unaffected(self, timing):
+        schedule = RefreshSchedule(timing)
+        outside = timing.tREFI + timing.tRFC + 5
+        assert schedule.adjust(outside) == outside
+
+    def test_refresh_closes_open_row(self, timing):
+        bank = make_bank(timing)
+        bank.access(0.0, row=5, is_write=False)
+        bank.access(timing.tREFI + timing.tRFC + 1, row=5, is_write=False)
+        # Second access crossed a refresh epoch: the row had to re-activate.
+        assert bank.stats.activations == 2
+
+    def test_longer_trfc_delays_more(self):
+        base = TimingCycles.from_config(MemoryConfig())
+        scaled = TimingCycles.from_config(
+            MemoryConfig(timing=MemoryConfig().timing.scaled_refresh(4))
+        )
+        t = scaled.tREFI + 1  # inside the (longer) refresh window
+        assert RefreshSchedule(scaled).adjust(t) - t > RefreshSchedule(base).adjust(
+            base.tREFI + 1
+        ) - (base.tREFI + 1)
+
+
+class TestWriteBuffering:
+    def test_buffered_write_keeps_row_open(self, timing):
+        bank = make_bank(timing, write_buffering=True)
+        bank.access(0.0, row=5, is_write=False)
+        bank.access(500.0, row=99, is_write=True)
+        assert bank.open_row == 5
+
+    def test_unbuffered_write_disturbs_row(self, timing):
+        bank = make_bank(timing, write_buffering=False)
+        bank.access(0.0, row=5, is_write=False)
+        bank.access(500.0, row=99, is_write=True)
+        assert bank.open_row == 99

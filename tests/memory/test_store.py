@@ -1,0 +1,51 @@
+"""Functional DRAM store tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.memory import DramStore
+
+
+class TestStore:
+    def test_zero_initialized(self):
+        store = DramStore()
+        assert not store.read(0x1234, 16).any()
+
+    def test_write_read_roundtrip(self):
+        store = DramStore()
+        store.write(100, b"hello world!")
+        assert bytes(store.read(100, 12)) == b"hello world!"
+
+    def test_cross_page_access(self):
+        store = DramStore()
+        data = np.arange(256, dtype=np.uint8)
+        store.write(4096 - 100, data)
+        assert np.array_equal(store.read(4096 - 100, 256), data)
+
+    def test_array_roundtrip(self):
+        store = DramStore()
+        values = np.array([-1, 2, -32768, 32767], dtype=np.int16)
+        store.write_array(0x2000, values)
+        assert np.array_equal(store.read_array(0x2000, 4, np.int16), values)
+
+    def test_out_of_range(self):
+        store = DramStore(size_bytes=1024)
+        with pytest.raises(SimulationError):
+            store.read(1020, 8)
+        with pytest.raises(SimulationError):
+            store.write(-1, b"x")
+
+    def test_sparse_allocation(self):
+        store = DramStore(size_bytes=8 << 30)
+        store.write(7 << 30, b"x")
+        assert store.touched_bytes == 4096
+
+
+@given(st.integers(0, 100000), st.binary(min_size=1, max_size=512))
+def test_roundtrip_property(addr, data):
+    store = DramStore(size_bytes=1 << 20)
+    addr %= (1 << 20) - len(data)
+    store.write(addr, data)
+    assert bytes(store.read(addr, len(data))) == data

@@ -1,0 +1,83 @@
+"""2D torus network tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc import NoCConfig, TorusNetwork
+
+node = st.integers(0, 31)
+
+
+@pytest.fixture
+def net():
+    return TorusNetwork(NoCConfig())
+
+
+class TestTopology:
+    def test_self_distance_zero(self, net):
+        assert net.hops(5, 5) == 0
+
+    def test_neighbor_one_hop(self, net):
+        assert net.hops(net.node(0, 0), net.node(1, 0)) == 1
+        assert net.hops(net.node(0, 0), net.node(0, 1)) == 1
+
+    def test_wraparound_shortens_paths(self, net):
+        # Column 0 to column 7 is one hop via the wrap link.
+        assert net.hops(net.node(0, 0), net.node(7, 0)) == 1
+
+    def test_max_distance(self, net):
+        """Worst case on an 8x4 torus is 4 + 2 = 6 hops."""
+        assert max(net.hops(0, d) for d in range(32)) == 6
+
+    def test_coords_roundtrip(self, net):
+        for n in range(32):
+            col, row = net.coords(n)
+            assert net.node(col, row) == n
+
+
+class TestTiming:
+    def test_latency_scales_with_hops(self, net):
+        t1 = net.transfer(0.0, 0, 1, 16)
+        net2 = TorusNetwork(NoCConfig())
+        t3 = net2.transfer(0.0, 0, 3, 16)
+        assert t3 > t1
+
+    def test_serialization_time(self, net):
+        small = net.transfer(0.0, 0, 1, 8)
+        net2 = TorusNetwork(NoCConfig())
+        large = net2.transfer(0.0, 0, 1, 800)
+        assert large - small == pytest.approx((800 - 8) / 8)
+
+    def test_link_contention(self, net):
+        first = net.transfer(0.0, 0, 1, 160)
+        second = net.transfer(0.0, 0, 1, 160)
+        assert second > first
+
+    def test_disjoint_paths_no_contention(self, net):
+        a = net.transfer(0.0, 0, 1, 160)
+        b = net.transfer(0.0, 16, 17, 160)
+        assert b == pytest.approx(a)
+
+    def test_stats(self, net):
+        net.transfer(0.0, 0, 2, 64)
+        assert net.stats.messages == 1
+        assert net.stats.total_bytes == 64
+        assert net.stats.total_hops == 2
+
+
+@given(node, node)
+def test_hops_symmetric(a, b):
+    net = TorusNetwork(NoCConfig())
+    assert net.hops(a, b) == net.hops(b, a)
+
+
+@given(node, node)
+def test_hops_bounded(a, b):
+    net = TorusNetwork(NoCConfig())
+    assert 0 <= net.hops(a, b) <= 8 // 2 + 4 // 2
+
+
+@given(node, node, st.floats(0, 1000), st.integers(1, 512))
+def test_transfer_after_start(a, b, t, nbytes):
+    net = TorusNetwork(NoCConfig())
+    assert net.transfer(t, a, b, nbytes) >= t

@@ -1,0 +1,76 @@
+"""Array Range Check interlock tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.pe.arc import ArrayRangeCheck
+
+
+class TestOverlap:
+    def test_no_entries_no_stall(self):
+        arc = ArrayRangeCheck(20)
+        assert arc.overlap_clear_time(0, 32, 10.0) == 10.0
+
+    def test_overlapping_entry_stalls(self):
+        arc = ArrayRangeCheck(20)
+        arc.insert(0, 64, clear_time=100.0, time=0.0)
+        assert arc.overlap_clear_time(32, 32, 5.0) == 100.0
+
+    def test_disjoint_entry_ignored(self):
+        arc = ArrayRangeCheck(20)
+        arc.insert(0, 32, clear_time=100.0, time=0.0)
+        assert arc.overlap_clear_time(32, 32, 5.0) == 5.0
+
+    def test_adjacent_ranges_do_not_overlap(self):
+        arc = ArrayRangeCheck(20)
+        arc.insert(0, 32, clear_time=100.0, time=0.0)
+        assert arc.overlap_clear_time(32, 1, 0.0) == 0.0
+
+    def test_expired_entries_pruned(self):
+        arc = ArrayRangeCheck(20)
+        arc.insert(0, 64, clear_time=10.0, time=0.0)
+        assert arc.overlap_clear_time(0, 64, 20.0) == 20.0
+
+    def test_latest_of_multiple_overlaps(self):
+        arc = ArrayRangeCheck(20)
+        arc.insert(0, 64, clear_time=50.0, time=0.0)
+        arc.insert(32, 64, clear_time=80.0, time=0.0)
+        assert arc.overlap_clear_time(0, 96, 0.0) == 80.0
+
+    def test_zero_length_never_stalls(self):
+        arc = ArrayRangeCheck(20)
+        arc.insert(0, 64, clear_time=50.0, time=0.0)
+        assert arc.overlap_clear_time(0, 0, 1.0) == 1.0
+
+
+class TestCapacity:
+    def test_free_below_capacity(self):
+        arc = ArrayRangeCheck(2)
+        arc.insert(0, 32, clear_time=100.0, time=0.0)
+        assert arc.earliest_free_time(0.0) == 0.0
+
+    def test_full_waits_for_earliest(self):
+        arc = ArrayRangeCheck(2)
+        arc.insert(0, 32, clear_time=50.0, time=0.0)
+        arc.insert(64, 32, clear_time=70.0, time=0.0)
+        assert arc.earliest_free_time(0.0) == 50.0
+
+    def test_peak_occupancy_tracked(self):
+        arc = ArrayRangeCheck(20)
+        for i in range(5):
+            arc.insert(i * 32, 32, clear_time=100.0, time=0.0)
+        assert arc.peak_occupancy == 5
+
+
+@given(st.lists(st.tuples(st.integers(0, 4000), st.integers(1, 96),
+                          st.floats(1, 1000)), max_size=19),
+       st.integers(0, 4000), st.integers(1, 96))
+def test_overlap_clear_time_is_max_of_overlapping(entries, start, nbytes):
+    arc = ArrayRangeCheck(20)
+    for s, n, t in entries:
+        arc.insert(s, n, clear_time=t, time=0.0)
+    result = arc.overlap_clear_time(start, nbytes, 0.0)
+    expected = max(
+        [t for s, n, t in entries if s < start + nbytes and start < s + n],
+        default=0.0,
+    )
+    assert result == max(0.0, expected)

@@ -1,0 +1,232 @@
+"""PE timing model: stalls, interlocks, pipelining."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.pe import PE, FlatMemory, PEConfig
+
+
+def cycles(pe, text):
+    return pe.run(assemble(text)).cycles
+
+
+class TestFrontEnd:
+    def test_one_instruction_per_cycle(self, pe):
+        base = cycles(pe, "halt")
+        pe.reset()
+        ten_nops = cycles(pe, "nop\n" * 10 + "halt")
+        assert ten_nops == base + 10
+
+    def test_taken_branch_penalty(self):
+        cfg = PEConfig(branch_taken_penalty=1)
+        taken = PE(cfg, memory=FlatMemory())
+        t = cycles(taken, "mov.imm r1, 0\nmov.imm r2, 1\nblt r1, r2, skip\nskip: halt")
+        not_taken = PE(cfg, memory=FlatMemory())
+        n = cycles(not_taken, "mov.imm r1, 0\nmov.imm r2, 1\nbge r1, r2, skip\nskip: halt")
+        assert t == n + 1
+
+
+class TestScoreboard:
+    def test_dependent_load_stalls(self, pe):
+        """An instruction reading a register loaded from DRAM waits for it."""
+        independent = cycles(pe, """
+            mov.imm r1, 0x1000
+            ld.reg r2, r1
+            add r3, r1, 1
+            halt
+        """)
+        pe2 = PE(memory=FlatMemory())
+        dependent = cycles(pe2, """
+            mov.imm r1, 0x1000
+            ld.reg r2, r1
+            add r3, r2, 1
+            halt
+        """)
+        assert dependent >= independent
+
+    def test_operand_stall_counted(self):
+        pe = PE(memory=FlatMemory(latency_cycles=200))
+        pe.run(assemble("""
+            mov.imm r1, 0x1000
+            ld.reg r2, r1
+            add r3, r2, 1
+            halt
+        """))
+        assert pe.counters.stall_operand > 100
+
+
+class TestVectorPipe:
+    def test_long_vector_occupies_pipe(self, pe):
+        """Two back-to-back 256-element vector ops serialize on occupancy."""
+        pe.run(assemble("""
+            set.vl 256
+            mov.imm r1, 0
+            mov.imm r2, 1024
+            mov.imm r3, 2048
+            v.v.add[16] r2, r1, r1
+            v.v.add[16] r3, r1, r1
+            v.drain
+            halt
+        """))
+        # 2 x 64 chunks plus small overheads.
+        assert pe.result().cycles >= 128
+
+    def test_hazard_stall_mode_waits(self, pe):
+        pe.run(assemble("""
+            set.vl 64
+            mov.imm r1, 0
+            mov.imm r2, 256
+            mov.imm r3, 512
+            v.v.mul[16] r2, r1, r1
+            v.v.add[16] r3, r2, r2
+            halt
+        """))
+        assert pe.counters.stall_hazard > 0
+
+    def test_independent_ops_overlap(self):
+        """Independent vector ops should not pay each other's latency."""
+        pe = PE(memory=FlatMemory())
+        dep = PE(memory=FlatMemory())
+        common = """
+            set.vl 64
+            mov.imm r1, 0
+            mov.imm r2, 256
+            mov.imm r3, 512
+            mov.imm r4, 1024
+        """
+        t_indep = cycles(pe, common + """
+            v.v.mul[16] r2, r1, r1
+            v.v.mul[16] r4, r3, r3
+            v.drain
+            halt
+        """)
+        t_dep = cycles(dep, common + """
+            v.v.mul[16] r2, r1, r1
+            v.v.mul[16] r4, r2, r2
+            v.drain
+            halt
+        """)
+        assert t_dep > t_indep
+
+
+class TestARC:
+    def test_vector_waits_for_inflight_load(self):
+        pe = PE(memory=FlatMemory(latency_cycles=300))
+        pe.run(assemble("""
+            set.vl 16
+            mov.imm r1, 0
+            mov.imm r2, 0x1000
+            mov.imm r3, 16
+            ld.sram[16] r1, r2, r3
+            v.v.add[16] r1, r1, r1
+            halt
+        """))
+        assert pe.counters.stall_arc + pe.counters.stall_hazard > 200
+
+    def test_arc_capacity_stalls_loads(self):
+        cfg = PEConfig(arc_entries=2)
+        pe = PE(cfg, memory=FlatMemory(latency_cycles=500))
+        program = ["set.vl 16", "mov.imm r3, 16"]
+        for i in range(4):
+            program.append(f"mov.imm r1, {i * 64}")
+            program.append(f"mov.imm r2, {0x1000 + i * 64}")
+            program.append("ld.sram[16] r1, r2, r3")
+        program.append("halt")
+        pe.run(assemble("\n".join(program)))
+        assert pe.counters.stall_arc > 0
+
+
+class TestLSU:
+    def test_outstanding_limit(self):
+        cfg = PEConfig(max_outstanding_mem=2)
+        pe = PE(cfg, memory=FlatMemory(latency_cycles=400))
+        program = ["mov.imm r2, 0x1000"]
+        for i in range(6):
+            program.append(f"st.reg r0, r2")
+        program.append("halt")
+        pe.run(assemble("\n".join(program)))
+        assert pe.counters.stall_lsu > 0
+
+    def test_memfence_waits_for_stores(self):
+        mem = FlatMemory(latency_cycles=250)
+        pe = PE(memory=mem)
+        with_fence = cycles(pe, """
+            mov.imm r1, 7
+            mov.imm r2, 0x1000
+            st.reg r1, r2
+            memfence
+            halt
+        """)
+        assert with_fence >= 250
+
+
+class TestPrefetchHidesLatency:
+    def test_software_pipelining_wins(self):
+        """Issuing the load early (prefetch) must beat loading on demand."""
+        naive = PE(memory=FlatMemory(latency_cycles=100))
+        t_naive = cycles(naive, """
+            set.vl 16
+            mov.imm r3, 16
+            mov.imm r1, 0
+            mov.imm r2, 0x1000
+            ld.sram[16] r1, r2, r3
+            v.v.add[16] r1, r1, r1
+            mov.imm r4, 64
+            mov.imm r5, 0x2000
+            ld.sram[16] r4, r5, r3
+            v.v.add[16] r4, r4, r4
+            halt
+        """)
+        pipelined = PE(memory=FlatMemory(latency_cycles=100))
+        t_pipe = cycles(pipelined, """
+            set.vl 16
+            mov.imm r3, 16
+            mov.imm r1, 0
+            mov.imm r2, 0x1000
+            mov.imm r4, 64
+            mov.imm r5, 0x2000
+            ld.sram[16] r1, r2, r3
+            ld.sram[16] r4, r5, r3
+            v.v.add[16] r1, r1, r1
+            v.v.add[16] r4, r4, r4
+            halt
+        """)
+        assert t_pipe < t_naive
+
+
+class TestCounters:
+    def test_vector_alu_ops_counted(self, pe):
+        pe.run(assemble("""
+            set.vl 16
+            mov.imm r1, 0
+            v.v.add[16] r1, r1, r1
+            halt
+        """))
+        assert pe.counters.vector_alu_ops == 16
+
+    def test_mv_counts_both_stages(self, pe):
+        pe.run(assemble("""
+            set.vl 16
+            set.mr 16
+            mov.imm r1, 1024
+            mov.imm r2, 0
+            mov.imm r3, 512
+            m.v.add.min[16] r1, r2, r3
+            halt
+        """))
+        assert pe.counters.vector_alu_ops == 2 * 16 * 16
+
+    def test_dram_bytes_tracked(self, pe):
+        pe.run(assemble("""
+            set.vl 16
+            mov.imm r1, 0
+            mov.imm r2, 0x1000
+            mov.imm r3, 16
+            ld.sram[16] r1, r2, r3
+            st.sram[16] r1, r2, r3
+            memfence
+            halt
+        """))
+        assert pe.counters.dram_bytes_read == 32
+        assert pe.counters.dram_bytes_written == 32

@@ -1,0 +1,73 @@
+"""Scalar ALU semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.pe.scalar_unit import branch_taken, scalar_alu, to_signed
+
+i64 = st.integers(-(1 << 63), (1 << 63) - 1)
+
+
+class TestALU:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            ("add", 2, 3, 5),
+            ("sub", 2, 3, -1),
+            ("sll", 1, 4, 16),
+            ("srl", 16, 2, 4),
+            ("sra", -16, 2, -4),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_basic(self, op, a, b, expected):
+        assert scalar_alu(op, a, b) == expected
+
+    def test_add_wraps_64_bits(self):
+        assert scalar_alu("add", (1 << 63) - 1, 1) == -(1 << 63)
+
+    def test_srl_is_logical(self):
+        assert scalar_alu("srl", -1, 60) == 15
+
+    def test_shift_amount_masked(self):
+        assert scalar_alu("sll", 1, 64) == 1
+
+    def test_unknown_op(self):
+        with pytest.raises(SimulationError):
+            scalar_alu("mul", 1, 2)
+
+
+class TestBranch:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            ("blt", 1, 2, True), ("blt", 2, 2, False), ("blt", -1, 0, True),
+            ("bge", 2, 2, True), ("bge", 1, 2, False),
+            ("beq", 5, 5, True), ("beq", 5, 6, False),
+            ("bne", 5, 6, True), ("bne", 5, 5, False),
+        ],
+    )
+    def test_comparisons(self, op, a, b, expected):
+        assert branch_taken(op, a, b) is expected
+
+    def test_unknown_branch(self):
+        with pytest.raises(SimulationError):
+            branch_taken("bgt", 1, 2)
+
+
+@given(i64, i64)
+def test_add_sub_inverse(a, b):
+    assert scalar_alu("sub", scalar_alu("add", a, b), b) == to_signed(a)
+
+
+@given(i64)
+def test_to_signed_idempotent(a):
+    assert to_signed(to_signed(a)) == to_signed(a)
+
+
+@given(i64, i64)
+def test_blt_bge_partition(a, b):
+    assert branch_taken("blt", a, b) != branch_taken("bge", a, b)

@@ -1,0 +1,122 @@
+"""Vector unit functional semantics and timing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.pe.config import PEConfig
+from repro.pe.vector_unit import (
+    ScratchpadView,
+    apply_horizontal,
+    apply_vertical,
+    vector_timing,
+)
+
+
+class TestVertical:
+    def test_add_saturates(self):
+        out = apply_vertical("add", np.array([30000]), np.array([10000]), 16, 0)
+        assert out[0] == 32767
+
+    def test_mul_with_shift(self):
+        out = apply_vertical("mul", np.array([512]), np.array([512]), 16, 8)
+        assert out[0] == 1024
+
+    def test_nop_passes_matrix(self):
+        out = apply_vertical("nop", np.array([1, 2]), np.array([9, 9]), 16, 0)
+        assert list(out) == [1, 2]
+
+    def test_min_max(self):
+        a, b = np.array([1, 5]), np.array([3, 2])
+        assert list(apply_vertical("min", a, b, 16, 0)) == [1, 2]
+        assert list(apply_vertical("max", a, b, 16, 0)) == [3, 5]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SimulationError):
+            apply_vertical("xor", np.array([1]), np.array([1]), 16, 0)
+
+
+class TestHorizontal:
+    def test_add_saturates_on_writeback(self):
+        rows = np.full((1, 4), 30000, dtype=np.int64)
+        assert apply_horizontal("add", rows, 16)[0] == 32767
+
+    def test_min_rows(self):
+        rows = np.array([[3, 1, 2], [9, 8, 7]], dtype=np.int64)
+        assert list(apply_horizontal("min", rows, 16)) == [1, 7]
+
+    def test_max_rows(self):
+        rows = np.array([[3, 1, 2]], dtype=np.int64)
+        assert apply_horizontal("max", rows, 16)[0] == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SimulationError):
+            apply_horizontal("sub", np.zeros((1, 2)), 16)
+
+
+class TestTiming:
+    def setup_method(self):
+        self.cfg = PEConfig()
+
+    def test_16bit_vector_of_16_takes_4_cycles(self):
+        t = vector_timing(self.cfg, "add", False, 16, 1, 16)
+        assert t.occupancy == 4
+
+    def test_8bit_doubles_lanes(self):
+        t = vector_timing(self.cfg, "add", False, 16, 1, 8)
+        assert t.occupancy == 2
+
+    def test_64bit_one_lane(self):
+        t = vector_timing(self.cfg, "add", False, 4, 1, 64)
+        assert t.occupancy == 4
+
+    def test_matrix_scales_by_rows(self):
+        t = vector_timing(self.cfg, "add", True, 16, 16, 16)
+        assert t.occupancy == 64
+
+    def test_mul_deeper_than_add(self):
+        mul = vector_timing(self.cfg, "mul", False, 16, 1, 16)
+        add = vector_timing(self.cfg, "add", False, 16, 1, 16)
+        assert mul.done > add.done
+
+    def test_horizontal_adds_depth(self):
+        with_h = vector_timing(self.cfg, "add", True, 16, 1, 16)
+        without = vector_timing(self.cfg, "add", False, 16, 1, 16)
+        assert with_h.done == without.done + self.cfg.horizontal_latency
+
+    def test_minimum_one_chunk(self):
+        assert vector_timing(self.cfg, "add", False, 1, 1, 16).occupancy == 1
+
+
+class TestScratchpadView:
+    def test_roundtrip(self):
+        view = ScratchpadView(np.zeros(4096, dtype=np.uint8))
+        values = np.array([1, -2, 32767, -32768], dtype=np.int64)
+        view.write_vector(100, values, 16)
+        assert list(view.read_vector(100, 4, 16)) == list(values)
+
+    def test_unaligned_access_allowed(self):
+        """The banked+swizzled scratchpad has no alignment restriction."""
+        view = ScratchpadView(np.zeros(4096, dtype=np.uint8))
+        view.write_vector(33, np.array([1234]), 16)
+        assert view.read_vector(33, 1, 16)[0] == 1234
+
+    def test_out_of_range_rejected(self):
+        view = ScratchpadView(np.zeros(4096, dtype=np.uint8))
+        with pytest.raises(SimulationError):
+            view.read_vector(4090, 8, 16)
+
+    def test_write_saturates(self):
+        view = ScratchpadView(np.zeros(64, dtype=np.uint8))
+        view.write_vector(0, np.array([100000]), 16)
+        assert view.read_vector(0, 1, 16)[0] == 32767
+
+
+@given(st.integers(0, 4064), st.lists(st.integers(-32768, 32767),
+                                      min_size=1, max_size=16))
+def test_view_roundtrip_any_offset(offset, values):
+    view = ScratchpadView(np.zeros(4096, dtype=np.uint8))
+    arr = np.array(values, dtype=np.int64)
+    view.write_vector(offset, arr, 16)
+    assert list(view.read_vector(offset, len(values), 16)) == values

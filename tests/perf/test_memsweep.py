@@ -1,0 +1,60 @@
+"""Memory-sweep machinery tests (reduced sizes; the full Figure 5 runs in
+the benchmark harness)."""
+
+import pytest
+
+from repro.memory import MemoryConfig, baseline_config, closed_page_config
+from repro.memory.timing import FIGURE5_CONFIGS
+from repro.perf.memsweep import SweepPoint, bp_sweep_point
+
+
+class TestConfigs:
+    def test_all_eight_present(self):
+        assert set(FIGURE5_CONFIGS) == {
+            "open page", "closed page", "narrow row", "wide row",
+            "fewer ranks", "more ranks", "refresh 2x", "refresh 1x",
+        }
+
+    def test_factories_build_valid_configs(self):
+        for factory in FIGURE5_CONFIGS.values():
+            cfg = factory()
+            assert isinstance(cfg, MemoryConfig)
+            assert cfg.total_bytes == 8 << 30
+
+    def test_refresh_scaling(self):
+        base = baseline_config().timing
+        slow = FIGURE5_CONFIGS["refresh 1x"]().timing
+        assert slow.tREFI == pytest.approx(4 * base.tREFI)
+        assert slow.tRFC == pytest.approx(4 * base.tRFC)
+
+    def test_row_width_scaling(self):
+        narrow = FIGURE5_CONFIGS["narrow row"]()
+        wide = FIGURE5_CONFIGS["wide row"]()
+        assert narrow.row_bytes == 64
+        assert wide.row_bytes == 1024
+
+
+class TestSweepPoints:
+    def test_bp_point_fields(self, monkeypatch):
+        # Shrink the model via monkeypatching its constructor defaults.
+        from repro.perf import memsweep
+
+        def small_bp_point(name, memory):
+            from repro.perf.extrapolate import BPPerformanceModel
+            model = BPPerformanceModel(image_rows=64, image_cols=128, labels=4,
+                                       memory=memory)
+            result = model.measure()
+            return SweepPoint(name, "bp", result.iteration_ms, 1.0)
+
+        point = small_bp_point("open page", baseline_config())
+        assert point.time_ms > 0
+
+    def test_closed_page_slower_small_scale(self):
+        """Even at reduced scale, closed-page must cost BP time."""
+        from repro.perf.extrapolate import BPPerformanceModel
+        open_model = BPPerformanceModel(image_rows=64, image_cols=128, labels=8,
+                                        memory=baseline_config())
+        closed_model = BPPerformanceModel(image_rows=64, image_cols=128, labels=8,
+                                          memory=closed_page_config())
+        assert (closed_model.measure().iteration_ms
+                > open_model.measure().iteration_ms)

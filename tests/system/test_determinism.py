@@ -1,0 +1,65 @@
+"""Simulator invariants: determinism, reset, result accounting."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.pe import PE, FlatMemory
+from repro.system import Chip
+from repro.workloads.bp import stereo_mrf
+from repro.workloads.bp.runner import run_bpm_on_chip
+
+
+def test_single_pe_runs_are_deterministic():
+    program = assemble("""
+        set.vl 16
+        mov.imm r1, 0
+        mov.imm r2, 0x1000
+        mov.imm r3, 16
+        ld.sram[16] r1, r2, r3
+        v.v.add[16] r1, r1, r1
+        st.sram[16] r1, r2, r3
+        memfence
+        halt
+    """)
+    cycles = {PE(memory=FlatMemory()).run(program).cycles for _ in range(3)}
+    assert len(cycles) == 1
+
+
+def test_chip_runs_are_deterministic():
+    mrf, _ = stereo_mrf(8, 8, labels=4, seed=5)
+    a = run_bpm_on_chip(mrf, iterations=1)
+    b = run_bpm_on_chip(mrf, iterations=1)
+    assert a.cycles == b.cycles
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_pe_reset_clears_everything():
+    pe = PE(memory=FlatMemory())
+    pe.run(assemble("mov.imm r1, 7\nset.vl 16\nset.mr 8\nset.fx 3\nhalt"))
+    pe.reset()
+    assert pe.regs[1] == 0
+    assert (pe.vl, pe.mr, pe.fx) == (1, 1, 0)
+    assert pe.clock == 0.0
+    assert not pe.scratchpad.any()
+
+
+def test_result_seconds_conversion():
+    pe = PE(memory=FlatMemory())
+    result = pe.run(assemble("halt"))
+    assert result.seconds(1.25) == pytest.approx(result.cycles * 0.8e-9)
+
+
+def test_chip_result_seconds():
+    chip = Chip(num_pes=1)
+    result = chip.run([assemble("nop\nhalt")])
+    assert result.seconds() == pytest.approx(result.cycles * 0.8e-9)
+
+
+def test_load_preserves_prestaged_state():
+    """PE.load keeps scratchpad/register contents so callers can stage
+    data before running (reset clears them)."""
+    pe = PE(memory=FlatMemory())
+    pe.sp.write_vector(0, np.array([42]), 16)
+    pe.run(assemble("halt"))
+    assert pe.sp.read_vector(0, 1, 16)[0] == 42

@@ -1,0 +1,85 @@
+"""Synchronization primitive tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import ProgramBuilder
+from repro.system import ChainBarrier, Chip, SyncAllocator, emit_signal, emit_wait
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        alloc = SyncAllocator(base=0x1000, limit=0x2000)
+        assert alloc.alloc(3) == [0x1000, 0x1008, 0x1010]
+        assert alloc.alloc_one() == 0x1018
+
+    def test_exhaustion(self):
+        alloc = SyncAllocator(base=0x1000, limit=0x1010)
+        alloc.alloc(2)
+        with pytest.raises(ConfigError):
+            alloc.alloc_one()
+
+    def test_alignment_required(self):
+        with pytest.raises(ConfigError):
+            SyncAllocator(base=0x1001, limit=0x2000)
+
+
+class TestSignalWait:
+    def test_signal_then_wait(self):
+        chip = Chip(num_pes=2)
+        alloc = SyncAllocator(base=0x200000, limit=0x210000)
+        addr = alloc.alloc_one()
+        producer = ProgramBuilder()
+        emit_signal(producer, addr, value=9)
+        producer.halt()
+        consumer = ProgramBuilder()
+        reg = emit_wait(consumer, addr)
+        consumer.halt()
+        chip.run([producer.build(), consumer.build()])
+        assert chip.pes[1].regs[reg] == 9
+
+
+class TestChainBarrier:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_barrier_synchronizes(self, n):
+        """No PE's post-barrier work starts before every PE arrived."""
+        chip = Chip(num_pes=n)
+        alloc = SyncAllocator(base=0x200000, limit=0x300000)
+        barrier = ChainBarrier(alloc, n)
+        builders = [ProgramBuilder() for _ in range(n)]
+        # PE i arrives after i*40 nops; all must leave after the slowest.
+        for i, b in enumerate(builders):
+            for _ in range(i * 40):
+                b.nop()
+        barrier.emit(builders)
+        for b in builders:
+            b.halt()
+        result = chip.run([b.build() for b in builders])
+        slowest_arrival = (n - 1) * 40
+        for pe_cycles in result.pe_cycles:
+            assert pe_cycles >= slowest_arrival
+
+    def test_single_participant_trivial(self):
+        alloc = SyncAllocator(base=0x200000, limit=0x210000)
+        barrier = ChainBarrier(alloc, 1)
+        b = ProgramBuilder()
+        barrier.emit([b])
+        b.halt()
+        assert len(b.build()) == 1  # just the halt
+
+    def test_wrong_builder_count(self):
+        alloc = SyncAllocator(base=0x200000, limit=0x210000)
+        barrier = ChainBarrier(alloc, 3)
+        with pytest.raises(ConfigError):
+            barrier.emit([ProgramBuilder()])
+
+    def test_two_consecutive_barriers(self):
+        chip = Chip(num_pes=2)
+        alloc = SyncAllocator(base=0x200000, limit=0x300000)
+        barrier = ChainBarrier(alloc, 2)
+        builders = [ProgramBuilder() for _ in range(2)]
+        barrier.emit(builders)
+        barrier.emit(builders)
+        for b in builders:
+            b.halt()
+        chip.run([b.build() for b in builders])  # must not deadlock

@@ -1,0 +1,124 @@
+"""Unit and property tests for dynamic fixed-point arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import (
+    DTYPES,
+    FixedPointFormat,
+    choose_frac_bits,
+    from_fixed,
+    int_bounds,
+    sat_add,
+    sat_mul,
+    sat_sub,
+    saturate,
+    to_fixed,
+)
+
+
+class TestBounds:
+    def test_int16_bounds(self):
+        assert int_bounds(16) == (-32768, 32767)
+
+    def test_int8_bounds(self):
+        assert int_bounds(8) == (-128, 127)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            int_bounds(12)
+
+
+class TestFormat:
+    def test_resolution(self):
+        assert FixedPointFormat(16, 8).resolution == 1 / 256
+
+    def test_range(self):
+        fmt = FixedPointFormat(16, 0)
+        assert fmt.max_value == 32767
+        assert fmt.min_value == -32768
+
+    def test_invalid_frac(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, 16)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(12, 4)
+
+    def test_with_frac(self):
+        assert FixedPointFormat(16, 8).with_frac(4).frac == 4
+
+
+class TestConversion:
+    def test_roundtrip_exact_values(self):
+        fmt = FixedPointFormat(16, 8)
+        values = np.array([0.0, 1.0, -1.0, 0.5, -0.25, 100.0])
+        assert np.allclose(from_fixed(to_fixed(values, fmt), fmt), values)
+
+    def test_saturates_large_values(self):
+        fmt = FixedPointFormat(16, 8)
+        assert to_fixed(1e9, fmt) == 32767
+        assert to_fixed(-1e9, fmt) == -32768
+
+    def test_quantization_error_bounded(self, rng):
+        fmt = FixedPointFormat(16, 10)
+        values = rng.uniform(-10, 10, 100)
+        error = np.abs(from_fixed(to_fixed(values, fmt), fmt) - values)
+        assert error.max() <= fmt.resolution / 2 + 1e-12
+
+
+class TestSaturatingOps:
+    def test_sat_add_overflow(self):
+        assert sat_add(30000, 10000, 16) == 32767
+
+    def test_sat_add_underflow(self):
+        assert sat_sub(-30000, 10000, 16) == -32768
+
+    def test_sat_mul_shift(self):
+        assert sat_mul(256, 256, 16, frac_shift=8) == 256
+
+    def test_sat_mul_no_shift_saturates(self):
+        assert sat_mul(1000, 1000, 16) == 32767
+
+    def test_elementwise(self):
+        out = sat_add(np.array([1, 2]), np.array([3, 4]), 16)
+        assert list(out) == [4, 6]
+
+
+@given(st.integers(-100000, 100000), st.integers(-100000, 100000))
+def test_sat_add_always_in_range(a, b):
+    result = int(sat_add(a, b, 16))
+    assert -32768 <= result <= 32767
+    # Saturating add equals exact add when in range.
+    if -32768 <= a + b <= 32767:
+        assert result == a + b
+
+
+@given(st.integers(-32768, 32767), st.integers(-32768, 32767),
+       st.integers(0, 15))
+def test_sat_mul_matches_exact_when_in_range(a, b, shift):
+    exact = (a * b) >> shift
+    result = int(sat_mul(a, b, 16, frac_shift=shift))
+    if -32768 <= exact <= 32767:
+        assert result == exact
+    else:
+        assert result in (-32768, 32767)
+
+
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=20))
+def test_choose_frac_bits_avoids_saturation(values):
+    arr = np.array(values)
+    frac = choose_frac_bits(arr, 16)
+    fixed = to_fixed(arr, FixedPointFormat(16, frac))
+    lo, hi = int_bounds(16)
+    # No element should be pinned to a saturation rail.
+    assert not np.any(fixed == hi)
+    assert not np.any(fixed == lo)
+
+
+@given(st.sampled_from([8, 16, 32]), st.integers(-10**9, 10**9))
+def test_saturate_idempotent(bits, value):
+    once = int(saturate(value, bits))
+    assert int(saturate(once, bits)) == once

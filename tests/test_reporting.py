@@ -1,0 +1,26 @@
+"""Reporting helpers."""
+
+from repro.reporting import compare_row, render_series, render_table
+
+
+def test_render_table_aligned():
+    text = render_table("T", ("a", "bb"), [(1, 2.5), ("x", "y")])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert len(lines) == 6
+
+
+def test_render_table_empty():
+    text = render_table("T", ("col",), [])
+    assert "col" in text
+
+
+def test_render_series():
+    text = render_series("S", [("x", 1.5), ("y", 2.0)], unit="ms")
+    assert "x" in text and "ms" in text
+
+
+def test_compare_row_ratio():
+    name, measured, paper, ratio = compare_row("k", 10.0, 5.0)
+    assert ratio == 2.0

@@ -1,0 +1,222 @@
+"""BP workload tests: MRF, reference BP-M, stereo, hierarchical, tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.bp import (
+    DIRECTIONS,
+    GridMRF,
+    construct_coarse,
+    copy_messages_up,
+    decode_labels,
+    disparity_accuracy,
+    fullhd_tile_grid,
+    iteration,
+    message_update_count,
+    ops_per_message_update,
+    potts_smoothness,
+    ring_order,
+    run_bpm,
+    run_hierarchical_bpm,
+    stereo_mrf,
+    sweep,
+    truncated_linear_smoothness,
+)
+from repro.workloads.bp.reference import message_from, normalize
+from repro.workloads.bp.tiling import TileGrid
+
+
+class TestMRF:
+    def test_shapes_validated(self):
+        with pytest.raises(ConfigError):
+            GridMRF(np.zeros((4, 4), np.int16), np.zeros((2, 2), np.int16))
+        with pytest.raises(ConfigError):
+            GridMRF(np.zeros((4, 4, 3), np.int16), np.zeros((2, 2), np.int16))
+
+    def test_energy_of_uniform_labeling(self):
+        mrf = GridMRF(np.zeros((3, 3, 2), np.int16), potts_smoothness(2, penalty=7))
+        assert mrf.energy(np.zeros((3, 3), int)) == 0
+        checker = np.indices((3, 3)).sum(axis=0) % 2
+        assert mrf.energy(checker) == 7 * mrf.num_edges
+
+    def test_num_edges(self):
+        mrf = GridMRF(np.zeros((3, 4, 2), np.int16), potts_smoothness(2))
+        assert mrf.num_edges == 3 * 3 + 4 * 2
+
+    def test_smoothness_models(self):
+        s = truncated_linear_smoothness(4, weight=3, truncation=2)
+        assert s[0, 0] == 0 and s[0, 1] == 3 and s[0, 3] == 6
+        p = potts_smoothness(3, penalty=9)
+        assert p[1, 1] == 0 and p[0, 2] == 9
+
+
+class TestReference:
+    def test_strong_unary_dominates(self):
+        dc = np.full((4, 4, 3), 100, np.int16)
+        dc[:, :, 2] = 0
+        mrf = GridMRF(dc, truncated_linear_smoothness(3))
+        labels, _ = run_bpm(mrf, 3)
+        assert (labels == 2).all()
+
+    def test_messages_stay_bounded(self, small_mrf):
+        """Normalization bounds messages to [0, max(S)] forever."""
+        mrf, messages = small_mrf
+        messages = {d: np.zeros_like(m) for d, m in messages.items()}
+        for _ in range(10):
+            iteration(mrf, messages)
+        smax = int(mrf.smoothness.max())
+        for d in DIRECTIONS:
+            assert messages[d].min() >= 0
+            assert messages[d].max() <= smax
+
+    def test_bp_reduces_energy_on_noisy_input(self, rng):
+        mrf, scene = stereo_mrf(24, 32, labels=6, seed=5)
+        noisy = mrf.data_cost.astype(np.int64) + rng.integers(0, 40, mrf.data_cost.shape)
+        noisy_mrf = GridMRF(np.clip(noisy, -32768, 32767).astype(np.int16),
+                            mrf.smoothness)
+        labels0 = noisy_mrf.data_cost.argmin(axis=-1)
+        labels, _ = run_bpm(noisy_mrf, 5)
+        assert noisy_mrf.energy(labels) < noisy_mrf.energy(labels0)
+
+    def test_sweep_only_touches_its_direction(self, small_mrf):
+        mrf, messages = small_mrf
+        before = {d: m.copy() for d, m in messages.items()}
+        sweep(mrf, messages, "down")
+        for d in DIRECTIONS:
+            if d == "down":
+                assert not np.array_equal(messages[d], before[d])
+            else:
+                assert np.array_equal(messages[d], before[d])
+
+    def test_unknown_direction(self, small_mrf):
+        mrf, messages = small_mrf
+        with pytest.raises(ConfigError):
+            sweep(mrf, messages, "diagonal")
+
+    def test_counts(self):
+        mrf = GridMRF(np.zeros((10, 20, 4), np.int16), potts_smoothness(4))
+        # ~4 * Ix * Iy per iteration (edge rows/cols slightly fewer).
+        assert message_update_count(mrf, 1) == 2 * 9 * 20 + 2 * 19 * 10
+        assert ops_per_message_update(16) == 3 * 16 + 2 * 256
+
+    def test_normalize_zero_min(self):
+        x = np.array([[5, 3, 9]], dtype=np.int64)
+        assert normalize(x).min() == 0
+
+    def test_message_from_uses_smoothness_rows(self):
+        theta_hat = np.array([0, 100], dtype=np.int64)
+        smoothness = np.array([[1, 2], [3, 4]], dtype=np.int16)
+        out = message_from(theta_hat, smoothness)
+        assert list(out) == [1, 3]
+
+
+class TestStereo:
+    def test_scene_consistency(self):
+        mrf, scene = stereo_mrf(16, 32, labels=8, seed=1)
+        assert scene.true_disparity.max() < 8
+        # Noise-free scene: data costs alone recover disparity well.
+        labels0 = mrf.data_cost.argmin(axis=-1)
+        assert disparity_accuracy(labels0, scene.true_disparity) > 0.9
+
+    def test_bp_keeps_accuracy(self):
+        mrf, scene = stereo_mrf(24, 32, labels=8, seed=2)
+        labels, _ = run_bpm(mrf, 4)
+        assert disparity_accuracy(labels, scene.true_disparity) > 0.9
+
+    def test_costs_capped(self):
+        mrf, _ = stereo_mrf(8, 8, labels=4, seed=0)
+        assert mrf.data_cost.max() <= 50
+
+    def test_labels_validated(self):
+        with pytest.raises(ConfigError):
+            stereo_mrf(8, 8, labels=1)
+
+
+class TestHierarchical:
+    def test_construct_halves_dimensions(self, small_mrf):
+        mrf, _ = small_mrf
+        coarse = construct_coarse(mrf)
+        assert (coarse.rows, coarse.cols) == (mrf.rows // 2, mrf.cols // 2)
+
+    def test_construct_sums_children(self):
+        dc = np.arange(2 * 2 * 1).reshape(2, 2, 1).astype(np.int16)
+        mrf = GridMRF(dc, potts_smoothness(1, 0))
+        assert construct_coarse(mrf).data_cost[0, 0, 0] == dc.sum()
+
+    def test_odd_dimensions_rejected(self):
+        mrf = GridMRF(np.zeros((3, 4, 2), np.int16), potts_smoothness(2))
+        with pytest.raises(ConfigError):
+            construct_coarse(mrf)
+
+    def test_copy_up_replicates(self):
+        msgs = {d: np.arange(4).reshape(2, 2, 1).astype(np.int16) for d in DIRECTIONS}
+        fine = copy_messages_up(msgs)
+        for d in DIRECTIONS:
+            assert fine[d].shape == (4, 4, 1)
+            assert (fine[d][0:2, 0:2, 0] == msgs[d][0, 0, 0]).all()
+
+    def test_hierarchical_quality_comparable(self):
+        mrf, scene = stereo_mrf(32, 32, labels=6, seed=3)
+        h_labels, _ = run_hierarchical_bpm(mrf, 3, 2)
+        assert disparity_accuracy(h_labels, scene.true_disparity) > 0.85
+
+
+class TestTiling:
+    def test_ring_is_hamiltonian_cycle(self):
+        order = ring_order()
+        assert sorted(order) == list(range(32))
+        from repro.noc import NoCConfig, TorusNetwork
+        net = TorusNetwork(NoCConfig())
+        for a, b in zip(order, order[1:] + order[:1]):
+            assert net.hops(a, b) == 1
+
+    def test_fullhd_grid(self):
+        grid = fullhd_tile_grid()
+        assert grid.num_tiles == 1024
+        assert grid.tiles_per_vault() == 32
+        assert grid.max_tile_shape() == (34, 60)
+
+    def test_every_row_and_column_covers_all_vaults(self):
+        grid = fullhd_tile_grid()
+        for r in range(grid.tiles_per_side):
+            vaults = {grid.vault_of_tile(r, c) for c in range(grid.tiles_per_side)}
+            assert len(vaults) == 32
+        for c in range(grid.tiles_per_side):
+            vaults = {grid.vault_of_tile(r, c) for r in range(grid.tiles_per_side)}
+            assert len(vaults) == 32
+
+    def test_adjacent_tiles_in_neighbor_vaults(self):
+        grid = fullhd_tile_grid()
+        from repro.noc import NoCConfig, TorusNetwork
+        net = TorusNetwork(NoCConfig())
+        for r in range(5):
+            for c in range(5):
+                v = grid.vault_of_tile(r, c)
+                assert net.hops(v, grid.vault_of_tile(r, c + 1)) == 1
+                assert net.hops(v, grid.vault_of_tile(r + 1, c)) == 1
+
+    def test_bounds_partition_image(self):
+        grid = TileGrid(100, 200, 32)
+        total = sum(
+            (grid.tile_bounds(r, c)[1] - grid.tile_bounds(r, c)[0])
+            * (grid.tile_bounds(r, c)[3] - grid.tile_bounds(r, c)[2])
+            for r in range(32)
+            for c in range(32)
+        )
+        assert total == 100 * 200
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 8), st.integers(2, 6),
+       st.integers(1, 3))
+def test_bpm_iteration_deterministic(rows, cols, labels, iters):
+    rng = np.random.default_rng(7)
+    mrf = GridMRF(rng.integers(0, 30, (rows, cols, labels)).astype(np.int16),
+                  truncated_linear_smoothness(labels))
+    a, _ = run_bpm(mrf, iters)
+    b, _ = run_bpm(mrf, iters)
+    assert np.array_equal(a, b)
+    assert a.shape == (rows, cols)
+    assert a.max() < labels

@@ -1,0 +1,179 @@
+"""CNN workload tests: layer algebra, VGG definitions, references, tiling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.cnn import (
+    ConvSpec,
+    FCSpec,
+    PoolSpec,
+    TensorShape,
+    conv2d,
+    conv2d_vip,
+    fc,
+    fc_vip,
+    maxpool2d,
+    plan_conv,
+    plan_fc,
+    relu,
+    vgg16,
+    vgg19,
+)
+from repro.workloads.mlp import random_mlp, run_mlp, run_mlp_vip
+from repro.fixedpoint import to_fixed
+
+
+class TestLayerAlgebra:
+    def test_conv_shape_same_padding(self):
+        spec = ConvSpec("c", in_channels=3, out_channels=8)
+        out = spec.out_shape(TensorShape(3, 32, 32))
+        assert (out.channels, out.height, out.width) == (8, 32, 32)
+
+    def test_conv_channel_mismatch(self):
+        spec = ConvSpec("c", in_channels=3, out_channels=8)
+        with pytest.raises(ConfigError):
+            spec.out_shape(TensorShape(4, 32, 32))
+
+    def test_conv_macs(self):
+        spec = ConvSpec("c", in_channels=2, out_channels=4, kernel=3)
+        assert spec.macs(TensorShape(2, 8, 8)) == 8 * 8 * 4 * 9 * 2
+
+    def test_pool_shape(self):
+        out = PoolSpec("p").out_shape(TensorShape(8, 16, 16))
+        assert (out.height, out.width) == (8, 8)
+
+    def test_fc_macs(self):
+        assert FCSpec("f", 100, 10).macs() == 1000
+
+
+class TestVGG:
+    def test_vgg16_conv_macs_match_paper(self):
+        """Section II-B: VGG-16's 13 conv layers = 15.3 billion MACs."""
+        macs = vgg16().total_macs(convs_only=True)
+        assert macs == pytest.approx(15.3e9, rel=0.01)
+
+    def test_vgg16_structure(self):
+        net = vgg16()
+        assert len(net.conv_layers) == 13
+        assert len(net.pool_layers) == 5
+        assert len(net.fc_layers) == 3
+
+    def test_vgg19_has_16_convs(self):
+        assert len(vgg19().conv_layers) == 16
+
+    def test_fc6_inputs_match_paper(self):
+        """Section II-C: fc6 takes 25,088 inputs, produces 4,096."""
+        fc6 = vgg16().layer("fc6").spec
+        assert fc6.in_features == 25088
+        assert fc6.out_features == 4096
+
+    def test_weight_footprint(self):
+        # ~138M parameters * 2 bytes.
+        assert vgg16().total_weight_bytes() == pytest.approx(276e6, rel=0.02)
+
+    def test_unknown_layer(self):
+        with pytest.raises(ConfigError):
+            vgg16().layer("c9_9")
+
+    def test_batch_scales_macs_linearly(self):
+        net = vgg16()
+        assert net.total_macs(batch=3) == 3 * net.total_macs(batch=1)
+
+
+class TestReferences:
+    def test_float_conv_identity_kernel(self, rng):
+        inputs = rng.normal(size=(5, 5, 2))
+        weights = np.zeros((2, 3, 3, 2))
+        weights[0, 1, 1, 0] = 1.0
+        weights[1, 1, 1, 1] = 1.0
+        out = conv2d(inputs, weights, np.zeros(2))
+        assert np.allclose(out, inputs)
+
+    def test_maxpool(self):
+        x = np.arange(16).reshape(4, 4, 1)
+        out = maxpool2d(x)
+        assert out[0, 0, 0] == 5 and out[1, 1, 0] == 15
+
+    def test_relu(self):
+        assert list(relu(np.array([-1, 0, 2]))) == [0, 0, 2]
+
+    def test_fixed_conv_tracks_float(self, rng):
+        """Quantized conv should approximate the float conv."""
+        inputs_f = rng.uniform(-1, 1, (6, 6, 4))
+        weights_f = rng.uniform(-0.2, 0.2, (3, 3, 3, 4))
+        bias_f = rng.uniform(-0.1, 0.1, 3)
+        fx = 8
+        q = lambda x: to_fixed(x, __import__("repro.fixedpoint", fromlist=["FixedPointFormat"]).FixedPointFormat(16, fx))
+        out_fixed = conv2d_vip(q(inputs_f), q(weights_f), q(bias_f), fx,
+                               apply_relu=False).astype(np.float64) / (1 << fx)
+        out_float = conv2d(inputs_f, weights_f, bias_f)
+        assert np.abs(out_fixed - out_float).max() < 0.2
+
+    def test_fc_vip_chunked_equals_unchunked_without_saturation(self, rng):
+        w = rng.integers(-10, 10, (8, 64)).astype(np.int16)
+        x = rng.integers(-10, 10, 64).astype(np.int16)
+        b = rng.integers(-5, 5, 8).astype(np.int16)
+        full = fc_vip(x, w, b, fx=4, chunk=None)
+        chunked = fc_vip(x, w, b, fx=4, chunk=16)
+        assert np.array_equal(full, chunked)
+
+    def test_fc_float(self):
+        w = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert list(fc(np.array([1.0, 1.0]), w, np.zeros(2))) == [3.0, 7.0]
+
+
+class TestMLP:
+    def test_float_forward(self):
+        layers = random_mlp([10, 8, 4], seed=0)
+        out = run_mlp(layers, np.ones(10))
+        assert out.shape == (4,)
+
+    def test_fixed_forward_shapes(self, rng):
+        layers = random_mlp([16, 8, 4], seed=1)
+        for l in layers:
+            l.weights = to_fixed(l.weights)
+            l.bias = to_fixed(l.bias)
+        out = run_mlp_vip(layers, rng.integers(-20, 20, 16).astype(np.int16), fx=8)
+        assert out.shape == (4,)
+        assert out.dtype == np.int16
+
+
+class TestPlacement:
+    def test_c1_1_fits_all_filters(self):
+        """Section IV-B: layer 1's 64 filters fit in one scratchpad."""
+        placement = plan_conv(vgg16().layers[0])
+        assert placement.filters_per_load == 64
+        assert placement.z_shards == 1
+
+    def test_vgg_64ch_layers_hold_two_filters(self):
+        placement = plan_conv(vgg16().layer("c1_2"))
+        assert placement.filters_per_load == 2
+
+    def test_c5_uses_half_the_vaults(self):
+        """Section IV-B: 14x14 features use half the vaults."""
+        placement = plan_conv(vgg16().layer("c5_1"))
+        assert placement.vaults_used == 16
+
+    def test_large_z_shards(self):
+        layer = vgg16().layer("c4_1")
+        placement = plan_conv(layer)
+        assert placement.z_shards > 1
+        assert placement.shard_channels * placement.z_shards == layer.spec.in_channels
+
+    def test_scratchpad_budget_respected(self):
+        for layer in vgg16().conv_layers:
+            p = plan_conv(layer)
+            spec = layer.spec
+            filters = p.filters_per_load * spec.kernel**2 * p.shard_channels * 2
+            ring = spec.kernel * (p.strip_rows + spec.kernel - 1) * p.shard_channels * 2
+            assert filters + ring <= 4096
+
+    def test_plan_fc(self):
+        placement = plan_fc(4096, 25088, "fc6")
+        assert placement.vaults_used == 32
+        assert placement.rows_per_vault * 4 >= 4096
+
+    def test_plan_conv_rejects_non_conv(self):
+        with pytest.raises(ConfigError):
+            plan_conv(vgg16().layer("p1"))

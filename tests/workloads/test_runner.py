@@ -1,0 +1,31 @@
+"""On-chip BP runner tests."""
+
+import numpy as np
+
+from repro.workloads.bp import run_bpm, stereo_mrf
+from repro.workloads.bp.runner import run_bpm_on_chip
+
+
+def test_runner_matches_reference():
+    mrf, _ = stereo_mrf(10, 12, labels=4, seed=2)
+    on_chip = run_bpm_on_chip(mrf, iterations=2)
+    ref_labels, ref_messages = run_bpm(mrf, 2)
+    assert np.array_equal(on_chip.labels, ref_labels)
+    for d, m in ref_messages.items():
+        assert np.array_equal(on_chip.messages[d], m)
+
+
+def test_runner_reports_time():
+    mrf, _ = stereo_mrf(8, 8, labels=4, seed=2)
+    result = run_bpm_on_chip(mrf, iterations=1)
+    assert result.cycles > 0
+    assert result.milliseconds == result.cycles / 1.25e9 * 1e3
+    assert result.iterations == 1
+
+
+def test_runner_accepts_warm_messages():
+    mrf, _ = stereo_mrf(8, 8, labels=4, seed=3)
+    warm = run_bpm_on_chip(mrf, iterations=1)
+    resumed = run_bpm_on_chip(mrf, iterations=1, messages=warm.messages)
+    ref_labels, _ = run_bpm(mrf, 2)
+    assert np.array_equal(resumed.labels, ref_labels)
