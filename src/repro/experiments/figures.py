@@ -14,6 +14,7 @@ from repro.perf.extrapolate import (
     CNNPerformanceModel,
     HierarchicalBPModel,
 )
+from repro.pe.counters import PECounters
 from repro.perf.memsweep import SweepPoint, run_figure5
 from repro.perf.roofline import Roofline, RooflinePoint, point_from_counters
 from repro.reporting import render_series
@@ -61,9 +62,7 @@ def figure3a(bp: BPPerformanceModel | None = None,
     h = hier.measure()
     points = []
     for label, result in (("fhd", fhd), ("qhd", qhd)):
-        counters = result.sweep_counters[DIRECTIONS[0]]
-        for d in DIRECTIONS[1:]:
-            counters = counters.merge(result.sweep_counters[d])
+        counters = PECounters.sum(result.sweep_counters[d] for d in DIRECTIONS)
         cycles = sum(result.sweep_cycles.values())
         points.append(point_from_counters(label, counters, cycles))
     tiles = bp.grid.tiles_per_vault()

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.memory.timing import DramTiming, MemoryConfig, RowPolicy
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,9 @@ class Bank:
     t_last_act: float = -1e18
     _last_epoch: int = 0
     stats: BankStats = field(default_factory=BankStats)
+    vault_id: int = 0
+    bank_id: int = 0
+    trace: TraceSink = NULL_TRACE
 
     def access(self, time: float, row: int, is_write: bool) -> tuple[float, float]:
         """Issue one column access to ``row`` at (or after) ``time``.
@@ -113,8 +117,13 @@ class Bank:
         start on the data TSVs (bus arbitration happens in the vault), and
         when the bank can take its next command.
         """
+        traced = self.trace.enabled
         t = max(time, self.t_next_cmd)
-        t = self.refresh.adjust(t)
+        adjusted = self.refresh.adjust(t)
+        if traced and adjusted > t:
+            self.trace.dram(self.vault_id, self.bank_id, "dram.refresh",
+                            t, adjusted - t, row, is_write)
+        t = adjusted
 
         if is_write and self.write_buffering:
             # Buffered write: acknowledged at CAS timing; the row impact is
@@ -123,6 +132,9 @@ class Bank:
             self.stats.row_hits += 1
             t_data = t + self.timing.tCL
             self.t_next_cmd = t + self.timing.tCCD
+            if traced:
+                self.trace.dram(self.vault_id, self.bank_id, "dram.hit",
+                                t, t_data - t, row, is_write)
             return t_data, self.t_next_cmd
 
         # Refresh closes any open row.
@@ -133,6 +145,7 @@ class Bank:
 
         self.stats.accesses += 1
         hit = self.policy is RowPolicy.OPEN_PAGE and self.open_row == row
+        conflict = not hit and self.open_row is not None
         if hit:
             self.stats.row_hits += 1
             t_cas = t
@@ -148,6 +161,10 @@ class Bank:
             t_cas = t_act + self.timing.tRCD
 
         t_data = t_cas + self.timing.tCL
+        if traced:
+            kind = "dram.hit" if hit else ("dram.conflict" if conflict else "dram.act")
+            self.trace.dram(self.vault_id, self.bank_id, kind, t, t_data - t,
+                            row, is_write)
         self.t_next_cmd = t_cas + self.timing.tCCD
 
         if self.policy is RowPolicy.CLOSED_PAGE:

@@ -18,16 +18,21 @@ from repro.memory.address import AddressMapper
 from repro.memory.store import DramStore
 from repro.memory.timing import MemoryConfig
 from repro.memory.vault import VaultController
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 class HMC:
     """Functional + timing model of the stacked memory."""
 
-    def __init__(self, config: MemoryConfig | None = None, store: DramStore | None = None):
+    def __init__(self, config: MemoryConfig | None = None, store: DramStore | None = None,
+                 trace: TraceSink = NULL_TRACE):
         self.config = config or MemoryConfig()
         self.store = store or DramStore(self.config.total_bytes)
         self.mapper = AddressMapper(self.config)
-        self.vaults = [VaultController(self.config) for _ in range(self.config.vaults)]
+        self.vaults = [
+            VaultController(self.config, vault_id=v, trace=trace)
+            for v in range(self.config.vaults)
+        ]
 
     def vault_of(self, addr: int) -> int:
         return self.mapper.vault_of(addr)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.memory.bank import Bank, RefreshSchedule, TimingCycles
 from repro.memory.timing import MemoryConfig
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 @dataclass
@@ -40,14 +41,17 @@ class VaultStats:
 class VaultController:
     """Timing model for one vault: banks + shared data bus + queue bound."""
 
-    def __init__(self, config: MemoryConfig):
+    def __init__(self, config: MemoryConfig, vault_id: int = 0,
+                 trace: TraceSink = NULL_TRACE):
         self.config = config
+        self.vault_id = vault_id
         self.timing = TimingCycles.from_config(config)
         self.refresh = RefreshSchedule(self.timing)
         self.banks = [
             Bank(self.timing, config.row_policy, self.refresh,
-                 write_buffering=config.write_buffering)
-            for _ in range(config.banks_per_vault)
+                 write_buffering=config.write_buffering,
+                 vault_id=vault_id, bank_id=b, trace=trace)
+            for b in range(config.banks_per_vault)
         ]
         self.t_bus_free = 0.0
         self.stats = VaultStats()

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 @dataclass(frozen=True)
@@ -51,11 +52,13 @@ class NoCStats:
 class TorusNetwork:
     """Timing model of the vault-to-vault torus."""
 
-    def __init__(self, config: NoCConfig | None = None):
+    def __init__(self, config: NoCConfig | None = None,
+                 trace: TraceSink = NULL_TRACE):
         self.config = config or NoCConfig()
         #: directed link -> time it becomes free; keyed by (node, direction).
         self._link_free: dict[tuple[int, str], float] = {}
         self.stats = NoCStats()
+        self.trace = trace
 
     def coords(self, node: int) -> tuple[int, int]:
         """Node index -> (column, row)."""
@@ -100,9 +103,14 @@ class TorusNetwork:
         ser = max(1.0, nbytes / self.config.link_bytes_per_cycle)
         arrival = time
         steps = self._steps(src, dst)
+        traced = self.trace.enabled
         for link in steps:
             start = max(arrival, self._link_free.get(link, 0.0))
             self._link_free[link] = start + ser
+            if traced:
+                self.trace.noc_link(link[0], link[1], start,
+                                    self.config.hop_cycles + ser, nbytes,
+                                    start - arrival)
             arrival = start + self.config.hop_cycles + ser
         self.stats.messages += 1
         self.stats.total_bytes += nbytes

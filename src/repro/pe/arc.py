@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.trace.collector import NULL_TRACE, TraceSink
+
 
 @dataclass
 class ArcEntry:
@@ -27,8 +29,11 @@ class ArcEntry:
 class ArrayRangeCheck:
     """The 20-entry associative range tracker."""
 
-    def __init__(self, entries: int = 20):
+    def __init__(self, entries: int = 20, pe_id: int = 0,
+                 trace: TraceSink = NULL_TRACE):
         self.capacity = entries
+        self.pe_id = pe_id
+        self.trace = trace
         self._entries: list[ArcEntry] = []
         self.peak_occupancy = 0
 
@@ -68,3 +73,6 @@ class ArrayRangeCheck:
         self._prune(time)
         self._entries.append(ArcEntry(start, start + nbytes, clear_time))
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        if self.trace.enabled:
+            self.trace.arc_acquire(self.pe_id, time, max(clear_time - time, 0.0),
+                                   start, nbytes)

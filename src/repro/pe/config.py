@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.isa.instructions import NUM_REGISTERS, SCRATCHPAD_BYTES
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 class HazardMode(enum.Enum):
@@ -51,6 +52,9 @@ class PEConfig:
     instruction_buffer_entries: int = 1024
     branch_taken_penalty: int = 1
     hazard_mode: HazardMode = HazardMode.STALL
+    #: Event sink for the tracing subsystem (``repro.trace``); the default
+    #: null sink records nothing and adds no per-event work.
+    trace: TraceSink = field(default=NULL_TRACE, compare=False)
 
     def __post_init__(self):
         if self.clock_ghz <= 0:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 
 @dataclass
@@ -49,10 +50,31 @@ class PECounters:
 
     def merge(self, other: "PECounters") -> "PECounters":
         """Return the elementwise sum of two counter sets."""
-        merged = PECounters()
-        for f in fields(PECounters):
-            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
-        return merged
+        return PECounters.sum((self, other))
+
+    @classmethod
+    def sum(cls, items: Iterable["PECounters"]) -> "PECounters":
+        """Elementwise sum of any number of counter sets."""
+        total = cls()
+        for item in items:
+            for name in _FIELD_NAMES:
+                setattr(total, name, getattr(total, name) + getattr(item, name))
+        return total
+
+    def snapshot(self) -> tuple:
+        """Current field values as a tuple (for cheap before/after diffs)."""
+        return tuple(getattr(self, name) for name in _FIELD_NAMES)
+
+    def delta(self, before: tuple) -> dict:
+        """Nonzero per-field changes since ``before`` (a :meth:`snapshot`)."""
+        return {
+            name: now - prev
+            for name, prev, now in zip(_FIELD_NAMES, before, self.snapshot())
+            if now != prev
+        }
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(PECounters))
 
 
 @dataclass

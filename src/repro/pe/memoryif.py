@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import DeadlockError, SimulationError
 from repro.memory.hmc import HMC
 from repro.memory.store import DramStore
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 class FullEmptyState:
@@ -59,6 +60,7 @@ class FlatMemory:
         latency_cycles: float = 50.0,
         bytes_per_cycle: float = 8.0,
         size_bytes: int = 1 << 30,
+        trace: TraceSink = NULL_TRACE,
     ):
         self.latency = latency_cycles
         self.bytes_per_cycle = bytes_per_cycle
@@ -66,6 +68,7 @@ class FlatMemory:
         self.fe = FullEmptyState()
         self._bus_free = 0.0
         self.bytes_moved = 0
+        self.trace = trace
 
     def access(self, pe_id, time, addr, nbytes, is_write, data=None):
         if nbytes < 0:
@@ -76,6 +79,8 @@ class FlatMemory:
         done = start + math.ceil(nbytes / self.bytes_per_cycle)
         self._bus_free = done
         self.bytes_moved += nbytes
+        if self.trace.enabled:
+            self.trace.mem(pe_id, time, done - time, addr, nbytes, is_write)
         out = None if is_write else self.store.read(addr, nbytes)
         return done, out
 
@@ -105,12 +110,13 @@ class LocalVaultMemory:
     """
 
     def __init__(self, hmc: HMC | None = None, vault: int = 0, star_cycles: int = 1,
-                 allow_remote: bool = False):
-        self.hmc = hmc or HMC()
+                 allow_remote: bool = False, trace: TraceSink = NULL_TRACE):
+        self.hmc = hmc if hmc is not None else HMC(trace=trace)
         self.vault = vault
         self.star_cycles = star_cycles
         self.allow_remote = allow_remote
         self.fe = FullEmptyState()
+        self.trace = trace
 
     def access(self, pe_id, time, addr, nbytes, is_write, data=None):
         if is_write and data is not None:
@@ -128,6 +134,8 @@ class LocalVaultMemory:
             vault = self.hmc.vaults[decoded.vault]
             served = vault.access(request_time, decoded.bank, decoded.row, piece_len, is_write)
             done = max(done, served + self.star_cycles)
+        if self.trace.enabled:
+            self.trace.mem(pe_id, time, done - time, addr, nbytes, is_write)
         out = None if is_write else self.hmc.store.read(addr, nbytes)
         return done, out
 

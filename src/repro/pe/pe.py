@@ -106,7 +106,11 @@ class PE:
         self._vec_last_done = 0.0
         self._lsu_port_free = 0.0
         self._outstanding: list[float] = []
-        self.arc = ArrayRangeCheck(cfg.arc_entries)
+        # Cache the trace sink as None-when-disabled so the hot path pays a
+        # single identity check per instruction when tracing is off.
+        self._tr = cfg.trace if cfg.trace.enabled else None
+        self.arc = ArrayRangeCheck(cfg.arc_entries, pe_id=self.pe_id,
+                                   trace=cfg.trace)
         self.counters = PECounters()
         self._blocked_on: tuple[int, float] | None = None  # (addr, issue time)
         self._end_time = 0.0
@@ -157,8 +161,23 @@ class PE:
                 "missing 'halt'?"
             )
         instr = self.program[self.pc]
+        if self._tr is not None:
+            return self._step_traced(instr)
         handler = self._DISPATCH[instr.opcode]
         handler(self, instr)
+        return self.status
+
+    def _step_traced(self, instr: Instruction) -> PEStatus:
+        """Execute one instruction, emitting an ``instr`` event carrying the
+        counter deltas (including per-cause stall attribution)."""
+        before = self.counters.snapshot()
+        t0 = self.clock
+        self._DISPATCH[instr.opcode](self, instr)
+        deltas = self.counters.delta(before)
+        # A blocked ld.fe retires nothing; its event is emitted on resume.
+        if deltas.get("instructions"):
+            self._tr.instr(self.pe_id, instr.mnemonic, t0,
+                           max(self.clock - t0, 0.0), deltas)
         return self.status
 
     def next_issue_lower_bound(self) -> float:
@@ -267,6 +286,8 @@ class PE:
             cleared = self.arc.overlap_clear_time(start, nbytes, t)
             if cleared > t:
                 self.counters.stall_arc += cleared - t
+                if self._tr is not None:
+                    self._tr.arc_interlock(self.pe_id, t, cleared - t, start, nbytes)
                 t = cleared
         return t
 
@@ -496,6 +517,8 @@ class PE:
         free_at = self.arc.earliest_free_time(t)
         if free_at > t:
             self.counters.stall_arc += free_at - t
+            if self._tr is not None:
+                self._tr.arc_full(self.pe_id, t, free_at - t, sp_dst, nbytes)
             t = free_at
 
         done, data = self.memory.access(self.pe_id, t, dram_src, nbytes, False, None)
@@ -514,6 +537,8 @@ class PE:
         self.counters.loadstore_instructions += 1
         self.counters.dram_bytes_read += nbytes
         self.counters.dram_requests += max(1, math.ceil(nbytes / 32))
+        if self._tr is not None:
+            self._tr.lsu(self.pe_id, "ld.sram", t, done - t, dram_src, nbytes, False)
         self._track_end(done)
         self._retire(t)
 
@@ -546,6 +571,8 @@ class PE:
         self.counters.loadstore_instructions += 1
         self.counters.dram_bytes_written += nbytes
         self.counters.dram_requests += max(1, math.ceil(nbytes / 32))
+        if self._tr is not None:
+            self._tr.lsu(self.pe_id, "st.sram", t, done - t, dram_dst, nbytes, True)
         self._track_end(done)
         self._retire(t)
 
@@ -559,6 +586,8 @@ class PE:
         self.counters.loadstore_instructions += 1
         self.counters.dram_bytes_read += 8
         self.counters.dram_requests += 1
+        if self._tr is not None:
+            self._tr.lsu(self.pe_id, "ld.reg", t, done - t, addr, 8, False)
         self._track_end(done)
         self._retire(t)
 
@@ -573,6 +602,8 @@ class PE:
         self.counters.loadstore_instructions += 1
         self.counters.dram_bytes_written += 8
         self.counters.dram_requests += 1
+        if self._tr is not None:
+            self._tr.lsu(self.pe_id, "st.reg", t, done - t, addr, 8, True)
         self._track_end(done)
         self._retire(t)
 
@@ -589,6 +620,9 @@ class PE:
 
     def _finish_fe_load(self, instr: Instruction, t: float, done: float, value: int) -> None:
         # The PE truly blocks on an acquire: issue resumes when data arrives.
+        if self._tr is not None:
+            self._tr.sync(self.pe_id, "load", t, max(done - t, 0.0),
+                          self._read_reg(instr.rs1), value)
         if done > t:
             self.counters.stall_sync += done - t
             t = done
@@ -606,6 +640,15 @@ class PE:
         _, issue_time = self._blocked_on
         self._blocked_on = None
         self.status = PEStatus.RUNNING
+        if self._tr is not None:
+            # The blocked step emitted nothing; attribute the instruction
+            # (and its sync stall) here, where the wait is finally known.
+            before = self.counters.snapshot()
+            self._finish_fe_load(instr, issue_time, done, value)
+            self._tr.instr(self.pe_id, instr.mnemonic, issue_time,
+                           max(self.clock - issue_time, 0.0),
+                           self.counters.delta(before))
+            return
         self._finish_fe_load(instr, issue_time, done, value)
 
     @property
@@ -616,6 +659,9 @@ class PE:
         t = self._reg_ready(self.clock, instr.rd, instr.rs1)
         addr = self._read_reg(instr.rs1)
         done = self.memory.fe_store(self.pe_id, t, addr, self._read_reg(instr.rd))
+        if self._tr is not None:
+            self._tr.sync(self.pe_id, "store", t, done - t, addr,
+                          self._read_reg(instr.rd))
         heapq.heappush(self._outstanding, done)
         self.counters.loadstore_instructions += 1
         self._track_end(done)

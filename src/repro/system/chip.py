@@ -63,6 +63,7 @@ class _ChipPort:
         noc = chip.noc
         t0 = noc.pe_to_vault(time, _HEADER_BYTES)
         done = time
+        traced = chip.trace.enabled
         for i, (piece_addr, piece_len) in enumerate(
             chip.hmc.mapper.split_into_columns(addr, nbytes)
         ):
@@ -82,6 +83,8 @@ class _ChipPort:
                     served, decoded.vault, self.vault, _HEADER_BYTES + payload_back
                 )
             done = max(done, served + chip.config.noc.star_cycles)
+        if traced:
+            chip.trace.mem(pe_id, time, done - time, addr, nbytes, is_write)
         out = None if is_write else chip.hmc.store.read(addr, nbytes)
         return done, out
 
@@ -119,8 +122,9 @@ class Chip:
 
     def __init__(self, config: VIPConfig | None = None, num_pes: int | None = None):
         self.config = config or VIPConfig()
-        self.hmc = HMC(self.config.memory)
-        self.noc = TorusNetwork(self.config.noc)
+        self.trace = self.config.trace
+        self.hmc = HMC(self.config.memory, trace=self.trace)
+        self.noc = TorusNetwork(self.config.noc, trace=self.trace)
         total = self.config.num_pes
         if num_pes is None:
             num_pes = total
@@ -216,9 +220,7 @@ class Chip:
 
     def _result(self, pe_ids: list[int]) -> ChipResult:
         cycles = max(self.pes[i].result().cycles for i in pe_ids)
-        counters = PECounters()
-        for i in pe_ids:
-            counters = counters.merge(self.pes[i].counters)
+        counters = PECounters.sum(self.pes[i].counters for i in pe_ids)
         return ChipResult(
             cycles=cycles,
             counters=counters,

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
 from repro.memory.timing import MemoryConfig
 from repro.noc.torus import NoCConfig
 from repro.pe.config import PEConfig
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 @dataclass(frozen=True)
@@ -22,10 +23,15 @@ class VIPConfig:
     noc: NoCConfig = field(default_factory=NoCConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     pes_per_vault: int = 4
+    #: Event sink shared by every layer of the system (``repro.trace``).
+    #: Propagated into ``pe.trace`` so the PEs see the same collector.
+    trace: TraceSink = field(default=NULL_TRACE, compare=False)
 
     def __post_init__(self):
         if self.pes_per_vault <= 0:
             raise ConfigError("pes_per_vault must be positive")
+        if self.trace.enabled and not self.pe.trace.enabled:
+            object.__setattr__(self, "pe", replace(self.pe, trace=self.trace))
         if self.noc.num_nodes != self.memory.vaults:
             raise ConfigError(
                 f"torus has {self.noc.num_nodes} nodes but memory has "

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.isa.builder import ProgramBuilder
+from repro.trace.collector import NULL_TRACE, TraceSink
 
 
 @dataclass
@@ -56,11 +57,13 @@ class ChainBarrier:
     builder, allocated lazily and reused across barrier invocations.
     """
 
-    def __init__(self, allocator: SyncAllocator, n: int):
+    def __init__(self, allocator: SyncAllocator, n: int,
+                 trace: TraceSink = NULL_TRACE):
         if n < 1:
             raise ConfigError("barrier needs at least one participant")
         self.allocator = allocator
         self.n = n
+        self.trace = trace
 
     def emit(self, builders: list[ProgramBuilder]) -> None:
         """Emit one barrier episode into the ``n`` program builders."""
@@ -70,6 +73,10 @@ class ChainBarrier:
             return
         gather = self.allocator.alloc(self.n - 1)
         release = self.allocator.alloc(self.n - 1)
+        # Tag the episode's variables so the tracer reports full-empty
+        # traffic on them as barrier waits rather than point-to-point sync.
+        for addr in (*gather, *release):
+            self.trace.register_barrier(addr)
         for rank, b in enumerate(builders):
             addr_reg, token_reg = _scratch_regs(b)
             # Gather phase: wait for the left neighbor, publish to the right.

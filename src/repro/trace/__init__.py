@@ -1,0 +1,51 @@
+"""Event tracing & profiling across the PE, memory, NoC, and system layers.
+
+Construct a :class:`TraceCollector`, carry it through the configuration
+(``VIPConfig(trace=collector)`` / ``PEConfig(trace=collector)``) or pass
+it to the standalone memory/NoC models, run a simulation, then export:
+
+    >>> from repro.trace import TraceCollector, write_chrome_trace
+    >>> tc = TraceCollector()
+    >>> chip = Chip(VIPConfig(trace=tc))          # doctest: +SKIP
+    >>> chip.run(programs)                        # doctest: +SKIP
+    >>> write_chrome_trace("trace.json", tc.events)   # doctest: +SKIP
+
+Tracing defaults to :data:`NULL_TRACE`, a shared no-op sink; the disabled
+path performs no per-event work and never perturbs simulated timing.
+
+``python -m repro.trace --kernel bp-tile --out trace.json`` runs a named
+kernel with tracing enabled and writes the artifacts.
+"""
+
+from repro.trace.collector import NULL_TRACE, TraceCollector, TraceSink
+from repro.trace.events import KINDS, TraceEvent
+from repro.trace.export import chrome_trace, write_chrome_trace, write_csv
+from repro.trace.report import profile_report
+
+# The crosscheck helpers depend on repro.pe.counters, which (through the
+# repro.pe package) depends back on this package's collector; import them
+# lazily so low-level modules can import repro.trace.collector freely.
+_CROSSCHECK = ("assert_counters_match", "counters_from_events", "counters_match")
+
+
+def __getattr__(name):
+    if name in _CROSSCHECK:
+        from repro.trace import crosscheck
+
+        return getattr(crosscheck, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "KINDS",
+    "NULL_TRACE",
+    "TraceCollector",
+    "TraceEvent",
+    "TraceSink",
+    "assert_counters_match",
+    "chrome_trace",
+    "counters_from_events",
+    "counters_match",
+    "profile_report",
+    "write_chrome_trace",
+    "write_csv",
+]

@@ -1,0 +1,5 @@
+import sys
+
+from repro.trace.cli import main
+
+sys.exit(main())

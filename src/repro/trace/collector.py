@@ -1,0 +1,162 @@
+"""Trace sinks: the null collector and the recording collector.
+
+Instrumentation sites throughout the simulator hold a :class:`TraceSink`
+and guard every emission with its ``enabled`` flag (the PE caches the
+stronger form ``_tr is None``), so the disabled path performs no argument
+construction and no allocation per event — tracing off must not change
+simulated timing *or* meaningfully change wall-clock cost.
+
+:data:`NULL_TRACE` is the shared no-op singleton used as the default
+everywhere a sink is carried (configs, memory models, the NoC).
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import TraceEvent
+
+
+class TraceSink:
+    """No-op event sink — the null collector.
+
+    Every ``emit_*`` method is a no-op; subclass and set ``enabled`` to
+    record.  Hook sites must check ``enabled`` (or compare against
+    :data:`NULL_TRACE`) before building event arguments.
+    """
+
+    enabled = False
+
+    # -- PE-side ------------------------------------------------------
+    def instr(self, pe, name, ts, dur, deltas):
+        pass
+
+    def lsu(self, pe, name, ts, dur, addr, nbytes, write):
+        pass
+
+    def mem(self, pe, ts, dur, addr, nbytes, write):
+        pass
+
+    def arc_acquire(self, pe, ts, dur, start, nbytes):
+        pass
+
+    def arc_interlock(self, pe, ts, dur, start, nbytes):
+        pass
+
+    def arc_full(self, pe, ts, dur, start, nbytes):
+        pass
+
+    def sync(self, pe, op, ts, dur, addr, value):
+        pass
+
+    # -- memory-side --------------------------------------------------
+    def dram(self, vault, bank, kind, ts, dur, row, write):
+        pass
+
+    # -- NoC-side -----------------------------------------------------
+    def noc_link(self, node, direction, ts, dur, nbytes, wait):
+        pass
+
+    # -- metadata -----------------------------------------------------
+    def register_barrier(self, addr):
+        """Tag ``addr`` as belonging to a barrier episode, so full-empty
+        traffic on it is reported as ``sync.barrier``."""
+
+    @property
+    def events(self):
+        return ()
+
+
+#: Shared no-op sink: the default value of every ``trace`` parameter.
+NULL_TRACE = TraceSink()
+
+
+class TraceCollector(TraceSink):
+    """Records every emitted event as a :class:`TraceEvent`.
+
+    Events are appended in emission order, which is non-decreasing in time
+    *per resource track* (each PE's clock, each bank's command stream) but
+    not globally — the simulator is timestamp-based, not cycle-ticked.
+    Use :meth:`sorted_events` for a global timeline.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._events: list[TraceEvent] = []
+        self.barrier_addrs: set[int] = set()
+
+    # -- access -------------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def sorted_events(self) -> list[TraceEvent]:
+        """Events in global timestamp order (stable for equal stamps)."""
+        return sorted(self._events, key=lambda e: e.ts)
+
+    def by_kind(self, *kinds: str) -> list[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    # -- emission -----------------------------------------------------
+
+    def instr(self, pe, name, ts, dur, deltas):
+        self._events.append(TraceEvent("instr", name, ts, dur, pe=pe, attrs=deltas))
+
+    def lsu(self, pe, name, ts, dur, addr, nbytes, write):
+        self._events.append(
+            TraceEvent("lsu", name, ts, dur, pe=pe,
+                       attrs={"addr": addr, "nbytes": nbytes, "write": write})
+        )
+
+    def mem(self, pe, ts, dur, addr, nbytes, write):
+        self._events.append(
+            TraceEvent("mem", "wr" if write else "rd", ts, dur, pe=pe,
+                       attrs={"addr": addr, "nbytes": nbytes, "write": write})
+        )
+
+    def arc_acquire(self, pe, ts, dur, start, nbytes):
+        self._events.append(
+            TraceEvent("arc.acquire", "acquire", ts, dur, pe=pe,
+                       attrs={"start": start, "nbytes": nbytes})
+        )
+
+    def arc_interlock(self, pe, ts, dur, start, nbytes):
+        self._events.append(
+            TraceEvent("arc.interlock", "interlock", ts, dur, pe=pe,
+                       attrs={"start": start, "nbytes": nbytes})
+        )
+
+    def arc_full(self, pe, ts, dur, start, nbytes):
+        self._events.append(
+            TraceEvent("arc.full", "full", ts, dur, pe=pe,
+                       attrs={"start": start, "nbytes": nbytes})
+        )
+
+    def sync(self, pe, op, ts, dur, addr, value):
+        kind = "sync.barrier" if addr in self.barrier_addrs else f"sync.{op}"
+        self._events.append(
+            TraceEvent(kind, op, ts, dur, pe=pe,
+                       attrs={"addr": addr, "value": value, "op": op})
+        )
+
+    def dram(self, vault, bank, kind, ts, dur, row, write):
+        self._events.append(
+            TraceEvent(kind, kind.split(".", 1)[1], ts, dur, vault=vault,
+                       bank=bank, attrs={"row": row, "write": write})
+        )
+
+    def noc_link(self, node, direction, ts, dur, nbytes, wait):
+        self._events.append(
+            TraceEvent("noc.link", direction, ts, dur, link=(node, direction),
+                       attrs={"nbytes": nbytes, "wait": wait})
+        )
+
+    def register_barrier(self, addr):
+        self.barrier_addrs.add(addr)

@@ -1,0 +1,78 @@
+"""Derive :class:`PECounters` from an event stream and compare.
+
+Every ``instr`` event carries the per-field counter deltas of the retired
+instruction, so the sum of those deltas over a run must reconstruct the
+simulator's own counters exactly.  This is the trace subsystem's
+self-validation: a hook that forgets to attribute a stall, or an exporter
+double-counting an event, breaks the equality.
+
+Integer fields must match exactly; stall fields (floats accumulated in a
+different association order) are compared to within ``rel``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields
+from typing import Iterable
+
+from repro.pe.counters import PECounters
+from repro.trace.events import TraceEvent
+
+_INT_FIELDS = tuple(
+    f.name for f in fields(PECounters) if f.type in ("int", int)
+)
+_ALL_FIELDS = tuple(f.name for f in fields(PECounters))
+
+
+def counters_from_events(
+    events: Iterable[TraceEvent], pe: int | None = None
+) -> PECounters:
+    """Reconstruct counters by summing ``instr`` event deltas.
+
+    ``pe`` restricts the reconstruction to one engine; the default sums
+    every engine, matching a :class:`~repro.system.chip.ChipResult`'s
+    merged counters.
+    """
+    totals = PECounters()
+    for e in events:
+        if e.kind != "instr" or (pe is not None and e.pe != pe):
+            continue
+        for name, delta in e.attrs.items():
+            setattr(totals, name, getattr(totals, name) + delta)
+    return totals
+
+
+def counters_match(
+    a: PECounters, b: PECounters, rel: float = 1e-9, abs_tol: float = 1e-6
+) -> bool:
+    """True when integer fields are equal and floats are close."""
+    for name in _ALL_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        if name in _INT_FIELDS:
+            if va != vb:
+                return False
+        elif not math.isclose(va, vb, rel_tol=rel, abs_tol=abs_tol):
+            return False
+    return True
+
+
+def assert_counters_match(
+    simulated: PECounters, events: Iterable[TraceEvent], pe: int | None = None
+) -> PECounters:
+    """Raise ``AssertionError`` (with a field-by-field diff) unless the
+    counters derived from ``events`` equal ``simulated``; returns the
+    derived counters."""
+    derived = counters_from_events(events, pe=pe)
+    if not counters_match(simulated, derived):
+        diff = [
+            f"  {name}: simulated={getattr(simulated, name)!r} "
+            f"from-events={getattr(derived, name)!r}"
+            for name in _ALL_FIELDS
+            if getattr(simulated, name) != getattr(derived, name)
+        ]
+        raise AssertionError(
+            "counters derived from trace events disagree with the simulator:\n"
+            + "\n".join(diff)
+        )
+    return derived

@@ -1,0 +1,91 @@
+"""The trace event taxonomy.
+
+Every event is a :class:`TraceEvent`: a *kind* (dotted taxonomy name), a
+human-readable *name*, a timestamp and duration in PE clock cycles, the
+identity of the hardware resource it happened on (PE, vault/bank, or NoC
+link), and a small ``attrs`` dict of kind-specific details.
+
+Kinds
+-----
+
+``instr``
+    One retired instruction.  ``ts`` is the cycle the instruction first
+    attempted to issue, ``dur`` spans stall + issue (and, for taken
+    branches, the redirect penalty).  ``attrs`` holds the *deltas* of every
+    :class:`~repro.pe.counters.PECounters` field the instruction changed —
+    including the per-cause stall cycles — so summing ``attrs`` over all
+    ``instr`` events of a run reconstructs the PE's counters exactly
+    (see :mod:`repro.trace.crosscheck`).
+
+``lsu``
+    Lifetime of one load-store-unit request (``ld.sram``, ``st.sram``,
+    ``ld.reg``, ``st.reg``): issue to last-byte writeback.
+    ``attrs``: ``addr``, ``nbytes``, ``write``.
+
+``mem``
+    One request as seen by the PE's memory port (star + NoC + DRAM
+    service).  ``attrs``: ``addr``, ``nbytes``, ``write``.
+
+``arc.acquire`` / ``arc.interlock`` / ``arc.full``
+    An ARC entry inserted for an in-flight scratchpad load (``dur`` is its
+    lifetime until clear); an instruction stalled on an overlapping live
+    entry; a load stalled on ARC capacity.  ``attrs``: ``start``,
+    ``nbytes``.
+
+``dram.hit`` / ``dram.act`` / ``dram.conflict`` / ``dram.refresh``
+    One column access that hit the open row / activated an idle bank /
+    precharged a conflicting open row first; time lost to an all-bank
+    refresh window.  ``attrs``: ``row``, ``write``.
+
+``noc.link``
+    One message occupying one directed torus link.  ``dur`` is hop latency
+    plus serialization; ``attrs``: ``nbytes``, ``wait`` (cycles spent
+    queued behind earlier traffic on that link — link contention).
+
+``sync.store`` / ``sync.load`` / ``sync.barrier``
+    A full-empty ``st.fe`` / ``ld.fe`` (``dur`` covers any blocked wait).
+    Operations on addresses registered by a :class:`~repro.system.sync.
+    ChainBarrier` are reported as ``sync.barrier`` instead, so barrier
+    episodes are separable from point-to-point producer-consumer waits.
+    ``attrs``: ``addr``, ``value``, ``op``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: All event kinds, for validation and documentation.
+KINDS = (
+    "instr",
+    "lsu",
+    "mem",
+    "arc.acquire",
+    "arc.interlock",
+    "arc.full",
+    "dram.hit",
+    "dram.act",
+    "dram.conflict",
+    "dram.refresh",
+    "noc.link",
+    "sync.store",
+    "sync.load",
+    "sync.barrier",
+)
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One timestamped event; times are PE clock cycles."""
+
+    kind: str
+    name: str
+    ts: float
+    dur: float = 0.0
+    pe: int | None = None
+    vault: int | None = None
+    bank: int | None = None
+    link: tuple[int, str] | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def end(self) -> float:
+        return self.ts + self.dur

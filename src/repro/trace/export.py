@@ -1,0 +1,133 @@
+"""Trace exporters: Chrome trace-event JSON and CSV.
+
+The Chrome format (the ``traceEvents`` JSON schema understood by Perfetto
+and ``chrome://tracing``) maps simulator resources to process/thread
+tracks:
+
+* each PE is a process (``PE 0`` ...) with one thread per event category
+  (instructions, LSU, memory port, ARC, sync);
+* each vault is a process with one thread per DRAM bank;
+* the NoC is one process with one thread per directed link.
+
+Timestamps are exported in microseconds of simulated time (Chrome's
+native unit), converted from cycles at the configured clock.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable
+
+from repro.trace.events import TraceEvent
+
+#: Thread ids (per-PE process) of the PE event categories.
+_PE_TIDS = {
+    "instr": (0, "instructions"),
+    "lsu": (1, "lsu requests"),
+    "mem": (2, "memory port"),
+    "arc.acquire": (3, "arc"),
+    "arc.interlock": (3, "arc"),
+    "arc.full": (3, "arc"),
+    "sync.store": (4, "sync"),
+    "sync.load": (4, "sync"),
+    "sync.barrier": (4, "sync"),
+}
+
+_PE_PID_BASE = 1
+_VAULT_PID_BASE = 1000
+_NOC_PID = 2000
+
+
+def _us(cycles: float, clock_ghz: float) -> float:
+    """Simulated cycles -> simulated microseconds."""
+    return cycles / (clock_ghz * 1000.0)
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent], clock_ghz: float = 1.25
+) -> dict:
+    """Build a Chrome trace-event JSON object (as a python dict)."""
+    out: list[dict] = []
+    processes: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    link_tids: dict[tuple[int, str], int] = {}
+
+    for e in sorted(events, key=lambda ev: ev.ts):
+        if e.pe is not None:
+            pid = _PE_PID_BASE + e.pe
+            tid, tname = _PE_TIDS.get(e.kind, (9, e.kind))
+            processes[pid] = f"PE {e.pe}"
+            threads[(pid, tid)] = tname
+        elif e.vault is not None:
+            pid = _VAULT_PID_BASE + e.vault
+            tid = e.bank if e.bank is not None else 0
+            processes[pid] = f"Vault {e.vault}"
+            threads[(pid, tid)] = f"bank {tid}"
+        elif e.link is not None:
+            pid = _NOC_PID
+            tid = link_tids.setdefault(e.link, len(link_tids))
+            processes[pid] = "NoC"
+            threads[(pid, tid)] = f"link n{e.link[0]} {e.link[1]}"
+        else:
+            pid, tid = 0, 0
+            processes[pid] = "other"
+            threads[(pid, tid)] = "other"
+        out.append(
+            {
+                "name": e.name,
+                "cat": e.kind,
+                "ph": "X",
+                "ts": _us(e.ts, clock_ghz),
+                "dur": _us(max(e.dur, 0.0), clock_ghz),
+                "pid": pid,
+                "tid": tid,
+                "args": dict(e.attrs),
+            }
+        )
+
+    meta: list[dict] = []
+    for pid, name in sorted(processes.items()):
+        meta.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                     "args": {"name": name}})
+    for (pid, tid), name in sorted(threads.items()):
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                     "args": {"name": name}})
+    return {
+        "traceEvents": meta + out,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock_ghz": clock_ghz, "time_unit": "simulated us"},
+    }
+
+
+def write_chrome_trace(
+    path: str, events: Iterable[TraceEvent], clock_ghz: float = 1.25
+) -> None:
+    """Write Chrome trace-event JSON loadable by Perfetto."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(events, clock_ghz), f)
+
+
+CSV_COLUMNS = ("kind", "name", "ts", "dur", "pe", "vault", "bank", "link", "attrs")
+
+
+def write_csv(path: str, events: Iterable[TraceEvent]) -> None:
+    """Write one row per event, globally sorted by timestamp; ``attrs``
+    is serialized as a JSON object in the last column."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(CSV_COLUMNS)
+        for e in sorted(events, key=lambda ev: ev.ts):
+            writer.writerow(
+                [
+                    e.kind,
+                    e.name,
+                    f"{e.ts:.3f}",
+                    f"{e.dur:.3f}",
+                    "" if e.pe is None else e.pe,
+                    "" if e.vault is None else e.vault,
+                    "" if e.bank is None else e.bank,
+                    "" if e.link is None else f"n{e.link[0]}{e.link[1]}",
+                    json.dumps(e.attrs, sort_keys=True),
+                ]
+            )

@@ -1,0 +1,171 @@
+"""Text profile report rendered from an event stream.
+
+Sections: per-PE instruction/stall breakdown, DRAM bank row-hit-rate
+heatmap, top-N slowest LSU requests, NoC link contention, and full-empty
+synchronization waits.  Everything is computed from events alone so the
+report can be regenerated from a saved CSV/JSON trace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.trace.events import TraceEvent
+
+#: Stall counter fields surfaced in the per-PE breakdown, in print order.
+STALL_FIELDS = (
+    "stall_operand",
+    "stall_arc",
+    "stall_vector_pipe",
+    "stall_lsu",
+    "stall_hazard",
+    "stall_sync",
+)
+
+
+def profile_report(events: Iterable[TraceEvent], top_n: int = 10) -> str:
+    events = list(events)
+    parts = [
+        _stall_breakdown(events),
+        _dram_heatmap(events),
+        _slowest_lsu(events, top_n),
+        _noc_section(events),
+        _sync_section(events),
+    ]
+    return "\n".join(p for p in parts if p)
+
+
+# ----------------------------------------------------------------------
+# per-PE stall breakdown
+
+
+def _stall_breakdown(events: list[TraceEvent]) -> str:
+    per_pe: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    end: dict[int, float] = defaultdict(float)
+    for e in events:
+        if e.kind != "instr":
+            continue
+        acc = per_pe[e.pe]
+        acc["instructions"] += e.attrs.get("instructions", 0)
+        for f in STALL_FIELDS:
+            acc[f] += e.attrs.get(f, 0.0)
+        end[e.pe] = max(end[e.pe], e.end())
+    if not per_pe:
+        return ""
+    cols = ["pe", "instrs", "cycles"] + [f.removeprefix("stall_") for f in STALL_FIELDS]
+    lines = ["== Per-PE stall breakdown (cycles) ==",
+             " ".join(f"{c:>10}" for c in cols)]
+    for pe in sorted(per_pe):
+        acc = per_pe[pe]
+        row = [str(pe), f"{int(acc['instructions'])}", f"{end[pe]:.0f}"]
+        row += [f"{acc[f]:.0f}" for f in STALL_FIELDS]
+        lines.append(" ".join(f"{c:>10}" for c in row))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# DRAM row-hit-rate heatmap
+
+
+def _dram_heatmap(events: list[TraceEvent]) -> str:
+    hits: dict[tuple[int, int], int] = defaultdict(int)
+    total: dict[tuple[int, int], int] = defaultdict(int)
+    for e in events:
+        if e.kind == "dram.hit":
+            hits[(e.vault, e.bank)] += 1
+            total[(e.vault, e.bank)] += 1
+        elif e.kind in ("dram.act", "dram.conflict"):
+            total[(e.vault, e.bank)] += 1
+    if not total:
+        return ""
+    vaults = sorted({v for v, _ in total})
+    banks = sorted({b for _, b in total})
+    lines = [
+        "== DRAM bank row-hit rate (deciles; '.' = bank untouched) ==",
+        "vault " + " ".join(f"b{b:<2}" for b in banks),
+    ]
+    for v in vaults:
+        cells = []
+        for b in banks:
+            n = total.get((v, b), 0)
+            if not n:
+                cells.append(" . ")
+            else:
+                decile = min(9, int(10 * hits.get((v, b), 0) / n))
+                cells.append(f" {decile} ")
+        rate = sum(hits.get((v, b), 0) for b in banks) / max(
+            1, sum(total.get((v, b), 0) for b in banks)
+        )
+        lines.append(f"{v:>5} " + " ".join(cells) + f"  ({100 * rate:.0f}% overall)")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# slowest LSU requests
+
+
+def _slowest_lsu(events: list[TraceEvent], top_n: int) -> str:
+    lsu = [e for e in events if e.kind == "lsu"]
+    if not lsu:
+        return ""
+    lsu.sort(key=lambda e: e.dur, reverse=True)
+    lines = [f"== Top {min(top_n, len(lsu))} slowest LSU requests ==",
+             f"{'pe':>4} {'op':>8} {'addr':>10} {'bytes':>7} {'issue':>12} {'latency':>9}"]
+    for e in lsu[:top_n]:
+        lines.append(
+            f"{e.pe:>4} {e.name:>8} {e.attrs['addr']:>#10x} "
+            f"{e.attrs['nbytes']:>7} {e.ts:>12.1f} {e.dur:>9.1f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# NoC
+
+
+def _noc_section(events: list[TraceEvent]) -> str:
+    busy: dict[tuple[int, str], float] = defaultdict(float)
+    wait: dict[tuple[int, str], float] = defaultdict(float)
+    msgs = 0
+    for e in events:
+        if e.kind != "noc.link":
+            continue
+        msgs += 1
+        busy[e.link] += e.dur
+        wait[e.link] += e.attrs.get("wait", 0.0)
+    if not msgs:
+        return ""
+    worst = sorted(busy.items(), key=lambda kv: kv[1], reverse=True)[:5]
+    lines = [f"== NoC: {msgs} link traversals, "
+             f"{sum(wait.values()):.0f} cycles of contention ==",
+             "busiest links (busy cycles / contention cycles):"]
+    for link, b in worst:
+        lines.append(f"  n{link[0]} {link[1]}: {b:.0f} / {wait[link]:.0f}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# sync
+
+
+def _sync_section(events: list[TraceEvent]) -> str:
+    per_pe: dict[int, float] = defaultdict(float)
+    barrier: dict[int, float] = defaultdict(float)
+    n = 0
+    for e in events:
+        if not e.kind.startswith("sync."):
+            continue
+        n += 1
+        if e.attrs.get("op") == "load":
+            per_pe[e.pe] += e.dur
+            if e.kind == "sync.barrier":
+                barrier[e.pe] += e.dur
+    if not n:
+        return ""
+    lines = ["== Full-empty synchronization (ld.fe wait cycles per PE) =="]
+    for pe in sorted(per_pe):
+        lines.append(
+            f"  PE {pe}: {per_pe[pe]:.0f} total, {barrier[pe]:.0f} in barriers"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,76 @@
+"""Wall-clock overhead of the null-trace path.
+
+The trace hooks are designed to cost one attribute/identity check when
+disabled.  This smoke test measures a reference BP-tile simulation with
+the stock (null-trace) ``PE.step`` against a monkeypatched "bare" step
+with the trace branch deleted, and asserts the null-collector path adds
+less than 5% wall time.
+
+Wall-clock measurement is noisy on shared CI runners, so the test only
+runs when ``TRACE_PERF=1`` is set (the CI workflow sets it in a
+dedicated step; plain tier-1 runs skip it).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.kernels.bp_kernel import BPTileLayout, build_vault_sweep_programs
+from repro.pe.pe import PE, PEStatus
+from repro.system import Chip
+from repro.system.config import VIPConfig
+from repro.workloads.bp import stereo_mrf
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("TRACE_PERF") != "1",
+    reason="wall-clock perf smoke; set TRACE_PERF=1 to run",
+)
+
+REPEATS = 5
+
+
+def _bare_step(self):
+    """PE.step with the trace branch removed: the pre-trace hot path."""
+    if self.status is not PEStatus.RUNNING:
+        return self.status
+    instr = self.program[self.pc]
+    self._DISPATCH[instr.opcode](self, instr)
+    return self.status
+
+
+def _reference_run():
+    config = VIPConfig()
+    chip = Chip(config, num_pes=config.pes_per_vault)
+    mrf, _ = stereo_mrf(8, 8, labels=4, seed=3)
+    layout = BPTileLayout(base=4096, rows=8, cols=8, labels=4)
+    layout.stage(chip.hmc.store, mrf, mrf.zero_messages())
+    return chip.run(build_vault_sweep_programs(layout, "down", 4))
+
+
+def _time_run():
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = _reference_run()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_null_trace_overhead_under_5_percent(monkeypatch):
+    # Warm up imports/JIT-free caches before timing anything.
+    _reference_run()
+
+    with_hooks, hooked_result = _time_run()
+
+    real_step = PE.step
+    monkeypatch.setattr(PE, "step", _bare_step)
+    bare, bare_result = _time_run()
+    monkeypatch.setattr(PE, "step", real_step)
+
+    assert hooked_result.counters == bare_result.counters
+    overhead = with_hooks / bare - 1.0
+    assert overhead < 0.05, (
+        f"null-trace path costs {overhead:.1%} over the bare step "
+        f"({with_hooks:.3f}s vs {bare:.3f}s)"
+    )

@@ -1,0 +1,33 @@
+"""End-to-end CLI tests: ``python -m repro.trace`` artifacts."""
+
+import json
+
+import pytest
+
+from repro.trace.cli import main
+
+
+@pytest.mark.parametrize("kernel", ["conv", "fc"])
+def test_cli_single_pe_kernels(kernel, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["--kernel", kernel, "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    assert "cross-check ok" in capsys.readouterr().out
+
+
+def test_cli_bp_tile_artifacts(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    csv_path = tmp_path / "trace.csv"
+    report = tmp_path / "report.txt"
+    code = main([
+        "--kernel", "bp-tile", "--rows", "6", "--cols", "6", "--labels", "4",
+        "--out", str(out), "--csv", str(csv_path), "--report", str(report),
+    ])
+    assert code == 0
+    doc = json.loads(out.read_text())
+    assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "M"}
+    assert csv_path.read_text().startswith("kind,")
+    text = report.read_text()
+    assert "Per-PE stall breakdown" in text and "row-hit rate" in text
+    assert "cross-check ok" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Exporter and report tests: Chrome trace-event JSON, CSV, text profile."""
+
+import csv
+import json
+
+from repro.pe import PE, FlatMemory, LocalVaultMemory
+from repro.pe.config import PEConfig
+from repro.trace import TraceCollector, chrome_trace, profile_report
+from repro.trace.export import CSV_COLUMNS, write_chrome_trace, write_csv
+
+
+def traced_run(tc=None, vault_memory=False):
+    from tests.trace.test_trace import simple_program
+
+    tc = tc or TraceCollector()
+    memory = LocalVaultMemory(vault=0, trace=tc) if vault_memory else FlatMemory(trace=tc)
+    pe = PE(PEConfig(trace=tc), memory=memory)
+    result = pe.run(simple_program())
+    return tc, result
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, tmp_path):
+        tc, _ = traced_run(vault_memory=True)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tc.events)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+
+    def test_trace_events_schema(self):
+        tc, _ = traced_run(vault_memory=True)
+        doc = chrome_trace(tc.events)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {"X", "M"}
+        for e in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0
+        # Exactly the X events the collector recorded, globally sorted.
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(tc.events)
+        assert [e["ts"] for e in xs] == sorted(e["ts"] for e in xs)
+
+    def test_tracks_named(self):
+        tc, _ = traced_run(vault_memory=True)
+        doc = chrome_trace(tc.events)
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "PE 0" in names and "Vault 0" in names
+
+    def test_timestamps_scaled_to_microseconds(self):
+        tc, _ = traced_run()
+        first = next(e for e in tc.sorted_events() if e.dur > 0)
+        doc = chrome_trace(tc.events, clock_ghz=1.25)
+        x = next(e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["dur"] > 0)
+        assert x["ts"] == first.ts / 1250.0
+
+
+class TestCsv:
+    def test_csv_round_trip(self, tmp_path):
+        tc, _ = traced_run(vault_memory=True)
+        path = tmp_path / "trace.csv"
+        write_csv(str(path), tc.events)
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == list(CSV_COLUMNS)
+        assert len(rows) == len(tc.events) + 1
+        for row in rows[1:]:
+            json.loads(row[-1])  # attrs column is valid JSON
+
+
+class TestReport:
+    def test_report_sections(self):
+        tc, result = traced_run(vault_memory=True)
+        text = profile_report(tc.events, top_n=5)
+        assert "Per-PE stall breakdown" in text
+        assert "row-hit rate" in text
+        assert "slowest LSU requests" in text
+        # Instruction totals in the table match the simulator.
+        line = next(l for l in text.splitlines() if l.strip().startswith("0 "))
+        assert str(result.counters.instructions) in line.split()
+
+    def test_empty_events(self):
+        assert profile_report([]) == ""

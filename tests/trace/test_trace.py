@@ -1,0 +1,225 @@
+"""Trace subsystem tests: hooks, event semantics, cross-validation, and
+the zero-perturbation guarantee of the null collector."""
+
+import numpy as np
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.isa.assembler import Assembler
+from repro.pe import PE, FlatMemory, LocalVaultMemory
+from repro.pe.config import PEConfig
+from repro.pe.counters import PECounters, RunTotals
+from repro.system import ChainBarrier, Chip, SyncAllocator
+from repro.system.config import VIPConfig
+from repro.trace import (
+    NULL_TRACE,
+    TraceCollector,
+    TraceSink,
+    assert_counters_match,
+    counters_from_events,
+)
+
+
+def traced_pe(tc):
+    return PE(PEConfig(trace=tc), memory=FlatMemory(trace=tc))
+
+
+def simple_program():
+    return Assembler().assemble(
+        """
+        set.vl 16
+        mov.imm r1, 0
+        mov.imm r2, 64
+        mov.imm r3, 16
+        ld.sram[16] r1, r2, r3
+        v.v.add[16] r1, r1, r1
+        st.sram[16] r1, r2, r3
+        memfence
+        halt
+        """
+    )
+
+
+def barrier_chip(tc, n=8):
+    """A chip run whose PEs span two vaults and meet at a chain barrier."""
+    config = VIPConfig(trace=tc)
+    chip = Chip(config, num_pes=n)
+    alloc = SyncAllocator(base=0x200000, limit=0x300000)
+    barrier = ChainBarrier(alloc, n, trace=tc)
+    builders = [ProgramBuilder() for _ in range(n)]
+    for i, b in enumerate(builders):
+        for _ in range(i * 10):
+            b.nop()
+    barrier.emit(builders)
+    for b in builders:
+        b.halt()
+    return chip, [b.build() for b in builders]
+
+
+class TestCollector:
+    def test_null_trace_is_disabled_and_silent(self):
+        assert not NULL_TRACE.enabled
+        NULL_TRACE.instr(0, "nop", 0.0, 1.0, {})
+        NULL_TRACE.dram(0, 0, "dram.hit", 0.0, 1.0, 0, False)
+        NULL_TRACE.register_barrier(0x100)
+        assert list(NULL_TRACE.events) == []
+
+    def test_single_pe_event_stream(self):
+        tc = TraceCollector()
+        pe = traced_pe(tc)
+        result = pe.run(simple_program())
+        kinds = {e.kind for e in tc.events}
+        assert {"instr", "lsu", "mem", "arc.acquire", "arc.interlock"} <= kinds
+        instr = tc.by_kind("instr")
+        assert len(instr) == result.counters.instructions
+        # LSU events carry request metadata.
+        lsu = tc.by_kind("lsu")
+        assert {e.name for e in lsu} == {"ld.sram", "st.sram"}
+        assert all(e.attrs["nbytes"] == 32 for e in lsu)
+
+    def test_instr_timestamps_nondecreasing_per_pe(self):
+        tc = TraceCollector()
+        chip, programs = barrier_chip(tc)
+        chip.run(programs)
+        per_pe = {}
+        for e in tc.events:
+            if e.kind != "instr":
+                continue
+            assert e.ts >= per_pe.get(e.pe, 0.0)
+            per_pe[e.pe] = e.ts
+        assert len(per_pe) == 8
+
+    def test_sorted_events_globally_ordered(self):
+        tc = TraceCollector()
+        chip, programs = barrier_chip(tc)
+        chip.run(programs)
+        ts = [e.ts for e in tc.sorted_events()]
+        assert ts == sorted(ts)
+
+
+class TestCrossCheck:
+    def test_counters_from_events_single_pe(self):
+        tc = TraceCollector()
+        pe = traced_pe(tc)
+        result = pe.run(simple_program())
+        derived = assert_counters_match(result.counters, tc.events)
+        assert derived.instructions == result.counters.instructions
+        assert derived.dram_bytes == result.counters.dram_bytes
+
+    def test_counters_from_events_bp_tile(self):
+        """Counters reconstructed from the event stream equal the chip's own
+        merged counters on a traced BP-tile sweep."""
+        from repro.kernels.bp_kernel import (
+            BPTileLayout,
+            build_vault_sweep_programs,
+        )
+        from repro.workloads.bp import stereo_mrf
+
+        tc = TraceCollector()
+        config = VIPConfig(trace=tc)
+        chip = Chip(config, num_pes=config.pes_per_vault)
+        mrf, _ = stereo_mrf(6, 6, labels=4, seed=11)
+        layout = BPTileLayout(base=4096, rows=6, cols=6, labels=4)
+        layout.stage(chip.hmc.store, mrf, mrf.zero_messages())
+        result = chip.run(build_vault_sweep_programs(layout, "down", 4))
+        assert_counters_match(result.counters, tc.events)
+
+    def test_per_pe_filter(self):
+        tc = TraceCollector()
+        chip, programs = barrier_chip(tc, n=2)
+        chip.run(programs)
+        total = counters_from_events(tc.events)
+        per_pe = PECounters.sum(
+            counters_from_events(tc.events, pe=i) for i in range(2)
+        )
+        assert total == per_pe
+
+
+class TestSystemEvents:
+    def test_barrier_sync_events_tagged(self):
+        tc = TraceCollector()
+        chip, programs = barrier_chip(tc)
+        chip.run(programs)
+        barrier_events = tc.by_kind("sync.barrier")
+        assert barrier_events, "barrier full-empty ops must be tagged"
+        # Every full-empty op in this workload belongs to the barrier.
+        assert not tc.by_kind("sync.load") and not tc.by_kind("sync.store")
+        ops = {e.attrs["op"] for e in barrier_events}
+        assert ops == {"load", "store"}
+
+    def test_noc_link_events_cross_vault(self):
+        """A remote load from PE 0 (vault 0) to vault 1 traverses the torus;
+        each hop produces one noc.link event."""
+        tc = TraceCollector()
+        config = VIPConfig(trace=tc)
+        chip = Chip(config, num_pes=1)
+        remote = chip.hmc.mapper.vault_base(1)
+        program = Assembler().assemble(
+            f"""
+            set.vl 16
+            mov.imm r1, 0
+            mov.imm r2, {remote}
+            mov.imm r3, 16
+            ld.sram[16] r1, r2, r3
+            memfence
+            halt
+            """
+        )
+        chip.run({0: program})
+        links = tc.by_kind("noc.link")
+        assert links, "cross-vault traffic must traverse the torus"
+        assert all(e.dur > 0 and e.attrs["wait"] >= 0 for e in links)
+
+    def test_dram_events_from_vault_memory(self):
+        tc = TraceCollector()
+        pe = PE(PEConfig(trace=tc), memory=LocalVaultMemory(vault=0, trace=tc))
+        pe.run(simple_program())
+        dram = tc.by_kind("dram.hit", "dram.act", "dram.conflict")
+        assert dram
+        assert all(e.vault == 0 and e.bank is not None for e in dram)
+        # First touch of a closed bank must activate.
+        assert any(e.kind == "dram.act" for e in dram)
+
+
+class TestNullIdentical:
+    def _run(self, trace):
+        chip, programs = barrier_chip(trace)
+        result = chip.run(programs)
+        return RunTotals(cycles=result.cycles, counters=result.counters)
+
+    def test_null_collector_run_byte_identical(self):
+        """The default untraced run, an explicit null-collector run, and a
+        fully-traced run must produce byte-identical RunTotals: tracing
+        never perturbs simulated time."""
+        untraced = self._run(NULL_TRACE)  # the default sink
+        null = self._run(TraceSink())  # a fresh null collector
+        traced = self._run(TraceCollector())
+        assert repr(untraced) == repr(null) == repr(traced)
+        assert untraced == null == traced
+
+    def test_traced_single_pe_timing_unchanged(self):
+        baseline = PE(memory=FlatMemory()).run(simple_program())
+        tc = TraceCollector()
+        traced = traced_pe(tc).run(simple_program())
+        assert baseline.cycles == traced.cycles
+        assert baseline.counters == traced.counters
+
+
+class TestConfigPlumbing:
+    def test_vip_config_propagates_trace_to_pe(self):
+        tc = TraceCollector()
+        config = VIPConfig(trace=tc)
+        assert config.pe.trace is tc
+        chip = Chip(config, num_pes=1)
+        assert chip.pes[0]._tr is tc
+        assert chip.noc.trace is tc
+        assert chip.hmc.vaults[0].banks[0].trace is tc
+
+    def test_trace_excluded_from_config_equality(self):
+        assert PEConfig(trace=TraceCollector()) == PEConfig()
+        assert VIPConfig(trace=TraceCollector()) == VIPConfig()
+
+    def test_default_is_null(self):
+        assert VIPConfig().trace is NULL_TRACE
+        assert PEConfig().trace is NULL_TRACE
+        assert PE().arc.trace is NULL_TRACE
