@@ -34,6 +34,7 @@ from repro.perf.extrapolate import (
     BPPerformanceModel,
     CNNPerformanceModel,
     HierarchicalBPModel,
+    prewarm_cnn_models,
 )
 from repro.reporting import render_table
 from repro.workloads.cnn.vgg import vgg16, vgg19
@@ -132,11 +133,14 @@ def table4_mrf(bp: BPPerformanceModel | None = None,
     return rows
 
 
-def table4_cnn(models: dict | None = None) -> list[Table4Row]:
+def table4_cnn(models: dict | None = None,
+               max_workers: int | None = None) -> list[Table4Row]:
     """The CNN blocks of Table IV.
 
     ``models`` may supply pre-built CNNPerformanceModel instances keyed by
-    (network-name, batch) to avoid re-simulation.
+    (network-name, batch) to avoid re-simulation.  Models that still need
+    simulating are warmed through one flat parallel fan-out over all their
+    layers before the rows are assembled.
     """
     models = models or {}
 
@@ -146,6 +150,10 @@ def table4_cnn(models: dict | None = None) -> list[Table4Row]:
             models[key] = CNNPerformanceModel(net_factory(), batch=batch)
         return models[key]
 
+    prewarm_cnn_models(
+        [model(vgg16, 3), model(vgg16, 16), model(vgg16, 1), model(vgg19, 1)],
+        max_workers=max_workers,
+    )
     rows = [
         Table4Row("Eyeriss", "vgg16-conv", "batch 3, published",
                   EYERISS_VGG16_CONV.time_ms, EYERISS_VGG16_CONV.power_w,

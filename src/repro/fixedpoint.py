@@ -26,13 +26,26 @@ import numpy as np
 #: numpy dtypes by element width in bits.
 DTYPES = {8: np.int8, 16: np.int16, 32: np.int32, 64: np.int64}
 
+#: Per-width (min, max) bounds, precomputed once — the saturating helpers
+#: run per simulated vector instruction, so per-call bound arithmetic and
+#: dtype-object churn are measurable.
+_INT_BOUNDS = {
+    bits: (-(1 << (bits - 1)), (1 << (bits - 1)) - 1) for bits in DTYPES
+}
+#: The same bounds as ready-made ``int64`` scalars: passing numpy scalars to
+#: ``np.clip`` avoids the per-call int->dtype promotion (``iinfo``) lookups.
+_CLIP_BOUNDS = {
+    bits: (np.int64(lo), np.int64(hi)) for bits, (lo, hi) in _INT_BOUNDS.items()
+}
+
 
 def int_bounds(bits: int) -> tuple[int, int]:
     """Return the (min, max) representable values of a signed ``bits``-wide
     integer."""
-    if bits not in DTYPES:
+    bounds = _INT_BOUNDS.get(bits)
+    if bounds is None:
         raise ValueError(f"unsupported element width: {bits}")
-    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return bounds
 
 
 @dataclass(frozen=True)
@@ -79,8 +92,10 @@ def saturate(values, bits: int):
     Accepts scalars or numpy arrays; always returns ``int64`` typed data so
     callers can keep accumulating without overflow.
     """
-    lo, hi = int_bounds(bits)
-    return np.clip(np.asarray(values, dtype=np.int64), lo, hi)
+    bounds = _CLIP_BOUNDS.get(bits)
+    if bounds is None:
+        raise ValueError(f"unsupported element width: {bits}")
+    return np.clip(np.asarray(values, dtype=np.int64), bounds[0], bounds[1])
 
 
 def to_fixed(values, fmt: FixedPointFormat = FixedPointFormat()):

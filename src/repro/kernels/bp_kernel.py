@@ -38,7 +38,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.kernels.common import ScratchpadAllocator, split_evenly
+from repro.kernels.common import ScratchpadAllocator, memoize_programs, split_evenly
 from repro.memory.store import DramStore
 from repro.workloads.bp.mrf import DIRECTIONS, OPPOSITE, GridMRF
 
@@ -181,6 +181,7 @@ def operand_runs(layout: BPTileLayout, direction: str) -> list[tuple[int, int]]:
     return runs
 
 
+@memoize_programs
 def build_sweep_program(
     layout: BPTileLayout,
     direction: str,
@@ -426,6 +427,7 @@ def build_sweep_program(
     return b.build()
 
 
+@memoize_programs
 def build_vault_sweep_programs(
     layout: BPTileLayout, direction: str, num_pes: int = 4
 ) -> list[Program]:
@@ -445,6 +447,7 @@ def build_vault_sweep_programs(
 # (upsample messages), Section VI-A.
 
 
+@memoize_programs
 def build_construct_program(
     fine: BPTileLayout, coarse: BPTileLayout, row_start: int, row_count: int
 ) -> Program:
@@ -514,6 +517,7 @@ def build_construct_program(
     return b.build()
 
 
+@memoize_programs
 def build_copy_program(
     fine: BPTileLayout, coarse: BPTileLayout, direction: str,
     row_start: int, row_count: int,

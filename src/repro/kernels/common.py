@@ -2,10 +2,46 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.isa.instructions import SCRATCHPAD_BYTES
+
+
+def memoize_programs(builder):
+    """Memoize a program builder on its (hashable) arguments.
+
+    Kernel builders are pure functions of frozen layout dataclasses and
+    scalars, and experiment sweeps call them repeatedly with identical
+    arguments (e.g. the four directional sweep programs per measured BP
+    configuration, or one conv pass program per simulated PE).  Programs
+    are immutable during simulation — the PC lives in the PE and the
+    instruction list is never mutated — so cached instances can be shared
+    between runs; this also lets the PE-level pre-decode cache attached to
+    a :class:`~repro.isa.program.Program` survive across simulations.
+
+    List results are returned as fresh shallow copies so callers may
+    append/slice without corrupting the cache.  Unhashable arguments fall
+    back to building uncached.
+    """
+    cache: dict = {}
+
+    @functools.wraps(builder)
+    def wrapper(*args, **kwargs):
+        try:
+            key = (args, tuple(sorted(kwargs.items())))
+            hash(key)
+        except TypeError:
+            return builder(*args, **kwargs)
+        if key not in cache:
+            cache[key] = builder(*args, **kwargs)
+        result = cache[key]
+        return list(result) if isinstance(result, list) else result
+
+    wrapper.cache_clear = cache.clear
+    wrapper.cache = cache
+    return wrapper
 
 
 @dataclass

@@ -32,7 +32,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.kernels.common import ScratchpadAllocator
+from repro.kernels.common import ScratchpadAllocator, memoize_programs
 from repro.memory.store import DramStore
 
 EB = 2  # bytes per element
@@ -125,6 +125,7 @@ class ConvTileLayout:
         return flat.reshape(self.out_h, self.out_w, self.num_filters)
 
 
+@memoize_programs
 def build_conv_pass_program(
     layout: ConvTileLayout,
     filter_start: int,

@@ -29,7 +29,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.kernels.common import ScratchpadAllocator
+from repro.kernels.common import ScratchpadAllocator, memoize_programs
 from repro.memory.store import DramStore
 
 EB = 2
@@ -93,6 +93,7 @@ class FCTileLayout:
         return flat.reshape(self.batch, self.rows)
 
 
+@memoize_programs
 def build_fc_partial_program(layout: FCTileLayout, fx: int = 8) -> Program:
     """Compute ``partials[b, r] = sat(sum_c((W[r, c] * x[b, c]) >> fx))``
     for this PE's weight tile, streaming weight rows with double buffering.

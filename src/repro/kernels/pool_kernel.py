@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.kernels.common import ScratchpadAllocator
+from repro.kernels.common import ScratchpadAllocator, memoize_programs
 from repro.memory.store import DramStore
 
 EB = 2
@@ -76,6 +76,7 @@ class PoolTileLayout:
         return flat.reshape(self.out_h, self.out_w, self.z)
 
 
+@memoize_programs
 def build_pool_program(layout: PoolTileLayout, row_start: int, row_count: int) -> Program:
     """Max-pool output rows [row_start, row_start + row_count)."""
     if row_start + row_count > layout.out_h:

@@ -38,6 +38,14 @@ class AddressMapper:
 
     def __init__(self, config: MemoryConfig):
         self.config = config
+        # Hot-path constants for split_decoded (the config is immutable).
+        self._cb = config.column_bytes
+        self._cpr = config.columns_per_row
+        self._bpv = config.banks_per_vault
+        self._rpb = config.rows_per_bank
+        self._vaults = config.vaults
+        self._total = config.total_bytes
+        self._vault_high = config.address_mapping is AddressMapping.VAULT_HIGH
 
     def decode(self, addr: int) -> DecodedAddress:
         cfg = self.config
@@ -101,4 +109,46 @@ class AddressMapper:
             boundary = (cursor // cb + 1) * cb
             pieces.append((cursor, min(boundary, end) - cursor))
             cursor = min(boundary, end)
+        return pieces
+
+    def split_decoded(self, addr: int, nbytes: int) -> list[tuple[int, int, int, int, int]]:
+        """Batched address generation: one ``(addr, len, vault, bank, row)``
+        tuple per 32 B burst of the range.
+
+        This fuses :meth:`split_into_columns` with :meth:`decode` for the
+        per-request hot path (``ld.sram``/``st.sram`` issue one burst per
+        cycle), without allocating a :class:`DecodedAddress` per column.
+        Successive columns share most of their decomposition, so the walk
+        increments one global column index and runs two ``divmod`` chains
+        on precomputed geometry constants.
+        """
+        if nbytes <= 0:
+            return []
+        end = addr + nbytes
+        if addr < 0 or end > self._total:
+            # Out-of-range: take the reference path so the canonical
+            # "address ... outside DRAM" error is raised for the same burst.
+            for piece_addr, _ in self.split_into_columns(addr, nbytes):
+                self.decode(piece_addr)
+            raise SimulationError(f"address {addr:#x} outside DRAM")
+        cb = self._cb
+        cpr = self._cpr
+        bpv = self._bpv
+        vault_high = self._vault_high
+        pieces = []
+        cursor = addr
+        ci = addr // cb
+        while cursor < end:
+            boundary = (ci + 1) * cb
+            nxt = boundary if boundary < end else end
+            q = ci // cpr
+            if vault_high:
+                q, bank = divmod(q, bpv)
+                vault, row = divmod(q, self._rpb)
+            else:
+                q, vault = divmod(q, self._vaults)
+                row, bank = divmod(q, bpv)
+            pieces.append((cursor, nxt - cursor, vault, bank, row))
+            cursor = nxt
+            ci += 1
         return pieces

@@ -54,13 +54,11 @@ class HMC:
         if is_write and data is not None:
             self.store.write(addr, data)
         done = time
-        for piece_addr, piece_len in self.mapper.split_into_columns(addr, nbytes):
-            decoded = self.mapper.decode(piece_addr)
-            vault = self.vaults[decoded.vault]
-            done = max(
-                done,
-                vault.access(time, decoded.bank, decoded.row, piece_len, is_write),
-            )
+        vaults = self.vaults
+        for _, piece_len, vault_id, bank, row in self.mapper.split_decoded(addr, nbytes):
+            served = vaults[vault_id].access(time, bank, row, piece_len, is_write)
+            if served > done:
+                done = served
         out = None if is_write else self.store.read(addr, nbytes)
         return done, out
 

@@ -10,6 +10,12 @@ entry."  The ARC has 20 entries; a full ARC stalls issue of further loads.
 This model keeps (start, end, clear_time) triples.  Because the simulator is
 timestamp-based, "clearing" an entry simply means its clear time is in the
 past relative to the querying instruction's issue time.
+
+Pruning is deferred: ``_min_clear`` caches the smallest live clear time so
+queries against an all-live table skip the list rebuild entirely.  Expired
+entries never change an overlap result (``max(time, clear <= time)`` is
+``time``), so laziness here is exact; only the capacity math in
+:meth:`earliest_free_time` / :meth:`occupancy` needs a real prune first.
 """
 
 from __future__ import annotations
@@ -18,8 +24,10 @@ from dataclasses import dataclass
 
 from repro.trace.collector import NULL_TRACE, TraceSink
 
+_INF = float("inf")
 
-@dataclass
+
+@dataclass(slots=True)
 class ArcEntry:
     start: int
     end: int  # exclusive
@@ -29,16 +37,24 @@ class ArcEntry:
 class ArrayRangeCheck:
     """The 20-entry associative range tracker."""
 
+    __slots__ = ("capacity", "pe_id", "trace", "_entries", "_min_clear",
+                 "peak_occupancy")
+
     def __init__(self, entries: int = 20, pe_id: int = 0,
                  trace: TraceSink = NULL_TRACE):
         self.capacity = entries
         self.pe_id = pe_id
         self.trace = trace
         self._entries: list[ArcEntry] = []
+        self._min_clear = _INF
         self.peak_occupancy = 0
 
     def _prune(self, time: float) -> None:
-        self._entries = [e for e in self._entries if e.clear_time > time]
+        if self._min_clear > time:
+            return
+        live = [e for e in self._entries if e.clear_time > time]
+        self._entries = live
+        self._min_clear = min((e.clear_time for e in live), default=_INF)
 
     def occupancy(self, time: float) -> int:
         self._prune(time)
@@ -58,21 +74,23 @@ class ArrayRangeCheck:
         Returns ``time`` unchanged when nothing overlaps: the instruction
         may proceed immediately.
         """
-        if nbytes <= 0:
+        if nbytes <= 0 or not self._entries:
             return time
-        self._prune(time)
         end = start + nbytes
         latest = time
         for e in self._entries:
-            if e.start < end and start < e.end:
-                latest = max(latest, e.clear_time)
+            if e.start < end and start < e.end and e.clear_time > latest:
+                latest = e.clear_time
         return latest
 
     def insert(self, start: int, nbytes: int, clear_time: float, time: float) -> None:
         """Record an in-flight scratchpad load covering [start, start+n)."""
         self._prune(time)
         self._entries.append(ArcEntry(start, start + nbytes, clear_time))
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        if clear_time < self._min_clear:
+            self._min_clear = clear_time
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
         if self.trace.enabled:
             self.trace.arc_acquire(self.pe_id, time, max(clear_time - time, 0.0),
                                    start, nbytes)

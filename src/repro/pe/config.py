@@ -52,6 +52,11 @@ class PEConfig:
     instruction_buffer_entries: int = 1024
     branch_taken_penalty: int = 1
     hazard_mode: HazardMode = HazardMode.STALL
+    #: Use the pre-decoded hot loop (``repro.pe.decode``).  Timing and
+    #: counters are identical either way (enforced by
+    #: ``tests/perf/test_fastpath_equiv.py``); ``False`` selects the
+    #: straight-line reference path for cross-checking.
+    fast_path: bool = True
     #: Event sink for the tracing subsystem (``repro.trace``); the default
     #: null sink records nothing and adds no per-event work.
     trace: TraceSink = field(default=NULL_TRACE, compare=False)

@@ -122,18 +122,20 @@ class LocalVaultMemory:
         if is_write and data is not None:
             self.hmc.store.write(addr, data)
         done = time
-        mapper = self.hmc.mapper
-        for i, (piece_addr, piece_len) in enumerate(mapper.split_into_columns(addr, nbytes)):
-            decoded = mapper.decode(piece_addr)
-            if decoded.vault != self.vault and not self.allow_remote:
+        star = self.star_cycles
+        vaults = self.hmc.vaults
+        request_time = time + star  # 1 request/cycle pacing
+        for _, piece_len, vault_id, bank, row in self.hmc.mapper.split_decoded(addr, nbytes):
+            if vault_id != self.vault and not self.allow_remote:
                 raise SimulationError(
-                    f"PE {pe_id} accessed vault {decoded.vault} but is wired "
+                    f"PE {pe_id} accessed vault {vault_id} but is wired "
                     f"to vault {self.vault} only"
                 )
-            request_time = time + i + self.star_cycles  # 1 request/cycle pacing
-            vault = self.hmc.vaults[decoded.vault]
-            served = vault.access(request_time, decoded.bank, decoded.row, piece_len, is_write)
-            done = max(done, served + self.star_cycles)
+            served = vaults[vault_id].access(request_time, bank, row, piece_len, is_write)
+            served += star
+            if served > done:
+                done = served
+            request_time += 1
         if self.trace.enabled:
             self.trace.mem(pe_id, time, done - time, addr, nbytes, is_write)
         out = None if is_write else self.hmc.store.read(addr, nbytes)

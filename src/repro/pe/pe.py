@@ -34,6 +34,20 @@ from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
 from repro.pe.arc import ArrayRangeCheck
 from repro.pe.config import HazardMode, PEConfig
+from repro.pe.decode import (
+    SHAPE_LDST_SRAM,
+    SHAPE_MV,
+    SHAPE_NONE,
+    SHAPE_VS,
+    SHAPE_VV,
+    TAIL_LSU_CAP,
+    TAIL_MEMFENCE,
+    TAIL_NONE,
+    TAIL_V_DRAIN,
+    TAIL_VEC_PIPE,
+    DecodedInstr,
+    predecode,
+)
 from repro.pe.counters import PECounters
 from repro.pe.memoryif import FlatMemory, as_bytes, from_bytes
 from repro.pe.scalar_unit import branch_taken, scalar_alu, to_signed
@@ -49,6 +63,49 @@ class PEStatus(enum.Enum):
     RUNNING = "running"
     BLOCKED = "blocked"  # waiting on a full-empty variable
     HALTED = "halted"
+
+
+class _SpanTimes:
+    """Ready times for scratchpad byte ranges, kept as live intervals.
+
+    Semantically equivalent to a per-byte float64 array updated with
+    ``np.maximum(arr[start:end], time)`` and queried with
+    ``arr[start:end].max()``: the per-byte value is the max time over
+    recorded intervals covering that byte, so a range query equals the max
+    time over intervals overlapping the range.  The interval form turns
+    two numpy slice ufunc calls per operand into a short Python scan —
+    only the handful of in-flight producers/readers are ever live.
+
+    Intervals whose time is ``<= now`` at record time are pruned: every
+    later query's floor is at least the (monotone) PE clock, which is
+    beyond ``now`` by then, so an expired interval can never raise a
+    result.  Queries return ``floor`` unchanged when nothing overlaps,
+    matching the zero-initialised array (times are nonnegative).
+    """
+
+    __slots__ = ("_spans",)
+
+    #: Prune threshold: past this many live spans, expired ones are swept
+    #: before each append (LSU depth bounds live producers at ~64).
+    _SWEEP = 24
+
+    def __init__(self):
+        self._spans: list[tuple[int, int, float]] = []
+
+    def record(self, start: int, end: int, time: float, now: float) -> None:
+        if end <= start:
+            return
+        spans = self._spans
+        if len(spans) >= self._SWEEP:
+            self._spans = spans = [s for s in spans if s[2] > now]
+        spans.append((start, end, time))
+
+    def max_over(self, start: int, end: int, floor: float) -> float:
+        t = floor
+        for s, e, tm in self._spans:
+            if tm > t and s < end and start < e:
+                t = tm
+        return t
 
 
 @dataclass
@@ -97,8 +154,8 @@ class PE:
         self.reg_time = [0.0] * cfg.num_registers
         self.scratchpad = np.zeros(cfg.scratchpad_bytes, dtype=np.uint8)
         self.sp = ScratchpadView(self.scratchpad)
-        self._sp_wtime = np.zeros(cfg.scratchpad_bytes, dtype=np.float64)
-        self._sp_rtime = np.zeros(cfg.scratchpad_bytes, dtype=np.float64)
+        self._sp_wtime = _SpanTimes()
+        self._sp_rtime = _SpanTimes()
         self.vl = 1
         self.mr = 1
         self.fx = 0
@@ -109,11 +166,16 @@ class PE:
         # Cache the trace sink as None-when-disabled so the hot path pays a
         # single identity check per instruction when tracing is off.
         self._tr = cfg.trace if cfg.trace.enabled else None
+        self._hazard_on = cfg.hazard_mode is not HazardMode.IGNORE
         self.arc = ArrayRangeCheck(cfg.arc_entries, pe_id=self.pe_id,
                                    trace=cfg.trace)
         self.counters = PECounters()
         self._blocked_on: tuple[int, float] | None = None  # (addr, issue time)
         self._end_time = 0.0
+        self._dec: list[DecodedInstr] | None = None
+        # Bumped whenever PE state may change; lets the chip scheduler cache
+        # next_issue_lower_bound (which reads only PE-local state).
+        self._version = 0
 
     def load(self, program: Program) -> None:
         """Load a program, clearing execution state but keeping scratchpad
@@ -127,6 +189,13 @@ class PE:
         self.pc = 0
         self.status = PEStatus.RUNNING
         self._blocked_on = None
+        self._version += 1
+        # Traced runs stay on the reference path so per-instruction event
+        # attribution is unchanged.
+        if self.config.fast_path and self._tr is None:
+            self._dec = predecode(program, PE._DISPATCH)
+        else:
+            self._dec = None
 
     def run(self, program: Program | None = None, max_steps: int = 200_000_000) -> PEResult:
         """Run to completion (single-PE convenience wrapper)."""
@@ -153,6 +222,12 @@ class PE:
     def step(self) -> PEStatus:
         """Execute one instruction (or stay blocked)."""
         if self.status is not PEStatus.RUNNING:
+            return self.status
+        self._version += 1
+        dec = self._dec
+        if dec is not None and 0 <= self.pc < len(dec):
+            d = dec[self.pc]
+            d.handler(self, d.instr)
             return self.status
         assert self.program is not None
         if self.pc < 0 or self.pc >= len(self.program):
@@ -196,6 +271,9 @@ class PE:
             return self.clock
         if not 0 <= self.pc < len(self.program):
             return self.clock
+        dec = self._dec
+        if dec is not None:
+            return self._lower_bound_fast(dec[self.pc])
         instr = self.program[self.pc]
         t = self.clock
         op = instr.opcode
@@ -243,13 +321,13 @@ class PE:
                 ranges = [(self._read_reg(instr.rd), count * esz)]
         if ranges:
             size = self.scratchpad.size
-            hazard = self.config.hazard_mode is not HazardMode.IGNORE
+            hazard = self._hazard_on
             for start, nbytes in ranges:
                 if nbytes <= 0 or start < 0 or start + nbytes > size:
                     continue
                 t = max(t, self.arc.overlap_clear_time(start, nbytes, t))
                 if hazard:
-                    t = max(t, float(self._sp_wtime[start : start + nbytes].max()))
+                    t = self._sp_wtime.max_over(start, start + nbytes, t)
         if op in (Opcode.MV, Opcode.VV, Opcode.VS):
             t = max(t, self._vec_pipe_free)
         elif op is Opcode.V_DRAIN:
@@ -260,6 +338,80 @@ class PE:
         elif op in (Opcode.LD_SRAM, Opcode.ST_SRAM, Opcode.LD_REG, Opcode.ST_REG):
             if len(self._outstanding) >= self.config.max_outstanding_mem:
                 t = max(t, min(self._outstanding))
+        return t
+
+    def _lower_bound_fast(self, d: DecodedInstr) -> float:
+        """Pre-decoded twin of :meth:`next_issue_lower_bound`.
+
+        Same stall sources, same evaluation order; the opcode dispatch and
+        register/range tables are resolved once per program by
+        ``repro.pe.decode`` instead of re-branched per call.
+        """
+        t = self.clock
+        reg_time = self.reg_time
+        for r in d.lb_regs:
+            rt = reg_time[r]
+            if rt > t:
+                t = rt
+
+        shape = d.lb_shape
+        if shape != SHAPE_NONE:
+            instr = d.instr
+            esz = d.esz
+            regs = self.regs
+            if shape == SHAPE_MV:
+                ranges = (
+                    (regs[instr.rs1] if instr.rs1 else 0, self.mr * self.vl * esz),
+                    (regs[instr.rs2] if instr.rs2 else 0, self.vl * esz),
+                    (regs[instr.rd] if instr.rd else 0, self.mr * esz),
+                )
+            elif shape == SHAPE_VV:
+                n = self.vl * esz
+                ranges = (
+                    (regs[instr.rs1] if instr.rs1 else 0, n),
+                    (regs[instr.rs2] if instr.rs2 else 0, n),
+                    (regs[instr.rd] if instr.rd else 0, n),
+                )
+            elif shape == SHAPE_VS:
+                n = self.vl * esz
+                ranges = (
+                    (regs[instr.rs1] if instr.rs1 else 0, n),
+                    (regs[instr.rs2] if instr.rs2 else 0, esz),
+                    (regs[instr.rd] if instr.rd else 0, n),
+                )
+            else:  # SHAPE_LDST_SRAM
+                count = regs[instr.rs2] if instr.rs2 else 0
+                if count >= 0:
+                    ranges = ((regs[instr.rd] if instr.rd else 0, count * esz),)
+                else:
+                    ranges = ()
+            size = self.scratchpad.size
+            hazard = self._hazard_on
+            arc_overlap = self.arc.overlap_clear_time
+            wtime = self._sp_wtime
+            for start, nbytes in ranges:
+                if nbytes <= 0 or start < 0 or start + nbytes > size:
+                    continue
+                cleared = arc_overlap(start, nbytes, t)
+                if cleared > t:
+                    t = cleared
+                if hazard:
+                    t = wtime.max_over(start, start + nbytes, t)
+
+        tail = d.lb_tail
+        if tail != TAIL_NONE:
+            if tail == TAIL_VEC_PIPE:
+                if self._vec_pipe_free > t:
+                    t = self._vec_pipe_free
+            elif tail == TAIL_LSU_CAP:
+                if len(self._outstanding) >= self.config.max_outstanding_mem:
+                    t = max(t, min(self._outstanding))
+            elif tail == TAIL_V_DRAIN:
+                if self._vec_last_done > t:
+                    t = self._vec_last_done
+            else:  # TAIL_MEMFENCE
+                if self._outstanding:
+                    t = max(t, max(self._outstanding))
         return t
 
     # -- helpers --------------------------------------------------------
@@ -297,19 +449,18 @@ class PE:
         ``war`` ranges are destinations: they must additionally wait for
         in-flight readers (write-after-read).
         """
-        mode = self.config.hazard_mode
-        if mode is HazardMode.IGNORE:
+        if not self._hazard_on:
             return t
         ready = t
         for start, nbytes in ranges:
             if nbytes <= 0:
                 continue
             end = start + nbytes
-            ready = max(ready, float(self._sp_wtime[start:end].max()))
+            ready = self._sp_wtime.max_over(start, end, ready)
             if war:
-                ready = max(ready, float(self._sp_rtime[start:end].max()))
+                ready = self._sp_rtime.max_over(start, end, ready)
         if ready > t:
-            if mode is HazardMode.ERROR:
+            if self.config.hazard_mode is HazardMode.ERROR:
                 raise TimingHazardError(
                     f"pc={self.pc}: scratchpad data not ready until cycle "
                     f"{ready:.1f} but instruction issues at {t:.1f}"
@@ -331,12 +482,15 @@ class PE:
 
     def _retire(self, issue: float) -> None:
         self.counters.instructions += 1
-        self.clock = issue + 1.0
+        clock = issue + 1.0
+        self.clock = clock
         self.pc += 1
-        self._end_time = max(self._end_time, self.clock)
+        if clock > self._end_time:
+            self._end_time = clock
 
     def _track_end(self, done: float) -> None:
-        self._end_time = max(self._end_time, done)
+        if done > self._end_time:
+            self._end_time = done
 
     # -- vector instructions --------------------------------------------
 
@@ -369,10 +523,15 @@ class PE:
             use_horizontal = False
             vop = instr.vop
 
-        for start, nbytes in reads + writes:
-            self.sp.check_range(start, nbytes, f"{instr.mnemonic} operand")
+        ranges = reads + writes
+        size = self.scratchpad.size
+        for start, nbytes in ranges:
+            # Error text (with the instruction mnemonic) is built only on
+            # the failing path; the mnemonic property is an f-string.
+            if start < 0 or nbytes < 0 or start + nbytes > size:
+                self.sp.check_range(start, nbytes, f"{instr.mnemonic} operand")
 
-        t = self._arc_stall(t, reads + writes)
+        t = self._arc_stall(t, ranges)
         t = self._hazard_stall(t, reads, war=False)
         t = self._hazard_stall(t, writes, war=True)
         if self._vec_pipe_free > t:
@@ -382,7 +541,8 @@ class PE:
         timing = vector_timing(cfg, vop, use_horizontal, cols, rows, instr.width)
         self._vec_pipe_free = t + timing.occupancy
         done = t + timing.done
-        self._vec_last_done = max(self._vec_last_done, done)
+        if done > self._vec_last_done:
+            self._vec_last_done = done
 
         # Functional execution.
         if instr.opcode is Opcode.MV:
@@ -407,16 +567,10 @@ class PE:
             self.counters.vector_alu_ops += cols
 
         for start, nbytes in writes:
-            np.maximum(
-                self._sp_wtime[start : start + nbytes], done,
-                out=self._sp_wtime[start : start + nbytes],
-            )
+            self._sp_wtime.record(start, start + nbytes, done, t)
         read_done = t + timing.occupancy
         for start, nbytes in reads:
-            np.maximum(
-                self._sp_rtime[start : start + nbytes], read_done,
-                out=self._sp_rtime[start : start + nbytes],
-            )
+            self._sp_rtime.record(start, start + nbytes, read_done, t)
         self.counters.vector_instructions += 1
         self._track_end(done)
         self._retire(t)
@@ -528,10 +682,7 @@ class PE:
 
         if nbytes:
             self.scratchpad[sp_dst : sp_dst + nbytes] = data
-            np.maximum(
-                self._sp_wtime[sp_dst : sp_dst + nbytes], done,
-                out=self._sp_wtime[sp_dst : sp_dst + nbytes],
-            )
+            self._sp_wtime.record(sp_dst, sp_dst + nbytes, done, t)
             self.arc.insert(sp_dst, nbytes, done, t)
         heapq.heappush(self._outstanding, done)
         self.counters.loadstore_instructions += 1
@@ -561,10 +712,7 @@ class PE:
         drained = port_start + math.ceil(nbytes / self.config.datapath_bytes)
         self._lsu_port_free = drained
         if nbytes:
-            np.maximum(
-                self._sp_rtime[sp_src : sp_src + nbytes], drained,
-                out=self._sp_rtime[sp_src : sp_src + nbytes],
-            )
+            self._sp_rtime.record(sp_src, sp_src + nbytes, drained, t)
         data = self.scratchpad[sp_src : sp_src + nbytes].copy()
         done, _ = self.memory.access(self.pe_id, drained, dram_dst, nbytes, True, data)
         heapq.heappush(self._outstanding, done)
@@ -636,6 +784,7 @@ class PE:
         if self.status is not PEStatus.BLOCKED or self._blocked_on is None:
             raise SimulationError("resume_fe on a PE that is not blocked")
         assert self.program is not None
+        self._version += 1
         instr = self.program[self.pc]
         _, issue_time = self._blocked_on
         self._blocked_on = None

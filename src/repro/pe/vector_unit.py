@@ -21,6 +21,7 @@ Functional semantics (shared with the workload references through
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -67,6 +68,7 @@ class VectorTiming:
     done: float  # cycles after issue when the last result is written
 
 
+@functools.lru_cache(maxsize=4096)
 def vector_timing(
     config: PEConfig,
     vop: str,
@@ -82,6 +84,10 @@ def vector_timing(
     pipeline depth is the vertical latency (1 for addition-like operations,
     4 for multiplies) plus the horizontal reduction depth when the
     horizontal unit is not bypassed.
+
+    The result is a pure function of the arguments (``PEConfig`` is frozen
+    and hashable, ``trace`` is excluded from its hash), so it is memoised:
+    kernels re-issue the same few (vl, mr, width) shapes millions of times.
     """
     lanes = config.lanes(width_bits)
     chunks_per_row = max(1, math.ceil(elements_per_row / lanes))

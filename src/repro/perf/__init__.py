@@ -8,10 +8,12 @@ from repro.perf.extrapolate import (
     HierarchicalBPResult,
     KernelMeasurement,
     LayerTiming,
+    prewarm_cnn_models,
 )
 from repro.perf.memsweep import SweepPoint, bp_sweep_point, cnn_sweep_point, run_figure5
 from repro.perf.requirements import BPRequirements, fc6_weight_bytes, vgg16_conv_gops
 from repro.perf.roofline import Roofline, RooflinePoint, point_from_counters
+from repro.perf.runner import Task, default_workers, derive_seed, map_tasks, run_tasks
 
 __all__ = [
     "BPModelResult",
@@ -25,10 +27,16 @@ __all__ = [
     "Roofline",
     "RooflinePoint",
     "SweepPoint",
+    "Task",
     "bp_sweep_point",
     "cnn_sweep_point",
+    "default_workers",
+    "derive_seed",
     "fc6_weight_bytes",
+    "map_tasks",
     "point_from_counters",
+    "prewarm_cnn_models",
     "run_figure5",
+    "run_tasks",
     "vgg16_conv_gops",
 ]

@@ -1,0 +1,359 @@
+"""``python -m repro.perf.bench`` — the tracked simulator benchmark suite.
+
+Runs a set of named micro and macro benchmarks, records wall time and
+simulated-cycles-per-second for each, and writes a ``BENCH_<tag>.json``
+snapshot so speedups (and regressions) are tracked in-repo across PRs.
+
+Benches:
+
+* ``fixedpoint-sat`` (micro) — numpy saturating-arithmetic throughput,
+  the per-element cost underneath every vector instruction.
+* ``pe-vector`` (micro) — a single PE running a tight vector-ALU loop
+  against an idealized :class:`~repro.pe.memoryif.FlatMemory`.
+* ``vault-bp-tile`` (macro) — a four-PE vault sweeping a BP-M tile in
+  all four directions (the Table IV BP methodology's inner kernel).
+* ``conv-pass`` (macro) — a VGG-geometry convolution pass on one PE
+  with faithful DRAM timing.
+* ``fc-chunk`` (macro) — an FC weight-tile partial-product stream on
+  one PE with faithful DRAM timing.
+
+``--compare`` additionally runs every simulator bench with the
+pre-decoded fast path disabled (``PEConfig(fast_path=False)``) and
+*asserts* that simulated cycles, counters, DRAM contents, and scratchpad
+contents are identical before recording the fast/reference speedup: the
+fast path must be an optimization, never a model change.  The same
+kernels back ``tests/perf/test_fastpath_equiv.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.pe.config import PEConfig
+from repro.pe.counters import PECounters
+
+SCHEMA = "repro.perf.bench/v1"
+
+MICRO_BENCHES = ("fixedpoint-sat", "pe-vector")
+MACRO_BENCHES = ("vault-bp-tile", "conv-pass", "fc-chunk")
+ALL_BENCHES = MICRO_BENCHES + MACRO_BENCHES
+
+#: Simulator-backed benches (everything except the pure-numpy micro).
+SIM_BENCHES = ("pe-vector",) + MACRO_BENCHES
+
+
+@dataclass
+class KernelRun:
+    """Full observable state of one simulated kernel, for equivalence
+    checks between the fast and reference execution paths."""
+
+    cycles: float
+    counters: PECounters
+    dram: np.ndarray
+    scratchpads: tuple[np.ndarray, ...]
+
+    def assert_equal(self, other: "KernelRun", what: str) -> None:
+        if self.cycles != other.cycles:
+            raise AssertionError(
+                f"{what}: cycles differ ({self.cycles} vs {other.cycles})")
+        if self.counters != other.counters:
+            raise AssertionError(f"{what}: counters differ")
+        if not np.array_equal(self.dram, other.dram):
+            raise AssertionError(f"{what}: DRAM contents differ")
+        for i, (a, b) in enumerate(zip(self.scratchpads, other.scratchpads)):
+            if not np.array_equal(a, b):
+                raise AssertionError(f"{what}: scratchpad {i} differs")
+
+
+# ---------------------------------------------------------------------------
+# Simulated kernels
+
+
+def _pe_vector_program(iters: int, vl: int) -> Program:
+    b = ProgramBuilder()
+    b.set_vl(vl)
+    b.set_fx(4)
+    r_a, r_b, r_c = b.alloc_reg(), b.alloc_reg(), b.alloc_reg()
+    b.movi(r_a, 0)
+    b.movi(r_b, vl * 2)
+    b.movi(r_c, 2 * vl * 2)
+    r_src = b.alloc_reg()
+    b.movi(r_src, 0)
+    r_cnt = b.alloc_reg()
+    b.movi(r_cnt, 2 * vl)
+    b.ld_sram(r_a, r_src, r_cnt)
+    r_i, r_n = b.alloc_reg(), b.alloc_reg()
+    b.movi(r_i, 0)
+    b.movi(r_n, iters)
+    b.label("loop")
+    b.vv("add", r_c, r_a, r_b)
+    b.vv("mul", r_a, r_c, r_b)
+    b.vv("max", r_b, r_a, r_c)
+    b.add(r_i, r_i, imm=1)
+    b.blt(r_i, r_n, "loop")
+    b.v_drain()
+    b.st_sram(r_a, r_src, r_cnt)
+    b.halt()
+    return b.build()
+
+
+def _run_pe_vector(fast_path: bool, quick: bool) -> KernelRun:
+    from repro.pe.memoryif import FlatMemory
+    from repro.pe.pe import PE
+
+    iters, vl = (64, 16) if quick else (512, 32)
+    rng = np.random.default_rng(11)
+    mem = FlatMemory()
+    mem.store.write_array(0, rng.integers(-500, 500, 2 * vl), dtype=np.int16)
+    pe = PE(PEConfig(fast_path=fast_path), memory=mem)
+    result = pe.run(_pe_vector_program(iters, vl))
+    return KernelRun(result.cycles, result.counters,
+                     mem.store.read(0, 4 * vl), (pe.scratchpad.copy(),))
+
+
+def _run_vault_bp_tile(fast_path: bool, quick: bool) -> KernelRun:
+    from repro.kernels.bp_kernel import (
+        BPTileLayout,
+        build_vault_sweep_programs,
+        cross_extent,
+    )
+    from repro.system.chip import Chip
+    from repro.system.config import VIPConfig
+    from repro.workloads.bp import stereo_mrf
+    from repro.workloads.bp.mrf import DIRECTIONS
+
+    rows, cols, labels = (8, 8, 4) if quick else (12, 16, 8)
+    config = VIPConfig(pe=PEConfig(fast_path=fast_path))
+    chip = Chip(config, num_pes=config.pes_per_vault)
+    mrf, _ = stereo_mrf(rows, cols, labels=labels, seed=7)
+    layout = BPTileLayout(base=4096, rows=mrf.rows, cols=mrf.cols,
+                          labels=mrf.labels)
+    layout.stage(chip.hmc.store, mrf, mrf.zero_messages())
+    cycles = 0.0
+    for direction in DIRECTIONS:
+        pes = min(config.pes_per_vault, cross_extent(layout, direction))
+        cycles += chip.run(
+            build_vault_sweep_programs(layout, direction, pes)).cycles
+    counters = PECounters.sum(pe.counters for pe in chip.pes)
+    return KernelRun(cycles, counters,
+                     chip.hmc.store.read(layout.base, layout.total_bytes),
+                     tuple(pe.scratchpad.copy() for pe in chip.pes))
+
+
+def _run_conv_pass(fast_path: bool, quick: bool) -> KernelRun:
+    from repro.kernels.conv_kernel import ConvTileLayout, build_conv_pass_program
+    from repro.memory.hmc import HMC
+    from repro.pe.memoryif import LocalVaultMemory
+    from repro.pe.pe import PE
+
+    out_h, out_w = (4, 8) if quick else (8, 16)
+    z, k, filters = 64, 3, 2
+    rng = np.random.default_rng(7)
+    inputs = rng.integers(-30, 30, (out_h, out_w, z)).astype(np.int16)
+    weights = rng.integers(-20, 20, (filters, k, k, z)).astype(np.int16)
+    bias = rng.integers(-10, 10, filters).astype(np.int16)
+    layout = ConvTileLayout(base=4096, in_h=out_h + 2, in_w=out_w + 2, z=z,
+                            k=k, num_filters=filters, out_h=out_h, out_w=out_w)
+    hmc = HMC()
+    layout.stage(hmc.store, inputs, weights, bias)
+    pe = PE(PEConfig(fast_path=fast_path), memory=LocalVaultMemory(hmc, vault=0))
+    result = pe.run(build_conv_pass_program(layout, 0, filters, 0, out_h,
+                                            fx=8, strip_rows=2))
+    return KernelRun(result.cycles, result.counters,
+                     hmc.store.read(layout.base, layout.total_bytes),
+                     (pe.scratchpad.copy(),))
+
+
+def _run_fc_chunk(fast_path: bool, quick: bool) -> KernelRun:
+    from repro.kernels.fc_kernel import FCTileLayout, build_fc_partial_program
+    from repro.memory.hmc import HMC
+    from repro.pe.memoryif import LocalVaultMemory
+    from repro.pe.pe import PE
+
+    rows, chunk = (16, 64) if quick else (48, 128)
+    rng = np.random.default_rng(7)
+    W = rng.integers(-40, 40, (rows, chunk)).astype(np.int16)
+    X = rng.integers(-40, 40, (1, chunk)).astype(np.int16)
+    layout = FCTileLayout(base=8192, rows=rows, chunk=chunk, batch=1)
+    hmc = HMC()
+    layout.stage(hmc.store, W, X)
+    pe = PE(PEConfig(fast_path=fast_path), memory=LocalVaultMemory(hmc, vault=0))
+    result = pe.run(build_fc_partial_program(layout, fx=6))
+    return KernelRun(result.cycles, result.counters,
+                     hmc.store.read(layout.base, layout.total_bytes),
+                     (pe.scratchpad.copy(),))
+
+
+_SIM_RUNNERS = {
+    "pe-vector": _run_pe_vector,
+    "vault-bp-tile": _run_vault_bp_tile,
+    "conv-pass": _run_conv_pass,
+    "fc-chunk": _run_fc_chunk,
+}
+
+
+def run_sim_kernel(name: str, fast_path: bool = True,
+                   quick: bool = False) -> KernelRun:
+    """Run one simulator bench kernel and capture its observable state.
+
+    This is the registry the fast-path equivalence test drives: calling
+    with ``fast_path`` True and False must produce ``KernelRun``s that
+    compare equal.
+    """
+    return _SIM_RUNNERS[name](fast_path, quick)
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+
+
+def _best_wall(fn, repeat: int) -> float:
+    """Best-of-``repeat`` wall time; the minimum is the least noisy
+    estimator of the true cost on a shared machine."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_fixedpoint(repeat: int, quick: bool, compare: bool) -> dict:
+    from repro.fixedpoint import sat_add, sat_mul, saturate
+
+    n = 1 << 13 if quick else 1 << 15
+    iters = 10 if quick else 50
+    rng = np.random.default_rng(11)
+    a = rng.integers(-40_000, 40_000, n)
+    b = rng.integers(-40_000, 40_000, n)
+
+    def work():
+        for _ in range(iters):
+            saturate(a * 3, 16)
+            sat_add(a, b, 16)
+            sat_mul(a, b, 16, frac_shift=4)
+
+    work()  # warmup
+    wall = _best_wall(work, repeat)
+    ops = 3 * n * iters
+    return {
+        "name": "fixedpoint-sat",
+        "kind": "micro",
+        "wall_s": wall,
+        "elements": ops,
+        "elements_per_second": ops / wall,
+    }
+
+
+def _bench_sim(name: str, repeat: int, quick: bool, compare: bool) -> dict:
+    kind = "micro" if name in MICRO_BENCHES else "macro"
+    runner = _SIM_RUNNERS[name]
+    fast = runner(True, quick)  # warmup (also builds/caches the programs)
+    wall = _best_wall(lambda: runner(True, quick), repeat)
+    record = {
+        "name": name,
+        "kind": kind,
+        "wall_s": wall,
+        "sim_cycles": fast.cycles,
+        "cycles_per_wall_second": fast.cycles / wall,
+    }
+    if compare:
+        reference = runner(False, quick)
+        fast.assert_equal(reference, name)
+        ref_wall = _best_wall(lambda: runner(False, quick), repeat)
+        record["reference_wall_s"] = ref_wall
+        record["speedup"] = ref_wall / wall
+    return record
+
+
+def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
+                quick: bool = False, compare: bool = False) -> list[dict]:
+    """Run the named benches and return one JSON-able record per bench."""
+    records = []
+    for name in names:
+        if name == "fixedpoint-sat":
+            records.append(_bench_fixedpoint(repeat, quick, compare))
+        else:
+            records.append(_bench_sim(name, repeat, quick, compare))
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Run the tracked simulator benchmark suite and write a "
+        "JSON snapshot.",
+    )
+    parser.add_argument("--bench", action="append", choices=ALL_BENCHES,
+                        help="run only this bench (repeatable); default all")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH.json, or "
+                        "BENCH_<tag>.json with --tag)")
+    parser.add_argument("--tag", default=None,
+                        help="snapshot tag, e.g. the PR number")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per bench (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small problem sizes (CI smoke)")
+    parser.add_argument("--compare", action="store_true",
+                        help="also run the reference (fast_path=False) "
+                        "simulator path, assert cycle/counter/memory "
+                        "equality, and record the speedup")
+    parser.add_argument("--merge-baseline", default=None,
+                        help="JSON of baseline timings (a previous bench "
+                        "snapshot, or {name: {wall_s, cycles}}) to record "
+                        "per-bench speedup_vs_baseline against")
+    args = parser.parse_args(argv)
+
+    names = tuple(args.bench) if args.bench else ALL_BENCHES
+    records = run_benches(names, repeat=args.repeat, quick=args.quick,
+                          compare=args.compare)
+    if args.merge_baseline:
+        with open(args.merge_baseline) as f:
+            base = json.load(f)
+        if "benches" in base:
+            base = {b["name"]: b for b in base["benches"]}
+        for r in records:
+            b = base.get(r["name"])
+            if b:
+                r["baseline_wall_s"] = b["wall_s"]
+                r["speedup_vs_baseline"] = b["wall_s"] / r["wall_s"]
+                cycles = b.get("cycles", b.get("sim_cycles"))
+                if cycles is not None:
+                    r["baseline_sim_cycles"] = cycles
+    out = args.out
+    if out is None:
+        out = f"BENCH_{args.tag}.json" if args.tag else "BENCH.json"
+    payload = {
+        "schema": SCHEMA,
+        "tag": args.tag,
+        "quick": args.quick,
+        "repeat": args.repeat,
+        "benches": records,
+    }
+    with open(out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    for r in records:
+        line = f"{r['name']:>14}: {r['wall_s'] * 1e3:9.2f} ms"
+        if "cycles_per_wall_second" in r:
+            line += f"  {r['cycles_per_wall_second'] / 1e3:10.1f} kcycle/s"
+        if "speedup" in r:
+            line += f"  {r['speedup']:5.2f}x vs reference"
+        if "speedup_vs_baseline" in r:
+            line += f"  {r['speedup_vs_baseline']:5.2f}x vs baseline"
+        print(line)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.kernels.fc_kernel import FCTileLayout, build_fc_partial_program
 from repro.kernels.pool_kernel import PoolTileLayout, build_pool_program
 from repro.memory.timing import MemoryConfig
 from repro.pe.counters import PECounters
+from repro.perf.runner import Task, run_tasks
 from repro.system.chip import Chip, ChipResult
 from repro.system.config import VIPConfig
 from repro.workloads.bp.mrf import DIRECTIONS, GridMRF, truncated_linear_smoothness
@@ -128,25 +129,36 @@ class BPPerformanceModel:
         }
         return mrf, messages
 
-    def measure(self) -> BPModelResult:
-        """Simulate the four directional sweeps and extrapolate."""
-        if self._result is not None:
-            return self._result
+    def _sweep_once(self, direction: str) -> tuple[float, PECounters]:
+        """Simulate one directional sweep on one vault (independent of the
+        other directions — safe to run in a worker process)."""
+        from repro.kernels.bp_kernel import cross_extent
+
         mrf, messages = self._make_tile_mrf()
         layout = BPTileLayout(base=4096, rows=self.tile_rows, cols=self.tile_cols,
                               labels=self.labels)
-        sweep_cycles: dict[str, float] = {}
-        sweep_counters: dict[str, PECounters] = {}
-        from repro.kernels.bp_kernel import cross_extent
+        pes = min(self.config.pes_per_vault, cross_extent(layout, direction))
+        chip = Chip(self.config, num_pes=self.config.pes_per_vault)
+        layout.stage(chip.hmc.store, mrf, messages)
+        programs = build_vault_sweep_programs(layout, direction, pes)
+        result = chip.run(programs)
+        return result.cycles, result.counters
 
-        for direction in DIRECTIONS:
-            pes = min(self.config.pes_per_vault, cross_extent(layout, direction))
-            chip = Chip(self.config, num_pes=self.config.pes_per_vault)
-            layout.stage(chip.hmc.store, mrf, messages)
-            programs = build_vault_sweep_programs(layout, direction, pes)
-            result = chip.run(programs)
-            sweep_cycles[direction] = result.cycles
-            sweep_counters[direction] = result.counters
+    def measure(self, max_workers: int | None = None) -> BPModelResult:
+        """Simulate the four directional sweeps (in parallel when cores
+        allow) and extrapolate."""
+        if self._result is not None:
+            return self._result
+        grid = self.grid
+        tasks = [
+            Task(key=f"bp-sweep:{direction}", fn=_bp_sweep_worker,
+                 args=(grid.image_rows, grid.image_cols, self.labels,
+                       self.config.memory, self.seed, direction))
+            for direction in DIRECTIONS
+        ]
+        outcomes = run_tasks(tasks, max_workers=max_workers)
+        sweep_cycles = {d: cycles for d, (cycles, _) in zip(DIRECTIONS, outcomes)}
+        sweep_counters = {d: counters for d, (_, counters) in zip(DIRECTIONS, outcomes)}
 
         boundary = self._boundary_copy_cycles()
         barrier = self._barrier_cycles()
@@ -180,6 +192,20 @@ class BPPerformanceModel:
         of neighbor full-empty handshakes (one hop + DRAM sync access)."""
         per_hop = self.config.noc.hop_cycles + 30.0
         return 2 * self.config.num_vaults * per_hop
+
+
+def _bp_sweep_worker(image_rows: int, image_cols: int, labels: int,
+                     memory: MemoryConfig, seed: int,
+                     direction: str) -> tuple[float, PECounters]:
+    """Process-pool entry point for one BP sweep direction.
+
+    Rebuilds the model from its defining parameters (cheap: construction
+    does no simulation) so only plain config data crosses the pickle
+    boundary; the tile MRF is regenerated deterministically from ``seed``.
+    """
+    model = BPPerformanceModel(image_rows, image_cols, labels,
+                               memory=memory, seed=seed)
+    return model._sweep_once(direction)
 
 
 @dataclass
@@ -510,17 +536,26 @@ class CNNPerformanceModel:
 
     # -- network ------------------------------------------------------------
 
-    def layer_timings(self) -> list[LayerTiming]:
+    def _layer_timing(self, layer: LayerInstance) -> LayerTiming:
+        if isinstance(layer.spec, ConvSpec):
+            return self._conv_timing(layer)
+        if isinstance(layer.spec, PoolSpec):
+            return self._pool_timing(layer)
+        return self._fc_timing(layer)
+
+    def layer_timings(self, max_workers: int | None = None) -> list[LayerTiming]:
+        """Per-layer timings, simulated in parallel (each layer's vault
+        simulation is independent); results are in network layer order."""
         if self._timings is None:
-            timings = []
-            for layer in self.network:
-                if isinstance(layer.spec, ConvSpec):
-                    timings.append(self._conv_timing(layer))
-                elif isinstance(layer.spec, PoolSpec):
-                    timings.append(self._pool_timing(layer))
-                else:
-                    timings.append(self._fc_timing(layer))
-            self._timings = timings
+            layers = list(self.network)
+            tasks = [
+                Task(key=f"cnn-layer:{self.network.name}:{i}:{layer.name}",
+                     fn=_cnn_layer_worker,
+                     args=(self.network, self.batch, self.config.memory,
+                           self.seed, self.sim_rows, self.fc_sim_rows, i))
+                for i, layer in enumerate(layers)
+            ]
+            self._timings = run_tasks(tasks, max_workers=max_workers)
         return self._timings
 
     def total_ms(self, kinds: tuple[str, ...] = ("conv", "pool", "fc")) -> float:
@@ -536,3 +571,40 @@ class CNNPerformanceModel:
 
     def network_ms(self) -> float:
         return self.total_ms()
+
+
+def _cnn_layer_worker(network: Network, batch: int, memory: MemoryConfig,
+                      seed: int, sim_rows: int, fc_sim_rows: int,
+                      index: int) -> LayerTiming:
+    """Process-pool entry point for one CNN/MLP layer timing."""
+    model = CNNPerformanceModel(network, batch=batch, memory=memory, seed=seed,
+                                sim_rows=sim_rows, fc_sim_rows=fc_sim_rows)
+    return model._layer_timing(list(network)[index])
+
+
+def prewarm_cnn_models(models: list[CNNPerformanceModel],
+                       max_workers: int | None = None) -> None:
+    """Fill several models' layer-timing caches with one flat fan-out.
+
+    Warming each model in turn leaves cores idle at every model's tail;
+    pooling every (model, layer) pair into a single task list keeps the
+    pool saturated.  Results land in each model's ``_timings`` in network
+    layer order, exactly as :meth:`CNNPerformanceModel.layer_timings`
+    would compute them.
+    """
+    pending = [m for m in models if m._timings is None]
+    tasks: list[Task] = []
+    slices = []
+    for m in pending:
+        start = len(tasks)
+        for i, layer in enumerate(list(m.network)):
+            tasks.append(
+                Task(key=f"cnn-layer:{m.network.name}:b{m.batch}:{i}:{layer.name}",
+                     fn=_cnn_layer_worker,
+                     args=(m.network, m.batch, m.config.memory, m.seed,
+                           m.sim_rows, m.fc_sim_rows, i))
+            )
+        slices.append((m, start, len(tasks)))
+    results = run_tasks(tasks, max_workers=max_workers)
+    for m, start, end in slices:
+        m._timings = results[start:end]

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.memory.timing import FIGURE5_CONFIGS, MemoryConfig
 from repro.perf.extrapolate import BPPerformanceModel, CNNPerformanceModel
+from repro.perf.runner import Task, run_tasks
 from repro.workloads.bp.mrf import DIRECTIONS
 from repro.workloads.cnn.vgg import vgg16
 
@@ -61,15 +62,25 @@ def cnn_sweep_point(name: str, memory: MemoryConfig, batch: int = 1) -> SweepPoi
 
 
 def run_figure5(workloads: tuple[str, ...] = ("bp", "cnn"),
-                configs: dict | None = None) -> list[SweepPoint]:
+                configs: dict | None = None,
+                max_workers: int | None = None) -> list[SweepPoint]:
     """Run the full Figure 5 sweep; returns one point per (config,
-    workload)."""
+    workload).
+
+    The (config, workload) points are independent simulations, so they fan
+    out through :func:`repro.perf.runner.run_tasks`; factories are
+    evaluated in the parent (they may be lambdas, which don't pickle) and
+    the resulting frozen configs are shipped to the workers.  Result order
+    matches the serial loop: bp then cnn for each config, in dict order.
+    """
     configs = configs if configs is not None else FIGURE5_CONFIGS
-    points = []
+    tasks = []
     for name, factory in configs.items():
         memory = factory()
         if "bp" in workloads:
-            points.append(bp_sweep_point(name, memory))
+            tasks.append(Task(key=f"bp:{name}", fn=bp_sweep_point,
+                              args=(name, memory)))
         if "cnn" in workloads:
-            points.append(cnn_sweep_point(name, memory))
-    return points
+            tasks.append(Task(key=f"cnn:{name}", fn=cnn_sweep_point,
+                              args=(name, memory)))
+    return run_tasks(tasks, max_workers=max_workers)

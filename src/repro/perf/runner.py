@@ -1,0 +1,95 @@
+"""Parallel experiment runner: fan independent simulations across cores.
+
+Every table/figure in the evaluation is a collection of *independent*
+simulations — per-layer CNN rows, the four BP sweep directions, the eight
+Figure 5 memory points — so they parallelize embarrassingly with a
+:class:`concurrent.futures.ProcessPoolExecutor`.  This module is the one
+place that owns the fork/submit/collect mechanics, with three guarantees:
+
+* **Deterministic ordering** — results come back in task-submission order
+  (never completion order), so parallel and serial runs produce the same
+  tables byte for byte.
+* **Deterministic seeding** — :func:`derive_seed` hashes a task key with
+  :func:`zlib.crc32` (the builtin ``hash`` is randomized per process, which
+  would make worker seeds differ run to run).
+* **Graceful degradation** — with one worker, one task, or when already
+  inside a worker process (no nested pools), tasks run inline in the
+  calling process, which is also the code path a debugger sees.
+
+Workers are selected by the ``REPRO_MAX_WORKERS`` environment variable
+when set, else ``os.cpu_count()``.  Task functions must be module-level
+(picklable) and their arguments/results must survive a round trip through
+pickle — dataclasses of numbers, numpy arrays, and configs all do.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: ``fn(*args, **kwargs)`` in some process."""
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+def derive_seed(base: int, *parts: Any) -> int:
+    """A stable per-task seed from a base seed and identifying parts.
+
+    Stable across processes and interpreter runs (unlike ``hash``), cheap,
+    and well-spread: tasks that share ``base`` but differ in any part get
+    unrelated streams.
+    """
+    text = ":".join(str(p) for p in parts)
+    return (base * 1_000_003 + zlib.crc32(text.encode("utf-8"))) % (1 << 31)
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_MAX_WORKERS`` when set, else the CPU count."""
+    env = os.environ.get("REPRO_MAX_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _call(task: Task) -> Any:
+    return task.fn(*task.args, **task.kwargs)
+
+
+def run_tasks(tasks: Iterable[Task], max_workers: int | None = None) -> list[Any]:
+    """Run ``tasks``, returning their results in submission order.
+
+    Fans out over a process pool when it can help; otherwise (one task,
+    one worker, or already inside a pool worker) runs inline.  A failing
+    task re-raises its exception in the caller, as the serial loop would.
+    """
+    tasks = list(tasks)
+    if max_workers is None:
+        max_workers = default_workers()
+    workers = min(max_workers, len(tasks))
+    if workers <= 1 or multiprocessing.parent_process() is not None:
+        return [_call(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_call, t) for t in tasks]
+        return [f.result() for f in futures]
+
+
+def map_tasks(fn: Callable[..., Any], argsets: Sequence[tuple],
+              key: str = "task", max_workers: int | None = None) -> list[Any]:
+    """Convenience wrapper: ``[fn(*args) for args in argsets]`` in parallel."""
+    return run_tasks(
+        [Task(key=f"{key}:{i}", fn=fn, args=tuple(a)) for i, a in enumerate(argsets)],
+        max_workers=max_workers,
+    )

@@ -50,42 +50,58 @@ class ChipResult:
 
 
 class _ChipPort:
-    """The memory port handed to each PE by the chip."""
+    """The memory port handed to each PE by the chip.
+
+    One of these exists per PE and sits on the ``ld.sram``/``st.sram``
+    per-burst hot path, so it is slot-ed and keeps direct references to the
+    chip's HMC/NoC (stable for the chip's lifetime) rather than chasing
+    ``chip.*`` attribute chains per request.
+    """
+
+    __slots__ = ("chip", "vault", "hmc", "noc", "star", "_tr")
 
     def __init__(self, chip: "Chip", vault: int):
         self.chip = chip
         self.vault = vault
+        self.hmc = chip.hmc
+        self.noc = chip.noc
+        self.star = chip.config.noc.star_cycles
+        self._tr = chip.trace if chip.trace.enabled else None
 
     def access(self, pe_id, time, addr, nbytes, is_write, data=None):
-        chip = self.chip
+        hmc = self.hmc
         if is_write and data is not None:
-            chip.hmc.store.write(addr, data)
-        noc = chip.noc
+            hmc.store.write(addr, data)
+        noc = self.noc
         t0 = noc.pe_to_vault(time, _HEADER_BYTES)
         done = time
-        traced = chip.trace.enabled
-        for i, (piece_addr, piece_len) in enumerate(
-            chip.hmc.mapper.split_into_columns(addr, nbytes)
-        ):
-            decoded = chip.hmc.mapper.decode(piece_addr)
-            request_time = t0 + i  # one request per cycle address generation
-            payload_out = piece_len if is_write else 0
-            if decoded.vault != self.vault:
-                request_time = noc.transfer(
-                    request_time, self.vault, decoded.vault, _HEADER_BYTES + payload_out
+        home = self.vault
+        star = self.star
+        vaults = hmc.vaults
+        request_time = t0  # one request per cycle address generation
+        for _, piece_len, vault_id, bank, row in hmc.mapper.split_decoded(addr, nbytes):
+            if vault_id != home:
+                payload_out = piece_len if is_write else 0
+                served = vaults[vault_id].access(
+                    noc.transfer(request_time, home, vault_id,
+                                 _HEADER_BYTES + payload_out),
+                    bank, row, piece_len, is_write,
                 )
-            served = chip.hmc.vaults[decoded.vault].access(
-                request_time, decoded.bank, decoded.row, piece_len, is_write
-            )
-            payload_back = 0 if is_write else piece_len
-            if decoded.vault != self.vault:
+                payload_back = 0 if is_write else piece_len
                 served = noc.transfer(
-                    served, decoded.vault, self.vault, _HEADER_BYTES + payload_back
+                    served, vault_id, home, _HEADER_BYTES + payload_back
                 )
-            done = max(done, served + chip.config.noc.star_cycles)
-        if traced:
-            chip.trace.mem(pe_id, time, done - time, addr, nbytes, is_write)
-        out = None if is_write else chip.hmc.store.read(addr, nbytes)
+            else:
+                served = vaults[vault_id].access(
+                    request_time, bank, row, piece_len, is_write
+                )
+            served += star
+            if served > done:
+                done = served
+            request_time += 1
+        if self._tr is not None:
+            self._tr.mem(pe_id, time, done - time, addr, nbytes, is_write)
+        out = None if is_write else hmc.store.read(addr, nbytes)
         return done, out
 
     def _fe_latency(self, addr: int) -> float:
@@ -139,11 +155,15 @@ class Chip:
             for i in range(num_pes)
         ]
         self._fe_queues: dict[int, list[tuple[int, float]]] = {}
+        # Bumped on every fe_push; lets the scheduler skip the blocked-PE
+        # wake scan when no store could possibly have freed anyone.
+        self._fe_version = 0
 
     # -- full-empty plumbing -------------------------------------------
 
     def fe_push(self, addr: int, value: int, ready: float) -> None:
         self._fe_queues.setdefault(addr, []).append((value, ready))
+        self._fe_version += 1
 
     def fe_pop(self, addr: int) -> tuple[int, float] | None:
         queue = self._fe_queues.get(addr)
@@ -176,19 +196,31 @@ class Chip:
             heapq.heappush(active, (0.0, pe_id))
         blocked: set[int] = set()
         steps = 0
+        pes = self.pes
+        # next_issue_lower_bound reads only PE-local state, so a parked
+        # PE's bound cannot change until it steps (or is resumed): cache it
+        # keyed by the PE's state version instead of recomputing per poll.
+        bound_cache: list[tuple[int, float]] = [(-1, 0.0)] * len(pes)
+        fe_seen = self._fe_version
         while active:
             key, pe_id = heapq.heappop(active)
-            pe = self.pes[pe_id]
+            pe = pes[pe_id]
             if pe.status is PEStatus.RUNNING:
                 # Conservative ordering: execute only when this PE's next
                 # instruction issues no later than every other PE's bound;
                 # otherwise re-queue at the refined time.  This keeps
                 # mutations of shared DRAM/NoC state in global time order
                 # even when one instruction stalls for hundreds of cycles.
-                bound = pe.next_issue_lower_bound()
-                if active and bound > active[0][0]:
-                    heapq.heappush(active, (bound, pe_id))
-                    continue
+                # With no other runnable PE the bound is irrelevant (the
+                # reference loop steps immediately too): idle-skip it.
+                if active:
+                    version, bound = bound_cache[pe_id]
+                    if version != pe._version:
+                        bound = pe.next_issue_lower_bound()
+                        bound_cache[pe_id] = (pe._version, bound)
+                    if bound > active[0][0]:
+                        heapq.heappush(active, (bound, pe_id))
+                        continue
                 pe.step()
                 steps += 1
                 if steps > max_steps:
@@ -197,10 +229,13 @@ class Chip:
                 heapq.heappush(active, (pe.clock, pe_id))
             elif pe.status is PEStatus.BLOCKED:
                 blocked.add(pe_id)
-            # Any store may have freed blocked PEs; wake the eligible ones.
-            if blocked:
+            # A store may have freed blocked PEs; wake the eligible ones.
+            # Only fe_push can make a waiter eligible (a PE blocks only on
+            # an empty queue), so the scan is skipped until one happens.
+            if blocked and fe_seen != self._fe_version:
+                fe_seen = self._fe_version
                 for waiting_id in list(blocked):
-                    waiter = self.pes[waiting_id]
+                    waiter = pes[waiting_id]
                     addr = waiter.blocked_addr
                     if addr is not None and self.fe_pending(addr):
                         port: _ChipPort = waiter.memory  # type: ignore[assignment]

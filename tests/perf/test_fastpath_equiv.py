@@ -1,0 +1,31 @@
+"""The fast path must be an optimization, never a model change.
+
+Every simulator bench kernel is run with ``PEConfig(fast_path=True)`` and
+``False`` and the two runs must agree on *everything observable*: simulated
+cycles, the PE counters, DRAM contents, and scratchpad contents.  This is
+the correctness gate for the pre-decoded hot loop, the cached issue lower
+bound, and the interval-list scratchpad timing tracker.
+"""
+
+import pytest
+
+from repro.perf.bench import SIM_BENCHES, run_sim_kernel
+
+
+@pytest.mark.parametrize("name", SIM_BENCHES)
+def test_fast_path_matches_reference(name):
+    fast = run_sim_kernel(name, fast_path=True, quick=True)
+    reference = run_sim_kernel(name, fast_path=False, quick=True)
+    # assert_equal raises with a precise message on any divergence.
+    fast.assert_equal(reference, name)
+    assert fast.cycles > 0
+    assert fast.counters.instructions > 0
+
+
+def test_bp_tile_full_size_cycles_match():
+    """One non-quick macro as a deeper check: the larger tile exercises
+    multi-strip sweeps, ARC pressure, and the conservative multi-PE
+    scheduler more heavily."""
+    fast = run_sim_kernel("vault-bp-tile", fast_path=True, quick=False)
+    reference = run_sim_kernel("vault-bp-tile", fast_path=False, quick=False)
+    fast.assert_equal(reference, "vault-bp-tile-full")

@@ -1,0 +1,79 @@
+"""The parallel experiment runner: ordering, seeding, degradation."""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.bench import main as _bench_cli_main
+from repro.perf.runner import Task, default_workers, derive_seed, map_tasks, run_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"boom {x}")
+
+
+def test_results_in_submission_order():
+    tasks = [Task(key=f"sq:{i}", fn=_square, args=(i,)) for i in range(20)]
+    assert run_tasks(tasks) == [i * i for i in range(20)]
+    assert run_tasks(tasks, max_workers=1) == [i * i for i in range(20)]
+    assert run_tasks(tasks, max_workers=4) == [i * i for i in range(20)]
+
+
+def test_map_tasks():
+    assert map_tasks(_square, [(3,), (4,)]) == [9, 16]
+
+
+def test_failing_task_raises():
+    tasks = [Task(key="ok", fn=_square, args=(2,)),
+             Task(key="bad", fn=_fail, args=(1,))]
+    with pytest.raises(ValueError, match="boom"):
+        run_tasks(tasks, max_workers=1)
+    with pytest.raises(ValueError, match="boom"):
+        run_tasks(tasks, max_workers=2)
+
+
+def test_derive_seed_stable_and_spread():
+    assert derive_seed(0, "bp", "down") == derive_seed(0, "bp", "down")
+    assert derive_seed(0, "bp", "down") != derive_seed(0, "bp", "up")
+    assert derive_seed(0, "bp", "down") != derive_seed(1, "bp", "down")
+    assert 0 <= derive_seed(12345, "x") < (1 << 31)
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "bogus")
+    assert default_workers() == (os.cpu_count() or 1)
+
+
+def test_parallel_equals_serial_bp_measure():
+    """The BP model must produce identical results through the pool and
+    inline (deterministic per-direction seeding, order-stable collection)."""
+    from repro.perf.extrapolate import BPPerformanceModel
+
+    serial = BPPerformanceModel(image_rows=24, image_cols=48, labels=4)
+    parallel = BPPerformanceModel(image_rows=24, image_cols=48, labels=4)
+    a = serial.measure(max_workers=1)
+    b = parallel.measure(max_workers=2)
+    assert a.sweep_cycles == b.sweep_cycles
+    assert a.sweep_counters == b.sweep_counters
+    assert a.iteration_cycles == b.iteration_cycles
+
+
+def test_bench_cli_smoke(tmp_path):
+    out = tmp_path / "bench.json"
+    rc = _bench_cli_main(["--quick", "--repeat", "1", "--bench", "fixedpoint-sat",
+                     "--bench", "fc-chunk", "--compare", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.perf.bench/v1"
+    names = [b["name"] for b in payload["benches"]]
+    assert names == ["fixedpoint-sat", "fc-chunk"]
+    fc = payload["benches"][1]
+    assert fc["sim_cycles"] > 0 and fc["wall_s"] > 0
+    assert "speedup" in fc  # --compare ran the reference path too
