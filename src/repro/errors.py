@@ -2,6 +2,26 @@
 
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause.
+
+Simulation failures that stop a full-system run (:class:`DeadlockError`,
+and the ``max_steps`` :class:`SimulationError`) carry a structured
+:class:`~repro.system.chip.BlockedReport` on their ``report`` attribute —
+one entry per unfinished PE with its pc, disassembled instruction, and
+blocking cause (full-empty address, ARC region, LSU occupancy, ...)::
+
+    from repro.errors import DeadlockError
+    from repro.isa import assemble
+    from repro.system import Chip
+
+    chip = Chip(num_pes=2)
+    waiter = assemble("mov.imm r2, 0x100000\\nld.fe r3, r2\\nhalt")
+    try:
+        chip.run([waiter, assemble("halt")])
+    except DeadlockError as err:
+        print(err)            # message already includes the report text
+        for entry in err.report.entries:
+            print(entry.pe_id, entry.pc, entry.instruction, entry.cause)
+    # -> 0 1 'ld.fe r3, r2' 'full-empty'
 """
 
 
@@ -47,7 +67,22 @@ class TimingHazardError(SimulationError):
 class DeadlockError(SimulationError):
     """Raised when the full-system scheduler detects that every processing
     engine is blocked (e.g. on full-empty synchronization) and no memory
-    event can unblock any of them."""
+    event can unblock any of them.
+
+    ``report`` (when provided by the raiser) is a
+    :class:`~repro.system.chip.BlockedReport` naming, for each blocked
+    PE, its pc, disassembled instruction, and the exact blocking cause.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
+class UncorrectableEccError(SimulationError):
+    """Raised by the SECDED ECC model (``repro.faults``) when a DRAM read
+    observes two or more faulty bits in one 64-bit word and
+    ``FaultConfig.ecc_double_bit`` is ``"raise"``."""
 
 
 class ConfigError(ReproError):

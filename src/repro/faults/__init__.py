@@ -1,0 +1,38 @@
+"""Fault injection and resilience analysis (``repro.faults``).
+
+VIP's premise is that inference tolerates approximation: fixed-point
+min-sum BP and quantized CNN layers converge despite noise.  This package
+makes that claim testable by the simulator itself — a deterministic,
+seeded fault-injection layer with pluggable injectors for DRAM bit flips
+(per-read and per-refresh-interval), scratchpad write noise and stuck-at
+cells, NoC flit corruption/drop with re-injection, transient PE compute
+faults, and an optional SECDED ECC model — plus a resilience-sweep CLI
+(``python -m repro.faults``) that measures output-quality degradation
+against the fault-free golden run across a fault-rate grid.
+
+Quickstart::
+
+    from repro.faults import FaultConfig, FaultInjector
+    from repro.system import Chip, VIPConfig
+
+    faults = FaultInjector(FaultConfig(seed=7, dram_read_flip_rate=1e-6))
+    chip = Chip(VIPConfig(faults=faults))
+    ...  # run programs; corrupted loads now happen, deterministically
+    print(faults.stats.as_dict())
+
+The default :data:`NO_FAULTS` null object costs nothing: with it (i.e. by
+default), cycles, counters, DRAM state, and scratchpad contents are
+byte-identical to a simulator without the fault plumbing.
+"""
+
+from repro.faults.config import NO_FAULTS, FaultConfig, NullFaultInjector
+from repro.faults.injector import FaultInjector, FaultStats, stream_seed
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "NO_FAULTS",
+    "NullFaultInjector",
+    "stream_seed",
+]

@@ -1,0 +1,115 @@
+"""``python -m repro.faults`` — the resilience-sweep command line.
+
+Runs BP-M and/or a VGG-geometry convolution pass across a fault-rate
+grid and reports output quality against the fault-free golden run::
+
+    python -m repro.faults --rates 0,1e-6,1e-5,1e-4 --seeds 0,1 \\
+        --mechanism dram --out sweep.json --csv sweep.csv
+
+The zero-rate point runs with the injector attached and must match the
+golden run exactly (byte-identical simulation); CI asserts this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.sweep import (
+    DEFAULT_RATES,
+    MECHANISMS,
+    WORKLOADS,
+    run_sweep,
+    write_csv,
+    write_json,
+)
+
+
+def _floats(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _ints(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _workloads(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Fault-injection resilience sweep over VIP workloads.",
+    )
+    parser.add_argument("--workloads", type=_workloads,
+                        default=list(WORKLOADS),
+                        help="comma-separated subset of: "
+                             + ",".join(WORKLOADS))
+    parser.add_argument("--rates", type=_floats,
+                        default=list(DEFAULT_RATES),
+                        help="comma-separated fault rates (include 0 for "
+                             "the golden-equality anchor)")
+    parser.add_argument("--seeds", type=_ints, default=[0],
+                        help="comma-separated injector seeds")
+    parser.add_argument("--mechanism", choices=sorted(MECHANISMS),
+                        default="dram", help="which fault mechanism to sweep")
+    parser.add_argument("--ecc", action="store_true",
+                        help="enable the SECDED ECC model on DRAM reads")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale workload geometry (default: quick)")
+    parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retry budget per point (for timeouts)")
+    parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument("--csv", default=None, help="write CSV here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    payload = run_sweep(
+        workloads=args.workloads,
+        rates=args.rates,
+        seeds=args.seeds,
+        mechanism=args.mechanism,
+        ecc=args.ecc,
+        quick=not args.full,
+        max_workers=args.max_workers,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    header = (f"{'workload':<8} {'rate':>10} {'seed':>5} {'ok':>3} "
+              f"{'quality':>22} {'faults':>7}")
+    print(header)
+    print("-" * len(header))
+    for row in payload["points"]:
+        if not row["ok"]:
+            quality = row["error"][:22]
+            faults = "-"
+        elif row["workload"] == "bp":
+            quality = (f"agree={row['agreement']:.3f} "
+                       f"E/E0={row['energy_ratio']:.3f}")
+            faults = str(row["faults_injected"])
+        else:
+            quality = f"mse={row['mse']:.4g}"
+            faults = str(row["faults_injected"])
+        print(f"{row['workload']:<8} {row['rate']:>10g} {row['seed']:>5} "
+              f"{str(row['ok']).lower():>3} {quality:>22} {faults:>7}")
+    failed = sum(1 for row in payload["points"] if not row["ok"])
+    if failed:
+        print(f"{failed} point(s) failed (salvaged as ok=false rows)",
+              file=sys.stderr)
+    if args.out:
+        write_json(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.csv:
+        write_csv(payload, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

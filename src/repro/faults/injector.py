@@ -1,0 +1,445 @@
+"""Deterministic, seeded fault injection for the VIP simulator.
+
+One :class:`FaultInjector` serves one simulated system (a chip, or a
+single PE plus its memory port).  Hook sites live in the memory ports
+(DRAM read flips + ECC), the PE (scratchpad write noise, stuck-at cells,
+vector compute faults), and the torus (flit corruption/drop with
+re-injection); each caches ``faults if faults.enabled else None`` so the
+disabled path costs one identity check.
+
+Determinism
+-----------
+
+Every fault category draws from its own :class:`numpy.random.Generator`
+seeded by ``blake2b(seed, category)``, so enabling one mechanism never
+shifts another's stream, and a fixed ``(seed, rates)`` configuration
+reproduces bit-identical faults for a bit-identical simulation — whether
+the simulation runs inline or inside a process-pool worker.  Retention
+(refresh-interval) failures are drawn per ``(page, epoch)`` from a
+dedicated stream so they do not depend on how many reads happened in
+between.  Zero rates draw binomials with ``p=0``: no fault fires, no
+timing penalty is added, and the run is byte-identical to a fault-free
+one.
+
+ECC
+---
+
+The optional SECDED model protects DRAM reads at 64-bit-word granularity:
+words with a single faulty bit are corrected (costing
+``ecc_correction_cycles`` of extra read latency each; retention faults
+are also scrubbed from the backing store), words with two or more faulty
+bits either raise :class:`~repro.errors.UncorrectableEccError` or are
+delivered corrupted and counted, per ``ecc_double_bit``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.errors import ConfigError, UncorrectableEccError
+from repro.faults.config import NO_FAULTS, FaultConfig, NullFaultInjector
+from repro.memory.store import PAGE_BYTES, DramStore
+from repro.trace.collector import NULL_TRACE, TraceSink
+
+_PAGE_BITS = PAGE_BYTES * 8
+_WORD_BITS = 64
+
+
+def stream_seed(base: int, *parts) -> int:
+    """A stable 64-bit seed for one fault stream.
+
+    Unlike ``hash``, stable across processes and interpreter runs; unlike
+    ``zlib.crc32``, wide enough to seed PCG64 streams without collisions
+    across per-page/per-epoch retention draws.
+    """
+    text = ":".join(str(p) for p in (base, *parts)).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(text, digest_size=8).digest(), "little")
+
+
+@dataclass
+class FaultStats:
+    """Counts of every fault drawn/served by one injector."""
+
+    dram_read_flips: int = 0
+    dram_retention_flips: int = 0
+    sp_write_flips: int = 0
+    sp_stuck_cells: int = 0
+    compute_flips: int = 0
+    noc_drops: int = 0
+    noc_corruptions: int = 0
+    noc_retries: int = 0
+    ecc_corrected_words: int = 0
+    ecc_uncorrectable_words: int = 0
+    ecc_penalty_cycles: float = 0.0
+
+    @property
+    def total_injected(self) -> int:
+        return (self.dram_read_flips + self.dram_retention_flips
+                + self.sp_write_flips + self.compute_flips
+                + self.noc_drops + self.noc_corruptions)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultInjector:
+    """Draws and applies faults for one simulated system.
+
+    Args:
+        config: the :class:`~repro.faults.config.FaultConfig` specification.
+
+    Carry the injector in ``VIPConfig(faults=...)`` (it propagates into
+    the PE config like the trace sink) or, for single-PE runs, in both
+    ``PEConfig(faults=...)`` and the memory port's ``faults=``.  Use one
+    injector per simulated system; binding it to a second backing store
+    raises.
+    """
+
+    enabled = True
+
+    def __init__(self, config: FaultConfig | None = None):
+        self.config = config or FaultConfig()
+        self.stats = FaultStats()
+        self.trace: TraceSink = NULL_TRACE
+        cfg = self.config
+        self._dram_rng = np.random.default_rng(stream_seed(cfg.seed, "dram"))
+        self._sp_rng = np.random.default_rng(stream_seed(cfg.seed, "sp"))
+        self._compute_rng = np.random.default_rng(stream_seed(cfg.seed, "compute"))
+        self._noc_rng = np.random.default_rng(stream_seed(cfg.seed, "noc"))
+        # Per-category quick guards so an enabled injector with some (or
+        # all) rates at zero skips those hooks' draws entirely.
+        self._dram_on = cfg.dram_read_flip_rate > 0.0
+        self._sp_on = cfg.sp_write_flip_rate > 0.0
+        self._stuck_on = cfg.sp_stuck_cell_rate > 0.0
+        self._compute_on = cfg.compute_flip_rate > 0.0
+        self._noc_event_rate = cfg.noc_drop_rate + cfg.noc_corrupt_rate
+        self._store: DramStore | None = None
+        self._retention_interval: float | None = None
+        #: page index -> last refresh epoch whose retention faults were drawn.
+        self._page_epoch: dict[int, int] = {}
+        #: 64-bit word index -> set of faulty bit positions persisted to the
+        #: store but not yet examined by ECC (only tracked when ECC is on).
+        self._latent: dict[int, set[int]] = {}
+        #: pe_id -> (byte indices, AND masks, OR masks) of stuck cells.
+        self._stuck_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # binding
+
+    def bind_store(self, store: DramStore, refresh_cycles: float | None) -> None:
+        """Attach the backing store (for retention persistence and ECC
+        scrubbing).  Called by :class:`~repro.memory.hmc.HMC` and
+        :class:`~repro.pe.memoryif.FlatMemory` at construction."""
+        if self._store is not None and self._store is not store:
+            raise ConfigError(
+                "FaultInjector is already bound to a different memory store; "
+                "use one injector per simulated system"
+            )
+        self._store = store
+        if self.config.retention_interval_cycles is not None:
+            self._retention_interval = self.config.retention_interval_cycles
+        else:
+            self._retention_interval = refresh_cycles
+
+    def bind_trace(self, sink: TraceSink) -> None:
+        """Adopt a trace sink so faults appear in the event timeline."""
+        if sink.enabled:
+            self.trace = sink
+
+    @property
+    def _retention_on(self) -> bool:
+        return (self.config.dram_retention_flip_rate > 0.0
+                and self._retention_interval is not None)
+
+    # ------------------------------------------------------------------
+    # DRAM reads (+ ECC)
+
+    def dram_read(self, pe_id: int, addr: int, data: np.ndarray,
+                  time: float) -> float:
+        """Corrupt (and, with ECC, correct) one timed DRAM read.
+
+        Mutates ``data`` in place and returns the possibly-increased
+        completion time (ECC correction latency).  Fault bits come in two
+        flavors that ECC must treat oppositely: *new* faults (transient
+        read disturb, retention decay due this interval) are absent from
+        ``data`` and get XORed in when delivered, while *latent* faults
+        (retention decay persisted by an earlier read the ECC never
+        examined) are already present in ``data`` and get XORed *out*
+        when corrected.
+        """
+        nbytes = data.size
+        if nbytes == 0:
+            return time
+        base_bit = addr * 8
+        end_bit = base_bit + nbytes * 8
+        new_bits: dict[int, set[int]] = {}  # word -> in-span new fault bits
+        latent_bits: dict[int, set[int]] = {}  # word -> in-span latent bits
+        persist: set[int] = set()  # global bits decaying in the store
+        transient: set[int] = set()
+
+        if self._retention_on:
+            self._draw_retention(addr, nbytes, time, new_bits, persist)
+        if self._dram_on:
+            k = int(self._dram_rng.binomial(nbytes * 8,
+                                            self.config.dram_read_flip_rate))
+            if k:
+                for pos in self._dram_rng.integers(0, nbytes * 8, size=k):
+                    bit = base_bit + int(pos)
+                    transient.add(bit)
+                    new_bits.setdefault(bit // _WORD_BITS, set()).add(bit)
+        if self.config.ecc and self._latent:
+            for word in range(base_bit // _WORD_BITS,
+                              (end_bit + _WORD_BITS - 1) // _WORD_BITS):
+                latent = self._latent.get(word)
+                if latent:
+                    latent_bits[word] = set(latent)
+        if not new_bits and not latent_bits and not persist:
+            return time
+
+        apply_bits: set[int] = set()  # in-span bits to XOR into ``data``
+        penalty = 0.0
+        corrected = 0
+        if not self.config.ecc:
+            for bits in new_bits.values():
+                apply_bits |= bits
+        else:
+            for word in sorted(new_bits.keys() | latent_bits.keys()):
+                news = new_bits.get(word, set())
+                lats = latent_bits.get(word, set())
+                total = news | lats
+                if len(total) == 1:
+                    self.stats.ecc_corrected_words += 1
+                    corrected += 1
+                    penalty += self.config.ecc_correction_cycles
+                    # A corrected new fault never lands anywhere; a
+                    # corrected latent fault is flipped back out of the
+                    # data and scrubbed from the store.
+                    persist -= news
+                    for bit in lats:
+                        apply_bits.add(bit)
+                        self._scrub_latent(word, bit)
+                else:
+                    self.stats.ecc_uncorrectable_words += 1
+                    if self.config.ecc_double_bit == "raise":
+                        self.stats.ecc_penalty_cycles += penalty
+                        raise UncorrectableEccError(
+                            f"PE {pe_id}: {len(total)}-bit ECC fault in "
+                            f"64-bit word at {word * 8:#x} (read of "
+                            f"{nbytes} bytes at {addr:#x}, cycle {time:.0f})"
+                        )
+                    # Delivered corrupted: new faults land in the data;
+                    # latent ones are already there.
+                    apply_bits |= news
+            self.stats.ecc_penalty_cycles += penalty
+
+        # Persist retention decay the scrub did not catch, remembering it
+        # as latent when ECC may examine (and fix) it on a later read.
+        for bit in sorted(persist):
+            self._flip_store_bit(bit)
+            if self.config.ecc:
+                self._latent.setdefault(bit // _WORD_BITS, set()).add(bit)
+
+        for bit in apply_bits:
+            data[(bit - base_bit) >> 3] ^= np.uint8(1 << (bit & 7))
+        self.stats.dram_read_flips += len(transient & apply_bits)
+        if self.trace.enabled:
+            self.trace.fault("fault.dram", "read", time, pe=pe_id,
+                             attrs={"addr": addr, "nbytes": nbytes,
+                                    "delivered": len(apply_bits),
+                                    "corrected": corrected})
+        return time + penalty
+
+    def _draw_retention(self, addr: int, nbytes: int, time: float,
+                        new_bits: dict[int, set[int]],
+                        persist: set[int]) -> None:
+        """Draw refresh-interval decay for the pages this read touches.
+
+        Lazy per page: elapsed epochs since the page was last examined are
+        folded into one draw with rate ``1 - (1-p)^epochs``, seeded by
+        ``(seed, page, epoch)`` so the outcome is independent of read
+        order and process placement.
+        """
+        interval = self._retention_interval
+        assert interval is not None
+        epoch = int(time // interval)
+        if epoch <= 0:
+            return
+        rate = self.config.dram_retention_flip_rate
+        base_bit = addr * 8
+        end_bit = base_bit + nbytes * 8
+        for page in range(addr // PAGE_BYTES, (addr + nbytes - 1) // PAGE_BYTES + 1):
+            last = self._page_epoch.get(page, 0)
+            if epoch <= last:
+                continue
+            self._page_epoch[page] = epoch
+            elapsed = epoch - last
+            p_eff = 1.0 - (1.0 - rate) ** elapsed
+            rng = np.random.default_rng(
+                stream_seed(self.config.seed, "retention", page, epoch))
+            k = int(rng.binomial(_PAGE_BITS, p_eff))
+            if not k:
+                continue
+            self.stats.dram_retention_flips += k
+            for pos in rng.integers(0, _PAGE_BITS, size=k):
+                bit = page * _PAGE_BITS + int(pos)
+                persist.add(bit)
+                if base_bit <= bit < end_bit:
+                    new_bits.setdefault(bit // _WORD_BITS, set()).add(bit)
+
+    def _flip_store_bit(self, bit: int) -> None:
+        assert self._store is not None
+        byte = bit >> 3
+        raw = self._store.read(byte, 1)
+        raw[0] ^= np.uint8(1 << (bit & 7))
+        self._store.write(byte, raw)
+
+    def _scrub_latent(self, word: int, bit: int) -> None:
+        """Repair one latent store error found (and corrected) by ECC."""
+        latent = self._latent.get(word)
+        if latent and bit in latent:
+            self._flip_store_bit(bit)
+            latent.discard(bit)
+            if not latent:
+                del self._latent[word]
+
+    # ------------------------------------------------------------------
+    # PE scratchpad
+
+    def sp_power_on(self, pe) -> None:
+        """Apply this PE's stuck-at cells to its freshly-zeroed scratchpad."""
+        if not self._stuck_on:
+            return
+        idx, and_mask, or_mask = self._stuck_cells(pe.pe_id, pe.scratchpad.size)
+        if idx.size:
+            pe.scratchpad[idx] = (pe.scratchpad[idx] & and_mask) | or_mask
+
+    def sp_write(self, pe, start: int, nbytes: int, time: float) -> None:
+        """Corrupt one scratchpad write: write noise, then stuck cells."""
+        flips = 0
+        if self._sp_on and nbytes:
+            k = int(self._sp_rng.binomial(nbytes * 8,
+                                          self.config.sp_write_flip_rate))
+            if k:
+                flips = k
+                self.stats.sp_write_flips += k
+                pos = self._sp_rng.integers(0, nbytes * 8, size=k)
+                np.bitwise_xor.at(
+                    pe.scratchpad, start + (pos >> 3),
+                    (1 << (pos & 7)).astype(np.uint8),
+                )
+        if self._stuck_on and nbytes:
+            idx, and_mask, or_mask = self._stuck_cells(pe.pe_id,
+                                                       pe.scratchpad.size)
+            lo = int(np.searchsorted(idx, start))
+            hi = int(np.searchsorted(idx, start + nbytes))
+            if hi > lo:
+                sl = slice(lo, hi)
+                pe.scratchpad[idx[sl]] = (
+                    (pe.scratchpad[idx[sl]] & and_mask[sl]) | or_mask[sl]
+                )
+        if flips and self.trace.enabled:
+            self.trace.fault("fault.sp", "write", time, pe=pe.pe_id,
+                             attrs={"start": start, "nbytes": nbytes,
+                                    "flips": flips})
+
+    def _stuck_cells(self, pe_id: int, sp_bytes: int):
+        cached = self._stuck_cache.get(pe_id)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(
+            stream_seed(self.config.seed, "stuck", pe_id))
+        nbits = sp_bytes * 8
+        k = int(rng.binomial(nbits, self.config.sp_stuck_cell_rate))
+        by_byte: dict[int, tuple[int, int]] = {}  # byte -> (and, or)
+        if k:
+            positions = rng.integers(0, nbits, size=k)
+            values = rng.integers(0, 2, size=k)
+            for pos, val in zip(positions, values):
+                byte, mask = int(pos) >> 3, 1 << (int(pos) & 7)
+                a, o = by_byte.get(byte, (0xFF, 0x00))
+                if val:
+                    o |= mask
+                else:
+                    a &= ~mask
+                by_byte[byte] = (a, o)
+        idx = np.array(sorted(by_byte), dtype=np.int64)
+        and_mask = np.array([by_byte[b][0] for b in idx], dtype=np.uint8)
+        or_mask = np.array([by_byte[b][1] for b in idx], dtype=np.uint8)
+        self.stats.sp_stuck_cells += k
+        cached = (idx, and_mask, or_mask)
+        self._stuck_cache[pe_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # PE compute
+
+    def vector_result(self, pe, writes, width_bits: int, time: float) -> None:
+        """Corrupt a just-written vector result (then scratchpad effects).
+
+        ``writes`` is the instruction's destination range list; compute
+        faults flip one random bit per struck element, write noise and
+        stuck cells then apply as for any scratchpad write.
+        """
+        esz = width_bits // 8
+        for start, nbytes in writes:
+            if self._compute_on and nbytes:
+                count = nbytes // esz
+                k = int(self._compute_rng.binomial(
+                    count, self.config.compute_flip_rate))
+                if k:
+                    # Imported lazily: vector_unit imports PEConfig, which
+                    # carries this module's null object.
+                    from repro.pe.vector_unit import flip_element_bits
+
+                    elems = self._compute_rng.integers(0, count, size=k)
+                    bits = self._compute_rng.integers(0, width_bits, size=k)
+                    flip_element_bits(pe.scratchpad, start, esz, elems, bits)
+                    self.stats.compute_flips += k
+                    if self.trace.enabled:
+                        self.trace.fault("fault.compute", "vector", time,
+                                         pe=pe.pe_id,
+                                         attrs={"start": start,
+                                                "elements": count,
+                                                "flips": k})
+            self.sp_write(pe, start, nbytes, time)
+
+    # ------------------------------------------------------------------
+    # NoC
+
+    def noc_retries(self, time: float, src: int, dst: int, nbytes: int) -> int:
+        """Number of extra traversals a message needs (drops/corruptions
+        are detected by the link CRC and the whole message re-injected)."""
+        if self._noc_event_rate <= 0.0:
+            return 0
+        drop_rate = self.config.noc_drop_rate
+        retries = 0
+        while retries < self.config.noc_max_retries:
+            u = float(self._noc_rng.random())
+            if u >= self._noc_event_rate:
+                break
+            if u < drop_rate:
+                self.stats.noc_drops += 1
+            else:
+                self.stats.noc_corruptions += 1
+            retries += 1
+        if retries:
+            self.stats.noc_retries += retries
+            if self.trace.enabled:
+                self.trace.fault("fault.noc", "reinject", time, pe=None,
+                                 attrs={"src": src, "dst": dst,
+                                        "nbytes": nbytes,
+                                        "retries": retries})
+        return retries
+
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "NO_FAULTS",
+    "NullFaultInjector",
+    "stream_seed",
+]

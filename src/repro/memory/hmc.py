@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.config import NO_FAULTS
 from repro.memory.address import AddressMapper
+from repro.memory.bank import TimingCycles
 from repro.memory.store import DramStore
 from repro.memory.timing import MemoryConfig
 from repro.memory.vault import VaultController
@@ -25,7 +27,7 @@ class HMC:
     """Functional + timing model of the stacked memory."""
 
     def __init__(self, config: MemoryConfig | None = None, store: DramStore | None = None,
-                 trace: TraceSink = NULL_TRACE):
+                 trace: TraceSink = NULL_TRACE, faults=NO_FAULTS):
         self.config = config or MemoryConfig()
         self.store = store or DramStore(self.config.total_bytes)
         self.mapper = AddressMapper(self.config)
@@ -33,6 +35,13 @@ class HMC:
             VaultController(self.config, vault_id=v, trace=trace)
             for v in range(self.config.vaults)
         ]
+        self.faults = faults
+        if faults.enabled:
+            # The retention model decays bits per refresh interval; hand
+            # the injector this memory's tREFI (in cycles) and the store
+            # it persists decay into.
+            faults.bind_store(self.store,
+                              TimingCycles.from_config(self.config).tREFI)
 
     def vault_of(self, addr: int) -> int:
         return self.mapper.vault_of(addr)
@@ -59,7 +68,11 @@ class HMC:
             served = vaults[vault_id].access(time, bank, row, piece_len, is_write)
             if served > done:
                 done = served
-        out = None if is_write else self.store.read(addr, nbytes)
+        out = None
+        if not is_write:
+            out = self.store.read(addr, nbytes)
+            if self.faults.enabled:
+                done = self.faults.dram_read(-1, addr, out, done)
         return done, out
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.faults.config import NO_FAULTS
 from repro.trace.collector import NULL_TRACE, TraceSink
 
 
@@ -53,12 +54,13 @@ class TorusNetwork:
     """Timing model of the vault-to-vault torus."""
 
     def __init__(self, config: NoCConfig | None = None,
-                 trace: TraceSink = NULL_TRACE):
+                 trace: TraceSink = NULL_TRACE, faults=NO_FAULTS):
         self.config = config or NoCConfig()
         #: directed link -> time it becomes free; keyed by (node, direction).
         self._link_free: dict[tuple[int, str], float] = {}
         self.stats = NoCStats()
         self.trace = trace
+        self._fl = faults if faults.enabled else None
 
     def coords(self, node: int) -> tuple[int, int]:
         """Node index -> (column, row)."""
@@ -104,17 +106,24 @@ class TorusNetwork:
         arrival = time
         steps = self._steps(src, dst)
         traced = self.trace.enabled
-        for link in steps:
-            start = max(arrival, self._link_free.get(link, 0.0))
-            self._link_free[link] = start + ser
-            if traced:
-                self.trace.noc_link(link[0], link[1], start,
-                                    self.config.hop_cycles + ser, nbytes,
-                                    start - arrival)
-            arrival = start + self.config.hop_cycles + ser
+        # A dropped or corrupted message is detected at the destination and
+        # re-injected from the source, so the whole route is walked again
+        # (attempts - 1 extra traversals, each holding every link).
+        attempts = 1
+        if self._fl is not None:
+            attempts += self._fl.noc_retries(time, src, dst, nbytes)
+        for _ in range(attempts):
+            for link in steps:
+                start = max(arrival, self._link_free.get(link, 0.0))
+                self._link_free[link] = start + ser
+                if traced:
+                    self.trace.noc_link(link[0], link[1], start,
+                                        self.config.hop_cycles + ser, nbytes,
+                                        start - arrival)
+                arrival = start + self.config.hop_cycles + ser
         self.stats.messages += 1
-        self.stats.total_bytes += nbytes
-        self.stats.total_hops += len(steps)
+        self.stats.total_bytes += nbytes * attempts
+        self.stats.total_hops += len(steps) * attempts
         return arrival
 
     def pe_to_vault(self, time: float, nbytes: int) -> float:

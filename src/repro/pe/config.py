@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.faults.config import NO_FAULTS
 from repro.isa.instructions import NUM_REGISTERS, SCRATCHPAD_BYTES
 from repro.trace.collector import NULL_TRACE, TraceSink
 
@@ -60,6 +61,10 @@ class PEConfig:
     #: Event sink for the tracing subsystem (``repro.trace``); the default
     #: null sink records nothing and adds no per-event work.
     trace: TraceSink = field(default=NULL_TRACE, compare=False)
+    #: Fault injector (``repro.faults``), carried exactly like the trace
+    #: sink: the default null object injects nothing and costs one cached
+    #: identity check per hook site.
+    faults: object = field(default=NO_FAULTS, compare=False)
 
     def __post_init__(self):
         if self.clock_ghz <= 0:

@@ -25,6 +25,7 @@ import math
 import numpy as np
 
 from repro.errors import DeadlockError, SimulationError
+from repro.faults.config import NO_FAULTS
 from repro.memory.hmc import HMC
 from repro.memory.store import DramStore
 from repro.trace.collector import NULL_TRACE, TraceSink
@@ -61,6 +62,7 @@ class FlatMemory:
         bytes_per_cycle: float = 8.0,
         size_bytes: int = 1 << 30,
         trace: TraceSink = NULL_TRACE,
+        faults=NO_FAULTS,
     ):
         self.latency = latency_cycles
         self.bytes_per_cycle = bytes_per_cycle
@@ -69,6 +71,11 @@ class FlatMemory:
         self._bus_free = 0.0
         self.bytes_moved = 0
         self.trace = trace
+        self.faults = faults
+        if faults.enabled:
+            # No refresh in the idealized model: retention decay only runs
+            # when the config pins an explicit interval.
+            faults.bind_store(self.store, None)
 
     def access(self, pe_id, time, addr, nbytes, is_write, data=None):
         if nbytes < 0:
@@ -79,9 +86,13 @@ class FlatMemory:
         done = start + math.ceil(nbytes / self.bytes_per_cycle)
         self._bus_free = done
         self.bytes_moved += nbytes
+        out = None
+        if not is_write:
+            out = self.store.read(addr, nbytes)
+            if self.faults.enabled:
+                done = self.faults.dram_read(pe_id, addr, out, done)
         if self.trace.enabled:
             self.trace.mem(pe_id, time, done - time, addr, nbytes, is_write)
-        out = None if is_write else self.store.read(addr, nbytes)
         return done, out
 
     def fe_load(self, pe_id, time, addr):
@@ -110,13 +121,22 @@ class LocalVaultMemory:
     """
 
     def __init__(self, hmc: HMC | None = None, vault: int = 0, star_cycles: int = 1,
-                 allow_remote: bool = False, trace: TraceSink = NULL_TRACE):
-        self.hmc = hmc if hmc is not None else HMC(trace=trace)
+                 allow_remote: bool = False, trace: TraceSink = NULL_TRACE,
+                 faults=NO_FAULTS):
+        self.hmc = hmc if hmc is not None else HMC(trace=trace, faults=faults)
         self.vault = vault
         self.star_cycles = star_cycles
         self.allow_remote = allow_remote
         self.fe = FullEmptyState()
         self.trace = trace
+        self.faults = faults if faults.enabled else self.hmc.faults
+        if self.faults.enabled and self.hmc.faults is not self.faults:
+            # Caller supplied both an HMC and an injector: bind now.
+            from repro.memory.bank import TimingCycles
+
+            self.faults.bind_store(
+                self.hmc.store, TimingCycles.from_config(self.hmc.config).tREFI
+            )
 
     def access(self, pe_id, time, addr, nbytes, is_write, data=None):
         if is_write and data is not None:
@@ -136,9 +156,13 @@ class LocalVaultMemory:
             if served > done:
                 done = served
             request_time += 1
+        out = None
+        if not is_write:
+            out = self.hmc.store.read(addr, nbytes)
+            if self.faults.enabled:
+                done = self.faults.dram_read(pe_id, addr, out, done)
         if self.trace.enabled:
             self.trace.mem(pe_id, time, done - time, addr, nbytes, is_write)
-        out = None if is_write else self.hmc.store.read(addr, nbytes)
         return done, out
 
     def fe_load(self, pe_id, time, addr):

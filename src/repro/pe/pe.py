@@ -166,6 +166,10 @@ class PE:
         # Cache the trace sink as None-when-disabled so the hot path pays a
         # single identity check per instruction when tracing is off.
         self._tr = cfg.trace if cfg.trace.enabled else None
+        # Same pattern for the fault injector (repro.faults).
+        self._fl = cfg.faults if cfg.faults.enabled else None
+        if self._fl is not None:
+            self._fl.sp_power_on(self)
         self._hazard_on = cfg.hazard_mode is not HazardMode.IGNORE
         self.arc = ArrayRangeCheck(cfg.arc_entries, pe_id=self.pe_id,
                                    trace=cfg.trace)
@@ -566,6 +570,9 @@ class PE:
             )
             self.counters.vector_alu_ops += cols
 
+        if self._fl is not None:
+            self._fl.vector_result(self, writes, instr.width, t)
+
         for start, nbytes in writes:
             self._sp_wtime.record(start, start + nbytes, done, t)
         read_done = t + timing.occupancy
@@ -682,6 +689,8 @@ class PE:
 
         if nbytes:
             self.scratchpad[sp_dst : sp_dst + nbytes] = data
+            if self._fl is not None:
+                self._fl.sp_write(self, sp_dst, nbytes, t)
             self._sp_wtime.record(sp_dst, sp_dst + nbytes, done, t)
             self.arc.insert(sp_dst, nbytes, done, t)
         heapq.heappush(self._outstanding, done)
@@ -803,6 +812,97 @@ class PE:
     @property
     def blocked_addr(self) -> int | None:
         return self._blocked_on[0] if self._blocked_on else None
+
+    def describe_stall(self) -> tuple[str, str]:
+        """Name the dominant source holding back the next instruction.
+
+        Side-effect-free diagnostic used by the chip's ``BlockedReport``
+        when a run deadlocks or exhausts its step budget.  Returns a
+        ``(cause, detail)`` pair such as ``("full-empty", "addr=0x80")``
+        or ``("arc", "sp[0:512] busy until 1234.0")``; ``("ready", "")``
+        means nothing currently stalls this PE.
+        """
+        if self._blocked_on is not None:
+            addr, issued = self._blocked_on
+            return "full-empty", f"addr={addr:#x} (issued at {issued:.1f})"
+        if self.status is not PEStatus.RUNNING or self.program is None:
+            return self.status.value, ""
+        if not 0 <= self.pc < len(self.program):
+            return "pc-out-of-range", f"pc={self.pc}"
+        instr = self.program[self.pc]
+        op = instr.opcode
+        t = self.clock
+        cause, detail = "ready", ""
+
+        regs: tuple[int, ...] = ()
+        if op in (Opcode.MV, Opcode.VV, Opcode.VS, Opcode.LD_SRAM, Opcode.ST_SRAM):
+            regs = (instr.rd, instr.rs1, instr.rs2)
+        elif op in (Opcode.ALU, Opcode.BRANCH):
+            regs = (instr.rs1, instr.rs2) if instr.imm is None else (instr.rs1,)
+        elif op in (Opcode.MOV, Opcode.LD_REG, Opcode.LD_FE):
+            regs = (instr.rs1,)
+        elif op in (Opcode.ST_REG, Opcode.ST_FE):
+            regs = (instr.rd, instr.rs1)
+        elif op in (Opcode.SET_VL, Opcode.SET_MR) and instr.imm is None:
+            regs = (instr.rs1,)
+        for r in regs:
+            if self.reg_time[r] > t:
+                t = self.reg_time[r]
+                cause, detail = "register", f"r{r} ready at {t:.1f}"
+
+        esz = instr.width // 8
+        ranges: list[tuple[int, int]] = []
+        if op is Opcode.MV:
+            ranges = [
+                (self._read_reg(instr.rs1), self.mr * self.vl * esz),
+                (self._read_reg(instr.rs2), self.vl * esz),
+                (self._read_reg(instr.rd), self.mr * esz),
+            ]
+        elif op in (Opcode.VV, Opcode.VS):
+            n = self.vl * esz
+            ranges = [
+                (self._read_reg(instr.rs1), n),
+                (self._read_reg(instr.rs2), n if op is Opcode.VV else esz),
+                (self._read_reg(instr.rd), n),
+            ]
+        elif op in (Opcode.LD_SRAM, Opcode.ST_SRAM):
+            count = self._read_reg(instr.rs2)
+            if count >= 0:
+                ranges = [(self._read_reg(instr.rd), count * esz)]
+        size = self.scratchpad.size
+        for start, nbytes in ranges:
+            if nbytes <= 0 or start < 0 or start + nbytes > size:
+                continue
+            cleared = self.arc.overlap_clear_time(start, nbytes, t)
+            if cleared > t:
+                t = cleared
+                cause = "arc"
+                detail = f"sp[{start}:{start + nbytes}] busy until {t:.1f}"
+            if self._hazard_on:
+                ready = self._sp_wtime.max_over(start, start + nbytes, t)
+                if ready > t:
+                    t = ready
+                    cause = "sp-hazard"
+                    detail = f"sp[{start}:{start + nbytes}] written at {t:.1f}"
+
+        if op in (Opcode.MV, Opcode.VV, Opcode.VS):
+            if self._vec_pipe_free > t:
+                t = self._vec_pipe_free
+                cause, detail = "vector-pipe", f"free at {t:.1f}"
+        elif op is Opcode.V_DRAIN:
+            if self._vec_last_done > t:
+                t = self._vec_last_done
+                cause, detail = "vector-drain", f"last result at {t:.1f}"
+        elif op is Opcode.MEMFENCE:
+            if self._outstanding and max(self._outstanding) > t:
+                t = max(self._outstanding)
+                cause, detail = "lsu", f"{len(self._outstanding)} outstanding, last at {t:.1f}"
+        elif op in (Opcode.LD_SRAM, Opcode.ST_SRAM, Opcode.LD_REG, Opcode.ST_REG):
+            if (len(self._outstanding) >= self.config.max_outstanding_mem
+                    and min(self._outstanding) > t):
+                t = min(self._outstanding)
+                cause, detail = "lsu", f"all {len(self._outstanding)} slots busy until {t:.1f}"
+        return cause, detail
 
     def _exec_st_fe(self, instr: Instruction) -> None:
         t = self._reg_ready(self.clock, instr.rd, instr.rs1)

@@ -132,3 +132,23 @@ class ScratchpadView:
         nbytes = out.size * dtype().itemsize
         self.check_range(addr, nbytes, "vector write")
         self.data[addr : addr + nbytes] = out.view(np.uint8)
+
+
+def flip_element_bits(
+    scratchpad: np.ndarray,
+    start: int,
+    element_size: int,
+    elements: np.ndarray,
+    bits: np.ndarray,
+) -> None:
+    """XOR single bits into vector elements already stored in a scratchpad.
+
+    ``elements[i]`` names an element index relative to ``start`` and
+    ``bits[i]`` a bit position within that element (``0 .. 8*element_size``).
+    Used by ``repro.faults`` to model transient compute faults after the
+    functional result has been written back.  ``bitwise_xor.at`` makes
+    repeated hits on the same byte accumulate instead of racing.
+    """
+    byte_index = start + elements * element_size + (bits >> 3)
+    masks = (np.uint8(1) << (bits & 7).astype(np.uint8)).astype(np.uint8)
+    np.bitwise_xor.at(scratchpad, byte_index, masks)

@@ -13,7 +13,15 @@ from repro.perf.extrapolate import (
 from repro.perf.memsweep import SweepPoint, bp_sweep_point, cnn_sweep_point, run_figure5
 from repro.perf.requirements import BPRequirements, fc6_weight_bytes, vgg16_conv_gops
 from repro.perf.roofline import Roofline, RooflinePoint, point_from_counters
-from repro.perf.runner import Task, default_workers, derive_seed, map_tasks, run_tasks
+from repro.perf.runner import (
+    Task,
+    TaskResult,
+    TaskTimeoutError,
+    default_workers,
+    derive_seed,
+    map_tasks,
+    run_tasks,
+)
 
 __all__ = [
     "BPModelResult",
@@ -28,6 +36,8 @@ __all__ = [
     "RooflinePoint",
     "SweepPoint",
     "Task",
+    "TaskResult",
+    "TaskTimeoutError",
     "bp_sweep_point",
     "cnn_sweep_point",
     "default_workers",

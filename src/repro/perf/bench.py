@@ -35,6 +35,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.faults.config import NO_FAULTS
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
 from repro.pe.config import PEConfig
@@ -105,21 +106,21 @@ def _pe_vector_program(iters: int, vl: int) -> Program:
     return b.build()
 
 
-def _run_pe_vector(fast_path: bool, quick: bool) -> KernelRun:
+def _run_pe_vector(fast_path: bool, quick: bool, faults=NO_FAULTS) -> KernelRun:
     from repro.pe.memoryif import FlatMemory
     from repro.pe.pe import PE
 
     iters, vl = (64, 16) if quick else (512, 32)
     rng = np.random.default_rng(11)
-    mem = FlatMemory()
+    mem = FlatMemory(faults=faults)
     mem.store.write_array(0, rng.integers(-500, 500, 2 * vl), dtype=np.int16)
-    pe = PE(PEConfig(fast_path=fast_path), memory=mem)
+    pe = PE(PEConfig(fast_path=fast_path, faults=faults), memory=mem)
     result = pe.run(_pe_vector_program(iters, vl))
     return KernelRun(result.cycles, result.counters,
                      mem.store.read(0, 4 * vl), (pe.scratchpad.copy(),))
 
 
-def _run_vault_bp_tile(fast_path: bool, quick: bool) -> KernelRun:
+def _run_vault_bp_tile(fast_path: bool, quick: bool, faults=NO_FAULTS) -> KernelRun:
     from repro.kernels.bp_kernel import (
         BPTileLayout,
         build_vault_sweep_programs,
@@ -131,7 +132,7 @@ def _run_vault_bp_tile(fast_path: bool, quick: bool) -> KernelRun:
     from repro.workloads.bp.mrf import DIRECTIONS
 
     rows, cols, labels = (8, 8, 4) if quick else (12, 16, 8)
-    config = VIPConfig(pe=PEConfig(fast_path=fast_path))
+    config = VIPConfig(pe=PEConfig(fast_path=fast_path), faults=faults)
     chip = Chip(config, num_pes=config.pes_per_vault)
     mrf, _ = stereo_mrf(rows, cols, labels=labels, seed=7)
     layout = BPTileLayout(base=4096, rows=mrf.rows, cols=mrf.cols,
@@ -148,7 +149,7 @@ def _run_vault_bp_tile(fast_path: bool, quick: bool) -> KernelRun:
                      tuple(pe.scratchpad.copy() for pe in chip.pes))
 
 
-def _run_conv_pass(fast_path: bool, quick: bool) -> KernelRun:
+def _run_conv_pass(fast_path: bool, quick: bool, faults=NO_FAULTS) -> KernelRun:
     from repro.kernels.conv_kernel import ConvTileLayout, build_conv_pass_program
     from repro.memory.hmc import HMC
     from repro.pe.memoryif import LocalVaultMemory
@@ -162,9 +163,10 @@ def _run_conv_pass(fast_path: bool, quick: bool) -> KernelRun:
     bias = rng.integers(-10, 10, filters).astype(np.int16)
     layout = ConvTileLayout(base=4096, in_h=out_h + 2, in_w=out_w + 2, z=z,
                             k=k, num_filters=filters, out_h=out_h, out_w=out_w)
-    hmc = HMC()
+    hmc = HMC(faults=faults)
     layout.stage(hmc.store, inputs, weights, bias)
-    pe = PE(PEConfig(fast_path=fast_path), memory=LocalVaultMemory(hmc, vault=0))
+    pe = PE(PEConfig(fast_path=fast_path, faults=faults),
+            memory=LocalVaultMemory(hmc, vault=0))
     result = pe.run(build_conv_pass_program(layout, 0, filters, 0, out_h,
                                             fx=8, strip_rows=2))
     return KernelRun(result.cycles, result.counters,
@@ -172,7 +174,7 @@ def _run_conv_pass(fast_path: bool, quick: bool) -> KernelRun:
                      (pe.scratchpad.copy(),))
 
 
-def _run_fc_chunk(fast_path: bool, quick: bool) -> KernelRun:
+def _run_fc_chunk(fast_path: bool, quick: bool, faults=NO_FAULTS) -> KernelRun:
     from repro.kernels.fc_kernel import FCTileLayout, build_fc_partial_program
     from repro.memory.hmc import HMC
     from repro.pe.memoryif import LocalVaultMemory
@@ -183,9 +185,10 @@ def _run_fc_chunk(fast_path: bool, quick: bool) -> KernelRun:
     W = rng.integers(-40, 40, (rows, chunk)).astype(np.int16)
     X = rng.integers(-40, 40, (1, chunk)).astype(np.int16)
     layout = FCTileLayout(base=8192, rows=rows, chunk=chunk, batch=1)
-    hmc = HMC()
+    hmc = HMC(faults=faults)
     layout.stage(hmc.store, W, X)
-    pe = PE(PEConfig(fast_path=fast_path), memory=LocalVaultMemory(hmc, vault=0))
+    pe = PE(PEConfig(fast_path=fast_path, faults=faults),
+            memory=LocalVaultMemory(hmc, vault=0))
     result = pe.run(build_fc_partial_program(layout, fx=6))
     return KernelRun(result.cycles, result.counters,
                      hmc.store.read(layout.base, layout.total_bytes),
@@ -201,14 +204,17 @@ _SIM_RUNNERS = {
 
 
 def run_sim_kernel(name: str, fast_path: bool = True,
-                   quick: bool = False) -> KernelRun:
+                   quick: bool = False, faults=NO_FAULTS) -> KernelRun:
     """Run one simulator bench kernel and capture its observable state.
 
     This is the registry the fast-path equivalence test drives: calling
     with ``fast_path`` True and False must produce ``KernelRun``s that
-    compare equal.
+    compare equal.  ``faults`` threads a fresh
+    :class:`~repro.faults.injector.FaultInjector` through the kernel's
+    whole system; the fault-plumbing tests use it to prove an attached
+    all-zero-rate injector leaves every kernel byte-identical.
     """
-    return _SIM_RUNNERS[name](fast_path, quick)
+    return _SIM_RUNNERS[name](fast_path, quick, faults)
 
 
 # ---------------------------------------------------------------------------

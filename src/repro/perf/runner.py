@@ -20,14 +20,29 @@ Workers are selected by the ``REPRO_MAX_WORKERS`` environment variable
 when set, else ``os.cpu_count()``.  Task functions must be module-level
 (picklable) and their arguments/results must survive a round trip through
 pickle — dataclasses of numbers, numpy arrays, and configs all do.
+
+Long campaigns (e.g. the ``repro.faults`` resilience sweeps) additionally
+get *hardening* knobs on :func:`run_tasks`: per-attempt wall-clock
+``timeout``, bounded ``retries`` with exponential ``backoff`` (retry
+attempts deterministically reseed an integer ``seed`` kwarg through
+:func:`derive_seed`, so a retry is a *different but reproducible*
+experiment rather than a replay of the same failure), and a
+``return_errors`` mode that salvages partial campaigns as
+:class:`TaskResult` records instead of aborting on the first failure.
+All attempts run in the worker that owns the task, so retry/backoff
+behaviour is identical inline and through the pool.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
+import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -68,22 +83,168 @@ def _call(task: Task) -> Any:
     return task.fn(*task.args, **task.kwargs)
 
 
-def run_tasks(tasks: Iterable[Task], max_workers: int | None = None) -> list[Any]:
+class TaskTimeoutError(TimeoutError):
+    """A task attempt exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task under ``run_tasks(..., return_errors=True)``.
+
+    ``ok`` tasks carry their ``value``; failed ones carry the final
+    attempt's exception as ``"TypeName: message"`` in ``error``.
+    ``attempts`` counts executions (1 = no retry needed).
+    """
+
+    key: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    attempts: int = 1
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Policy:
+    """Hardening knobs, pickled alongside each task to its worker."""
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.5
+    return_errors: bool = False
+    reseed_kwarg: str | None = "seed"
+
+
+@contextmanager
+def _alarm(seconds: float | None):
+    """Raise :class:`TaskTimeoutError` in the task after ``seconds``.
+
+    Uses ``SIGALRM``, so enforcement needs a main-thread POSIX context
+    (true inline and in pool workers); elsewhere the timeout is
+    silently unenforced rather than an error.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeoutError(f"task exceeded {seconds}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt_kwargs(task: Task, policy: _Policy, attempt: int) -> dict:
+    """Kwargs for one attempt: retries reseed the ``seed``-style kwarg.
+
+    The replacement comes from :func:`derive_seed` over the original
+    seed, the task key, and the attempt number — deterministic across
+    runs and processes, but a fresh stream per retry so a seed-dependent
+    failure is not blindly replayed.
+    """
+    name = policy.reseed_kwarg
+    if attempt == 1 or not name or name not in task.kwargs:
+        return task.kwargs
+    original = task.kwargs[name]
+    if not isinstance(original, int) or isinstance(original, bool):
+        return task.kwargs
+    return {**task.kwargs, name: derive_seed(original, task.key, attempt)}
+
+
+def _call_policy(task: Task, policy: _Policy) -> Any:
+    """Run one task under ``policy`` (retries, timeout, salvage).
+
+    Runs in the worker process, so a retried task never crosses the
+    pool boundary between attempts and backoff sleeps never block the
+    parent's result collection.
+    """
+    start = time.perf_counter()
+    last_error: Exception | None = None
+    attempts = 0
+    for attempt in range(1, policy.retries + 2):
+        attempts = attempt
+        if attempt > 1 and policy.backoff > 0:
+            time.sleep(policy.backoff * 2 ** (attempt - 2))
+        try:
+            with _alarm(policy.timeout):
+                value = task.fn(*task.args, **_attempt_kwargs(task, policy, attempt))
+        except Exception as exc:  # noqa: BLE001 - retried / reported below
+            last_error = exc
+            continue
+        if policy.return_errors:
+            return TaskResult(key=task.key, ok=True, value=value,
+                              attempts=attempt,
+                              elapsed=time.perf_counter() - start)
+        return value
+    assert last_error is not None
+    if policy.return_errors:
+        return TaskResult(key=task.key, ok=False,
+                          error=f"{type(last_error).__name__}: {last_error}",
+                          attempts=attempts,
+                          elapsed=time.perf_counter() - start)
+    raise last_error
+
+
+def run_tasks(
+    tasks: Iterable[Task],
+    max_workers: int | None = None,
+    *,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    return_errors: bool = False,
+    reseed_kwarg: str | None = "seed",
+) -> list[Any]:
     """Run ``tasks``, returning their results in submission order.
 
     Fans out over a process pool when it can help; otherwise (one task,
     one worker, or already inside a pool worker) runs inline.  A failing
-    task re-raises its exception in the caller, as the serial loop would.
+    task re-raises its exception in the caller, as the serial loop would,
+    and the pool is shut down promptly with outstanding tasks cancelled.
+
+    Hardening (all attempts happen in the task's worker):
+
+    * ``timeout`` — per-attempt wall-clock seconds; an overrunning
+      attempt raises :class:`TaskTimeoutError` and counts as a failure.
+    * ``retries``/``backoff`` — a failed attempt is retried up to
+      ``retries`` times, sleeping ``backoff * 2**(attempt-1)`` seconds
+      first.  Retries of tasks with an integer ``reseed_kwarg`` kwarg
+      (default ``"seed"``) get a deterministic fresh seed via
+      :func:`derive_seed`.
+    * ``return_errors`` — instead of raising, every task yields a
+      :class:`TaskResult`; failures carry their error text so a long
+      campaign salvages completed points.
     """
     tasks = list(tasks)
+    policy = _Policy(timeout=timeout, retries=retries, backoff=backoff,
+                     return_errors=return_errors, reseed_kwarg=reseed_kwarg)
     if max_workers is None:
         max_workers = default_workers()
     workers = min(max_workers, len(tasks))
     if workers <= 1 or multiprocessing.parent_process() is not None:
-        return [_call(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_call, t) for t in tasks]
-        return [f.result() for f in futures]
+        return [_call_policy(t, policy) for t in tasks]
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [pool.submit(_call_policy, t, policy) for t in tasks]
+        results = [f.result() for f in futures]
+    except BaseException:
+        # Fail fast: drop queued tasks and return without waiting for
+        # stragglers; the pool's processes are reaped in the background.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
 
 
 def map_tasks(fn: Callable[..., Any], argsets: Sequence[tuple],

@@ -1,13 +1,15 @@
 """Full-system integration: configuration, chip co-simulation, sync."""
 
-from repro.system.chip import Chip, ChipResult
+from repro.system.chip import BlockedReport, Chip, ChipResult, PEBlockInfo
 from repro.system.config import VIPConfig
 from repro.system.sync import ChainBarrier, SyncAllocator, emit_signal, emit_wait
 
 __all__ = [
+    "BlockedReport",
     "ChainBarrier",
     "Chip",
     "ChipResult",
+    "PEBlockInfo",
     "SyncAllocator",
     "VIPConfig",
     "emit_signal",

@@ -20,7 +20,7 @@ out of the PE's address generator, exactly as in the single-PE port.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import DeadlockError, SimulationError
 from repro.isa.program import Program
@@ -49,6 +49,40 @@ class ChipResult:
         return self.cycles * 1e-9 / clock_ghz
 
 
+@dataclass(frozen=True)
+class PEBlockInfo:
+    """Why one PE cannot make progress (one row of a BlockedReport)."""
+
+    pe_id: int
+    pc: int
+    instruction: str
+    cause: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class BlockedReport:
+    """Structured snapshot of every stuck PE at the moment a run fails.
+
+    Attached to :class:`~repro.errors.DeadlockError` (``err.report``) and
+    to the max-steps :class:`~repro.errors.SimulationError`, so callers
+    can inspect blocking causes programmatically instead of parsing the
+    message text.
+    """
+
+    entries: tuple[PEBlockInfo, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        lines = []
+        for e in self.entries:
+            line = (f"  PE {e.pe_id}: pc={e.pc} [{e.instruction}] "
+                    f"cause={e.cause}")
+            if e.detail:
+                line += f" ({e.detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
 class _ChipPort:
     """The memory port handed to each PE by the chip.
 
@@ -58,7 +92,7 @@ class _ChipPort:
     ``chip.*`` attribute chains per request.
     """
 
-    __slots__ = ("chip", "vault", "hmc", "noc", "star", "_tr")
+    __slots__ = ("chip", "vault", "hmc", "noc", "star", "_tr", "_fl")
 
     def __init__(self, chip: "Chip", vault: int):
         self.chip = chip
@@ -67,6 +101,7 @@ class _ChipPort:
         self.noc = chip.noc
         self.star = chip.config.noc.star_cycles
         self._tr = chip.trace if chip.trace.enabled else None
+        self._fl = chip.faults if chip.faults.enabled else None
 
     def access(self, pe_id, time, addr, nbytes, is_write, data=None):
         hmc = self.hmc
@@ -99,9 +134,13 @@ class _ChipPort:
             if served > done:
                 done = served
             request_time += 1
+        out = None
+        if not is_write:
+            out = hmc.store.read(addr, nbytes)
+            if self._fl is not None:
+                done = self._fl.dram_read(pe_id, addr, out, done)
         if self._tr is not None:
             self._tr.mem(pe_id, time, done - time, addr, nbytes, is_write)
-        out = None if is_write else hmc.store.read(addr, nbytes)
         return done, out
 
     def _fe_latency(self, addr: int) -> float:
@@ -139,8 +178,12 @@ class Chip:
     def __init__(self, config: VIPConfig | None = None, num_pes: int | None = None):
         self.config = config or VIPConfig()
         self.trace = self.config.trace
-        self.hmc = HMC(self.config.memory, trace=self.trace)
-        self.noc = TorusNetwork(self.config.noc, trace=self.trace)
+        self.faults = self.config.faults
+        if self.faults.enabled:
+            self.faults.bind_trace(self.trace)
+        self.hmc = HMC(self.config.memory, trace=self.trace, faults=self.faults)
+        self.noc = TorusNetwork(self.config.noc, trace=self.trace,
+                                faults=self.faults)
         total = self.config.num_pes
         if num_pes is None:
             num_pes = total
@@ -173,6 +216,28 @@ class Chip:
 
     def fe_pending(self, addr: int) -> bool:
         return bool(self._fe_queues.get(addr))
+
+    # -- diagnostics -----------------------------------------------------
+
+    def blocked_report(self, pe_ids=None) -> BlockedReport:
+        """Snapshot why each listed PE (default: all non-halted) is stuck."""
+        if pe_ids is None:
+            pe_ids = [
+                pe.pe_id for pe in self.pes if pe.status is not PEStatus.HALTED
+            ]
+        entries = []
+        for pe_id in sorted(pe_ids):
+            pe = self.pes[pe_id]
+            if pe.program is not None and 0 <= pe.pc < len(pe.program):
+                instruction = pe.program[pe.pc].render()
+            else:
+                instruction = "<no instruction>"
+            cause, detail = pe.describe_stall()
+            entries.append(
+                PEBlockInfo(pe_id=pe_id, pc=pe.pc, instruction=instruction,
+                            cause=cause, detail=detail)
+            )
+        return BlockedReport(entries=tuple(entries))
 
     # -- simulation ------------------------------------------------------
 
@@ -224,7 +289,15 @@ class Chip:
                 pe.step()
                 steps += 1
                 if steps > max_steps:
-                    raise SimulationError(f"exceeded {max_steps} chip steps")
+                    report = self.blocked_report(
+                        sorted({pe_id for _, pe_id in active} | blocked | {pe_id})
+                    )
+                    err = SimulationError(
+                        f"exceeded {max_steps} chip steps; live PEs:\n"
+                        f"{report.render()}"
+                    )
+                    err.report = report
+                    raise err
             if pe.status is PEStatus.RUNNING:
                 heapq.heappush(active, (pe.clock, pe_id))
             elif pe.status is PEStatus.BLOCKED:
@@ -245,12 +318,19 @@ class Chip:
                         blocked.discard(waiting_id)
                         heapq.heappush(active, (waiter.clock, waiting_id))
             if not active and blocked:
+                report = self.blocked_report(blocked)
                 raise DeadlockError(
-                    f"all PEs blocked on full-empty variables: "
-                    f"{sorted((i, self.pes[i].blocked_addr) for i in blocked)}"
+                    f"all PEs blocked on full-empty variables:\n"
+                    f"{report.render()}",
+                    report=report,
                 )
         if blocked:
-            raise DeadlockError(f"PEs {sorted(blocked)} still blocked at end of run")
+            report = self.blocked_report(blocked)
+            raise DeadlockError(
+                f"PEs {sorted(blocked)} still blocked at end of run:\n"
+                f"{report.render()}",
+                report=report,
+            )
         return self._result([pe_id for pe_id in programs])
 
     def _result(self, pe_ids: list[int]) -> ChipResult:

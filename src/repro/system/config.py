@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
+from repro.faults.config import NO_FAULTS
 from repro.memory.timing import MemoryConfig
 from repro.noc.torus import NoCConfig
 from repro.pe.config import PEConfig
@@ -26,12 +27,18 @@ class VIPConfig:
     #: Event sink shared by every layer of the system (``repro.trace``).
     #: Propagated into ``pe.trace`` so the PEs see the same collector.
     trace: TraceSink = field(default=NULL_TRACE, compare=False)
+    #: Fault injector shared by every layer (``repro.faults``), plumbed
+    #: like the trace sink: propagated into ``pe.faults`` and handed to
+    #: the memory system and the NoC by :class:`~repro.system.chip.Chip`.
+    faults: object = field(default=NO_FAULTS, compare=False)
 
     def __post_init__(self):
         if self.pes_per_vault <= 0:
             raise ConfigError("pes_per_vault must be positive")
         if self.trace.enabled and not self.pe.trace.enabled:
             object.__setattr__(self, "pe", replace(self.pe, trace=self.trace))
+        if self.faults.enabled and not self.pe.faults.enabled:
+            object.__setattr__(self, "pe", replace(self.pe, faults=self.faults))
         if self.noc.num_nodes != self.memory.vaults:
             raise ConfigError(
                 f"torus has {self.noc.num_nodes} nodes but memory has "

@@ -55,6 +55,10 @@ class TraceSink:
     def noc_link(self, node, direction, ts, dur, nbytes, wait):
         pass
 
+    # -- fault injection ----------------------------------------------
+    def fault(self, kind, name, ts, pe, attrs):
+        pass
+
     # -- metadata -----------------------------------------------------
     def register_barrier(self, addr):
         """Tag ``addr`` as belonging to a barrier episode, so full-empty
@@ -157,6 +161,9 @@ class TraceCollector(TraceSink):
             TraceEvent("noc.link", direction, ts, dur, link=(node, direction),
                        attrs={"nbytes": nbytes, "wait": wait})
         )
+
+    def fault(self, kind, name, ts, pe, attrs):
+        self._events.append(TraceEvent(kind, name, ts, 0.0, pe=pe, attrs=attrs))
 
     def register_barrier(self, addr):
         self.barrier_addrs.add(addr)

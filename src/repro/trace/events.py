@@ -48,6 +48,13 @@ Kinds
     ChainBarrier` are reported as ``sync.barrier`` instead, so barrier
     episodes are separable from point-to-point producer-consumer waits.
     ``attrs``: ``addr``, ``value``, ``op``.
+
+``fault.dram`` / ``fault.sp`` / ``fault.compute`` / ``fault.noc``
+    An injected fault from :mod:`repro.faults`: a corrupted (or
+    ECC-corrected) DRAM read, scratchpad write noise, a transient vector
+    datapath fault, or a dropped/corrupted NoC message being re-injected.
+    ``attrs`` carry the site and count details (``addr``/``start``,
+    ``nbytes``, ``flips``/``delivered``/``retries``).
 """
 
 from __future__ import annotations
@@ -70,6 +77,10 @@ KINDS = (
     "sync.store",
     "sync.load",
     "sync.barrier",
+    "fault.dram",
+    "fault.sp",
+    "fault.compute",
+    "fault.noc",
 )
 
 

@@ -1,0 +1,72 @@
+"""Structured failure reporting: BlockedReport on deadlock and max-steps."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.isa import assemble
+from repro.system import BlockedReport, Chip
+
+
+class TestDeadlockReport:
+    def test_deadlock_carries_blocked_report(self):
+        chip = Chip(num_pes=1)
+        waiter = assemble("mov.imm r2, 0x100000\nld.fe r3, r2\nhalt")
+        with pytest.raises(DeadlockError) as excinfo:
+            chip.run([waiter])
+        report = excinfo.value.report
+        assert isinstance(report, BlockedReport)
+        assert len(report.entries) == 1
+        entry = report.entries[0]
+        assert entry.pe_id == 0
+        assert entry.pc == 1
+        assert "ld.fe" in entry.instruction
+        assert entry.cause == "full-empty"
+        assert "0x100000" in entry.detail
+
+    def test_report_text_in_message(self):
+        chip = Chip(num_pes=2)
+        waiter = assemble("mov.imm r2, 0x100000\nld.fe r3, r2\nhalt")
+        quick = assemble("halt")
+        with pytest.raises(DeadlockError) as excinfo:
+            chip.run([waiter, quick])
+        message = str(excinfo.value)
+        assert "PE 0" in message and "full-empty" in message
+
+    def test_two_waiters_both_reported(self):
+        chip = Chip(num_pes=2)
+        w0 = assemble("mov.imm r2, 0x100000\nld.fe r3, r2\nhalt")
+        w1 = assemble("mov.imm r2, 0x100008\nld.fe r3, r2\nhalt")
+        with pytest.raises(DeadlockError) as excinfo:
+            chip.run([w0, w1])
+        report = excinfo.value.report
+        assert [e.pe_id for e in report.entries] == [0, 1]
+        assert {e.cause for e in report.entries} == {"full-empty"}
+
+
+class TestMaxStepsReport:
+    def test_max_steps_carries_report(self):
+        chip = Chip(num_pes=1)
+        spin = assemble("label: jmp label\nhalt")
+        with pytest.raises(SimulationError) as excinfo:
+            chip.run([spin], max_steps=50)
+        report = excinfo.value.report
+        assert isinstance(report, BlockedReport)
+        assert report.entries and report.entries[0].pe_id == 0
+        assert "jmp" in report.entries[0].instruction
+        assert "jmp" in str(excinfo.value)
+
+
+class TestDescribeStall:
+    def test_ready_pe(self):
+        chip = Chip(num_pes=1)
+        chip.pes[0].load(assemble("halt"))
+        assert chip.pes[0].describe_stall() == ("ready", "")
+
+    def test_halted_pe(self):
+        chip = Chip(num_pes=1)
+        assert chip.pes[0].describe_stall()[0] == "halted"
+
+    def test_blocked_report_render(self):
+        report = Chip(num_pes=2).blocked_report()
+        assert len(report.entries) == 0  # all PEs halted at construction
+        assert report.render() == ""
