@@ -1,0 +1,13 @@
+"""``python -m repro.perf`` — dispatches to the bench CLI.
+
+Both spellings run the tracked benchmark suite; ``python -m
+repro.perf.bench`` remains the canonical one in the snapshots' prog
+line.
+"""
+
+import sys
+
+from repro.perf.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

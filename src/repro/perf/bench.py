@@ -16,6 +16,9 @@ Benches:
   with faithful DRAM timing.
 * ``fc-chunk`` (macro) — an FC weight-tile partial-product stream on
   one PE with faithful DRAM timing.
+* ``serve-fleet`` (macro) — the :mod:`repro.serve` serving layer on a
+  fixed seeded arrival trace (bp+vgg mix, four chips): cost-table
+  measurement plus the fleet event loop, end to end.
 
 ``--compare`` additionally runs every simulator bench with the
 pre-decoded fast path disabled (``PEConfig(fast_path=False)``) and
@@ -44,11 +47,14 @@ from repro.pe.counters import PECounters
 SCHEMA = "repro.perf.bench/v1"
 
 MICRO_BENCHES = ("fixedpoint-sat", "pe-vector")
-MACRO_BENCHES = ("vault-bp-tile", "conv-pass", "fc-chunk")
+MACRO_BENCHES = ("vault-bp-tile", "conv-pass", "fc-chunk", "serve-fleet")
 ALL_BENCHES = MICRO_BENCHES + MACRO_BENCHES
 
-#: Simulator-backed benches (everything except the pure-numpy micro).
-SIM_BENCHES = ("pe-vector",) + MACRO_BENCHES
+#: Single-kernel simulator benches with a reference (fast_path=False)
+#: twin — the registry the fast-path equivalence checks drive.  The
+#: serve-fleet macro is excluded: it layers scheduling on top of these
+#: kernels and has its own serial-vs-parallel equality check instead.
+SIM_BENCHES = ("pe-vector", "vault-bp-tile", "conv-pass", "fc-chunk")
 
 
 @dataclass
@@ -280,6 +286,41 @@ def _bench_sim(name: str, repeat: int, quick: bool, compare: bool) -> dict:
     return record
 
 
+def _bench_serve(repeat: int, quick: bool, compare: bool) -> dict:
+    from repro.serve.fleet import ServeConfig
+    from repro.serve.report import run_report
+    from repro.serve.workload import WorkloadConfig
+
+    workload = WorkloadConfig(mix="bp+vgg", arrival="poisson",
+                              rate=100_000.0,
+                              requests=60 if quick else 200, seed=0)
+    config = ServeConfig(chips=4)
+
+    def work(workers: int = 1) -> dict:
+        return run_report(workload, config, mixes=("bp+vgg",),
+                          quick=quick, max_workers=workers)[0]
+
+    payload = work()  # warmup (also builds/caches the kernel programs)
+    wall = _best_wall(work, repeat)
+    m = payload["mixes"]["bp+vgg"]
+    record = {
+        "name": "serve-fleet",
+        "kind": "macro",
+        "wall_s": wall,
+        "sim_cycles": m["makespan_cycles"],
+        "cycles_per_wall_second": m["makespan_cycles"] / wall,
+        "requests_served": m["served"],
+        "sim_throughput_rps": m["throughput_rps"],
+        "latency_p99_ms": m["latency_ms"]["p99"],
+    }
+    if compare:
+        if work(workers=2) != payload:
+            raise AssertionError(
+                "serve-fleet: parallel cost-table run diverged from serial")
+        record["parallel_equal"] = True
+    return record
+
+
 def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
                 quick: bool = False, compare: bool = False) -> list[dict]:
     """Run the named benches and return one JSON-able record per bench."""
@@ -287,6 +328,8 @@ def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
     for name in names:
         if name == "fixedpoint-sat":
             records.append(_bench_fixedpoint(repeat, quick, compare))
+        elif name == "serve-fleet":
+            records.append(_bench_serve(repeat, quick, compare))
         else:
             records.append(_bench_sim(name, repeat, quick, compare))
     return records

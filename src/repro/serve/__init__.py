@@ -1,0 +1,86 @@
+"""Batched inference serving over a multi-chip VIP fleet.
+
+The layer the ROADMAP's "heavy traffic" north star needs above the chip
+simulator: an open-loop workload generator (:mod:`~repro.serve.workload`),
+admission control (:mod:`~repro.serve.queueing`), dynamic batching
+(:mod:`~repro.serve.batcher`), measured batch service times
+(:mod:`~repro.serve.costmodel`), a pluggable-policy fleet scheduler
+(:mod:`~repro.serve.fleet`), and latency/throughput rollups
+(:mod:`~repro.serve.metrics`) behind a ``python -m repro.serve`` CLI
+(:mod:`~repro.serve.cli`).
+"""
+
+from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.costmodel import (
+    ServiceCostTable,
+    build_cost_table,
+    fc_max_batch,
+    measure_shape,
+    required_shapes,
+)
+from repro.serve.fleet import (
+    POLICIES,
+    BatchRecord,
+    ChipState,
+    FleetResult,
+    FleetSimulator,
+    RequestRecord,
+    ServeConfig,
+)
+from repro.serve.metrics import (
+    ServeMetrics,
+    chip_utilization,
+    compute_metrics,
+    percentile,
+)
+from repro.serve.queueing import SHED_POLICIES, Admission, AdmissionQueue
+from repro.serve.report import (
+    ServeRun,
+    run_report,
+    run_serve,
+    write_csv,
+    write_json,
+)
+from repro.serve.workload import (
+    ARRIVALS,
+    KINDS,
+    MIXES,
+    Request,
+    WorkloadConfig,
+    generate_requests,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "Admission",
+    "AdmissionQueue",
+    "Batch",
+    "BatchRecord",
+    "ChipState",
+    "DynamicBatcher",
+    "FleetResult",
+    "FleetSimulator",
+    "KINDS",
+    "MIXES",
+    "POLICIES",
+    "Request",
+    "RequestRecord",
+    "SHED_POLICIES",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeRun",
+    "ServiceCostTable",
+    "WorkloadConfig",
+    "build_cost_table",
+    "chip_utilization",
+    "compute_metrics",
+    "fc_max_batch",
+    "generate_requests",
+    "measure_shape",
+    "percentile",
+    "required_shapes",
+    "run_report",
+    "run_serve",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,123 @@
+"""Dynamic batching: pack compatible requests into kernel launches.
+
+Requests of the same *kind* are compatible — they run the same generated
+VIP program shape, so a batch of B maps onto one kernel launch (a
+genuinely batched FC program, or B back-to-back passes with the model
+resident for conv/BP; see :mod:`repro.serve.costmodel`).
+
+The batcher keeps at most one *open* batch per kind.  A batch closes —
+becomes ready for dispatch — when either
+
+* it reaches ``max_batch`` requests (closes at the filling request's
+  arrival time), or
+* its oldest request has waited ``max_wait_cycles`` (closes at that
+  deadline, even with only one request aboard).
+
+This is the classic max-batch/max-wait policy of production inference
+servers: the first knob bounds batch-formation latency under load, the
+second bounds it when traffic is sparse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serve.workload import Request
+
+
+@dataclass
+class Batch:
+    """A closed batch: one kernel launch worth of requests."""
+
+    kind: str
+    requests: list[Request]
+    #: Cycle at which the batch closed (max-batch fill or deadline).
+    close: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def tile(self) -> int:
+        """Locality key of the batch: its oldest request's tile."""
+        return self.requests[0].tile
+
+
+@dataclass
+class _OpenBatch:
+    kind: str
+    deadline: float
+    requests: list[Request] = field(default_factory=list)
+
+
+class DynamicBatcher:
+    """Max-batch-size / max-wait batching over per-kind open batches."""
+
+    def __init__(self, max_batch: int, max_wait_cycles: float):
+        if max_batch <= 0:
+            raise ConfigError("max_batch must be positive")
+        if max_wait_cycles < 0:
+            raise ConfigError("max_wait_cycles must be nonnegative")
+        self.max_batch = max_batch
+        self.max_wait_cycles = max_wait_cycles
+        self._open: dict[str, _OpenBatch] = {}
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def waiting(self) -> int:
+        """Requests admitted but not yet dispatched."""
+        return sum(len(b.requests) for b in self._open.values())
+
+    def oldest(self) -> Request | None:
+        """The longest-waiting open request (for drop-oldest shedding)."""
+        best: Request | None = None
+        for b in self._open.values():
+            if b.requests and (best is None or b.requests[0].arrival < best.arrival):
+                best = b.requests[0]
+        return best
+
+    def remove(self, request: Request) -> None:
+        """Evict one open request (it is being shed)."""
+        b = self._open[request.kind]
+        b.requests.remove(request)
+        if not b.requests:
+            del self._open[request.kind]
+
+    # -- batching ------------------------------------------------------
+
+    def add(self, request: Request) -> Batch | None:
+        """Admit one request; return the batch it filled, if any."""
+        b = self._open.get(request.kind)
+        if b is None:
+            b = _OpenBatch(kind=request.kind,
+                           deadline=request.arrival + self.max_wait_cycles)
+            self._open[request.kind] = b
+        b.requests.append(request)
+        if len(b.requests) >= self.max_batch:
+            del self._open[request.kind]
+            return Batch(kind=b.kind, requests=b.requests,
+                         close=request.arrival)
+        return None
+
+    def due(self, now: float) -> list[Batch]:
+        """Close and return every open batch whose deadline has passed,
+        in (deadline, kind) order so ties break deterministically."""
+        ready = sorted(
+            (b for b in self._open.values() if b.deadline <= now),
+            key=lambda b: (b.deadline, b.kind),
+        )
+        out = []
+        for b in ready:
+            del self._open[b.kind]
+            out.append(Batch(kind=b.kind, requests=b.requests, close=b.deadline))
+        return out
+
+    def flush(self) -> list[Batch]:
+        """Close every remaining open batch at its deadline (end of trace)."""
+        ready = sorted(self._open.values(), key=lambda b: (b.deadline, b.kind))
+        self._open.clear()
+        return [Batch(kind=b.kind, requests=b.requests, close=b.deadline)
+                for b in ready]

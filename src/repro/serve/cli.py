@@ -1,0 +1,132 @@
+"""``python -m repro.serve`` — the serving-layer command line.
+
+Simulates an inference service in front of a fleet of VIP chips and
+reports throughput, p50/p95/p99 latency, SLO-violation rate, and shed
+rate per workload mix::
+
+    python -m repro.serve --chips 4 --arrival poisson --rate 50000 --seed 0
+
+Two runs of the same command write byte-identical JSON, and
+``--workers N`` (parallel cost-table measurement) matches a serial run
+exactly; CI asserts both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.fleet import POLICIES, ServeConfig
+from repro.serve.queueing import SHED_POLICIES
+from repro.serve.report import run_report, write_csv, write_json
+from repro.serve.workload import ARRIVALS, MIXES, WorkloadConfig
+
+
+def _ints(text: str) -> tuple:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Batched inference serving over a multi-chip VIP fleet.",
+    )
+    fleet = parser.add_argument_group("fleet")
+    fleet.add_argument("--chips", type=int, default=4)
+    fleet.add_argument("--policy", choices=POLICIES, default="least-loaded")
+    fleet.add_argument("--degraded", type=_ints, default=(),
+                       help="comma-separated chip ids running the "
+                            "fault-injected (ECC-correcting) service "
+                            "times from repro.faults")
+    batching = parser.add_argument_group("admission and batching")
+    batching.add_argument("--max-batch", type=int, default=8)
+    batching.add_argument("--max-wait", type=float, default=20_000.0,
+                          help="batch close deadline in cycles")
+    batching.add_argument("--queue-capacity", type=int, default=64)
+    batching.add_argument("--shed-policy", choices=SHED_POLICIES,
+                          default="drop-newest")
+    workload = parser.add_argument_group("workload")
+    workload.add_argument("--arrival", choices=ARRIVALS, default="poisson")
+    workload.add_argument("--rate", type=float, default=50_000.0,
+                          help="offered load in requests per simulated "
+                               "second")
+    workload.add_argument("--requests", type=int, default=200,
+                          help="requests per mix")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--mix", action="append", choices=sorted(MIXES),
+                          help="workload mix (repeatable); default: "
+                               "bp and bp+vgg")
+    workload.add_argument("--num-tiles", type=int, default=8)
+    workload.add_argument("--burst-factor", type=float, default=8.0)
+    workload.add_argument("--burst-len", type=float, default=20.0)
+    run = parser.add_argument_group("run")
+    run.add_argument("--slo-ms", type=float, default=0.25,
+                     help="latency SLO in simulated milliseconds")
+    run.add_argument("--full", action="store_true",
+                     help="paper-scale kernel geometry (default: quick)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="pool size for cost-table measurement")
+    run.add_argument("--out", default=None, help="write the JSON report here")
+    run.add_argument("--csv", default=None,
+                     help="write per-request records here")
+    return parser
+
+
+def _fmt_ms(cycles, clock_ghz: float) -> str:
+    if cycles is None:
+        return "-"
+    return f"{cycles / (clock_ghz * 1e6):.3f}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    mixes = tuple(args.mix) if args.mix else ("bp", "bp+vgg")
+    config = ServeConfig(
+        chips=args.chips,
+        policy=args.policy,
+        max_batch=args.max_batch,
+        max_wait_cycles=args.max_wait,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        degraded_chips=args.degraded,
+        slo_cycles=args.slo_ms * 1.25e6,
+    )
+    workload = WorkloadConfig(
+        mix=mixes[0],
+        arrival=args.arrival,
+        rate=args.rate,
+        requests=args.requests,
+        seed=args.seed,
+        num_tiles=args.num_tiles,
+        burst_factor=args.burst_factor,
+        burst_len=args.burst_len,
+    )
+    payload, runs = run_report(workload, config, mixes=mixes,
+                               quick=not args.full,
+                               max_workers=args.workers)
+
+    header = (f"{'mix':<8} {'served':>6} {'shed%':>6} {'thr req/s':>10} "
+              f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'slo%':>6} "
+              f"{'batch':>5}")
+    print(header)
+    print("-" * len(header))
+    for run in runs:
+        m = run.metrics
+        print(f"{run.workload.mix:<8} {m.served:>6} "
+              f"{m.shed_rate * 100:>5.1f}% {m.throughput_rps:>10.0f} "
+              f"{_fmt_ms(m.latency_p50, m.clock_ghz):>8} "
+              f"{_fmt_ms(m.latency_p95, m.clock_ghz):>8} "
+              f"{_fmt_ms(m.latency_p99, m.clock_ghz):>8} "
+              f"{m.slo_violation_rate * 100:>5.1f}% "
+              f"{m.mean_batch_size:>5.2f}")
+    if args.out:
+        write_json(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.csv:
+        write_csv(runs, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,263 @@
+"""Batch service times from real kernel simulations.
+
+The serving simulation needs the *service time* of every kernel launch it
+dispatches: ``cycles(kind, batch_size)``.  Those numbers are not modeled
+— they are **measured** by running the actual generated VIP programs on
+the cycle-approximate simulator, once per distinct shape, through the
+hardened :func:`repro.perf.run_tasks` pool:
+
+* ``fc`` batches are *genuinely batched kernels*: a batch of B inputs is
+  one :func:`~repro.kernels.fc_kernel.build_fc_partial_program` launch
+  with ``FCTileLayout(batch=B)`` — B resident input chunks share every
+  streamed weight row, so FC service time grows sub-linearly in B
+  (the paper's Section VI-A batching effect).
+* ``conv`` and ``bp`` requests each need their own pass over their own
+  input/tile, so a batch of B is B back-to-back passes with the model
+  resident: ``cycles(kind, B) = B * cycles(kind, 1)``.  Batching still
+  pays — the per-launch dispatch overhead and any model reload are
+  amortized across the batch (see :mod:`repro.serve.fleet`).
+
+Because service time is a pure function of shape, the whole table is
+measured up front (every reachable ``(kind, B)``), embarrassingly
+parallel across the pool, and byte-identical whether measured serially
+or with ``--workers N`` — which is what makes the full serving report
+reproducible under parallelism.
+
+*Degraded* chips (the :mod:`repro.faults` composition) get a second
+table column: the same kernels re-measured with a seeded fault injector
+attached (DRAM read-disturb flips under SECDED ECC, double bits counted
+not raised), so every correction's read-latency penalty lengthens the
+measured service time exactly as the fault subsystem models it.  The
+fleet scheduler then sees — and can route around — genuinely slower
+chips rather than an arbitrary slowdown factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.isa.instructions import SCRATCHPAD_BYTES
+from repro.perf.runner import Task, run_tasks
+from repro.serve.workload import KINDS
+
+#: The degraded-chip fault profile: DRAM that has started failing, every
+#: read passing through SECDED.  The flip rate is high enough that a
+#: noticeable fraction of 64-bit words need correction, and each
+#: correction is modeled as a controller-level retry (25 cycles) rather
+#: than the in-stream 1-cycle fixup — that is what makes a degraded
+#: chip's service times *visibly* longer, so fleet policies have
+#: something real to route around.  Double-bit words are counted, not
+#: raised (the serving layer measures time, not output quality).
+DEGRADED_DRAM_FLIP_RATE = 2e-3
+DEGRADED_ECC_CORRECTION_CYCLES = 25.0
+
+
+def _fault_injector(seed: int):
+    from repro.faults.config import FaultConfig
+    from repro.faults.injector import FaultInjector
+
+    return FaultInjector(FaultConfig(
+        seed=seed,
+        dram_read_flip_rate=DEGRADED_DRAM_FLIP_RATE,
+        ecc=True,
+        ecc_correction_cycles=DEGRADED_ECC_CORRECTION_CYCLES,
+        ecc_double_bit="count",
+    ))
+
+
+def _geometry(kind: str, quick: bool) -> dict:
+    if kind == "bp":
+        rows, cols, labels = (8, 8, 4) if quick else (12, 16, 8)
+        return {"rows": rows, "cols": cols, "labels": labels}
+    if kind == "conv":
+        out_h, out_w, z = (4, 8, 16) if quick else (8, 16, 64)
+        return {"out_h": out_h, "out_w": out_w, "z": z, "k": 3, "filters": 2}
+    if kind == "fc":
+        rows, chunk = (16, 64) if quick else (48, 128)
+        return {"rows": rows, "chunk": chunk}
+    raise ConfigError(f"unknown request kind {kind!r}")
+
+
+def fc_max_batch(quick: bool) -> int:
+    """Largest FC batch whose resident inputs fit the 4 KiB scratchpad
+    (B input chunks + 2 double-buffered weight rows + B partial scalars)."""
+    chunk = _geometry("fc", quick)["chunk"]
+    eb = 2
+    b = 1
+    while ((b + 1) * chunk * eb + 2 * chunk * eb + (b + 1) * eb
+           <= SCRATCHPAD_BYTES):
+        b += 1
+    return b
+
+
+# ----------------------------------------------------------------------
+# shape measurements (module-level: task functions must pickle)
+
+
+def measure_shape(kind: str, batch: int, quick: bool,
+                  degraded: bool, seed: int = 0) -> dict:
+    """Simulate one launch shape; returns cycles and resident-state sizes.
+
+    ``model_bytes`` is what a chip must stage to start serving this kind
+    at all (weights / smoothness + tile state); ``tile_bytes`` is what a
+    same-kind tile switch costs (BP message state; zero for conv/fc,
+    whose weights are tile-independent and whose inputs stream per
+    request regardless).
+    """
+    g = _geometry(kind, quick)
+    faults = _fault_injector(seed) if degraded else None
+    if kind == "bp":
+        cycles, model, tile = _measure_bp(g, faults)
+    elif kind == "conv":
+        cycles, model, tile = _measure_conv(g, faults)
+    else:
+        cycles, model, tile = _measure_fc(g, batch, faults)
+    return {"kind": kind, "batch": batch, "degraded": degraded,
+            "cycles": cycles, "model_bytes": model, "tile_bytes": tile}
+
+
+def _measure_bp(g: dict, faults) -> tuple[float, int, int]:
+    from repro.faults.config import NO_FAULTS
+    from repro.kernels.bp_kernel import (
+        BPTileLayout,
+        build_vault_sweep_programs,
+        cross_extent,
+    )
+    from repro.system.chip import Chip
+    from repro.system.config import VIPConfig
+    from repro.workloads.bp import stereo_mrf
+    from repro.workloads.bp.mrf import DIRECTIONS
+
+    config = VIPConfig(faults=faults if faults is not None else NO_FAULTS)
+    chip = Chip(config, num_pes=config.pes_per_vault)
+    mrf, _ = stereo_mrf(g["rows"], g["cols"], labels=g["labels"], seed=7)
+    layout = BPTileLayout(base=4096, rows=mrf.rows, cols=mrf.cols,
+                          labels=mrf.labels)
+    layout.stage(chip.hmc.store, mrf, mrf.zero_messages())
+    cycles = 0.0
+    for direction in DIRECTIONS:
+        pes = min(config.pes_per_vault, cross_extent(layout, direction))
+        cycles += chip.run(
+            build_vault_sweep_programs(layout, direction, pes)).cycles
+    return cycles, layout.total_bytes, layout.total_bytes
+
+
+def _measure_conv(g: dict, faults) -> tuple[float, int, int]:
+    from repro.faults.config import NO_FAULTS
+    from repro.kernels.conv_kernel import ConvTileLayout, build_conv_pass_program
+    from repro.memory.hmc import HMC
+    from repro.pe.config import PEConfig
+    from repro.pe.memoryif import LocalVaultMemory
+    from repro.pe.pe import PE
+
+    out_h, out_w, z = g["out_h"], g["out_w"], g["z"]
+    k, filters = g["k"], g["filters"]
+    rng = np.random.default_rng(7)
+    inputs = rng.integers(-30, 30, (out_h, out_w, z)).astype(np.int16)
+    weights = rng.integers(-20, 20, (filters, k, k, z)).astype(np.int16)
+    bias = rng.integers(-10, 10, filters).astype(np.int16)
+    layout = ConvTileLayout(base=4096, in_h=out_h + 2, in_w=out_w + 2, z=z,
+                            k=k, num_filters=filters, out_h=out_h, out_w=out_w)
+    hmc = HMC(faults=faults if faults is not None else NO_FAULTS)
+    layout.stage(hmc.store, inputs, weights, bias)
+    pe = PE(PEConfig(faults=faults if faults is not None else NO_FAULTS),
+            memory=LocalVaultMemory(hmc, vault=0))
+    result = pe.run(build_conv_pass_program(layout, 0, filters, 0, out_h,
+                                            fx=8, strip_rows=2))
+    return result.cycles, layout.weights_bytes + layout.bias_bytes, 0
+
+
+def _measure_fc(g: dict, batch: int, faults) -> tuple[float, int, int]:
+    from repro.faults.config import NO_FAULTS
+    from repro.kernels.fc_kernel import FCTileLayout, build_fc_partial_program
+    from repro.memory.hmc import HMC
+    from repro.pe.config import PEConfig
+    from repro.pe.memoryif import LocalVaultMemory
+    from repro.pe.pe import PE
+
+    rows, chunk = g["rows"], g["chunk"]
+    rng = np.random.default_rng(7)
+    W = rng.integers(-40, 40, (rows, chunk)).astype(np.int16)
+    X = rng.integers(-40, 40, (batch, chunk)).astype(np.int16)
+    layout = FCTileLayout(base=8192, rows=rows, chunk=chunk, batch=batch)
+    hmc = HMC(faults=faults if faults is not None else NO_FAULTS)
+    layout.stage(hmc.store, W, X)
+    pe = PE(PEConfig(faults=faults if faults is not None else NO_FAULTS),
+            memory=LocalVaultMemory(hmc, vault=0))
+    result = pe.run(build_fc_partial_program(layout, fx=6))
+    return result.cycles, layout.weights_bytes, 0
+
+
+# ----------------------------------------------------------------------
+# the table
+
+
+@dataclass(frozen=True)
+class ServiceCostTable:
+    """Measured service cycles per (kind, batch, health) launch shape."""
+
+    #: (kind, batch, degraded) -> simulated cycles of the launch.
+    cycles: dict
+    #: kind -> bytes a chip stages to switch its resident model.
+    model_bytes: dict
+    #: kind -> bytes a same-kind tile switch stages (BP message state).
+    tile_bytes: dict
+    quick: bool
+    max_batch: int
+
+    def launch_cycles(self, kind: str, batch: int, degraded: bool) -> float:
+        """Service cycles of one launch of ``batch`` ``kind`` requests."""
+        if kind == "fc":
+            return self.cycles[(kind, batch, degraded)]
+        return batch * self.cycles[(kind, 1, degraded)]
+
+
+def required_shapes(max_batch: int, quick: bool,
+                    kinds=KINDS) -> list[tuple[str, int]]:
+    """Every (kind, batch) the table must hold for batches up to
+    ``max_batch``: per-pass shapes for conv/bp, every B for fc."""
+    cap = fc_max_batch(quick)
+    if max_batch > cap and "fc" in kinds:
+        raise ConfigError(
+            f"max_batch {max_batch} exceeds the FC scratchpad-resident "
+            f"limit {cap} for this geometry; lower --max-batch")
+    shapes: list[tuple[str, int]] = []
+    for kind in kinds:
+        if kind == "fc":
+            shapes.extend(("fc", b) for b in range(1, max_batch + 1))
+        else:
+            shapes.append((kind, 1))
+    return shapes
+
+
+def build_cost_table(max_batch: int, quick: bool = True,
+                     degraded: bool = False, kinds=KINDS,
+                     max_workers: int | None = None,
+                     seed: int = 0) -> ServiceCostTable:
+    """Measure every required shape across the ``run_tasks`` pool.
+
+    The result is a pure function of ``(max_batch, quick, degraded,
+    kinds, seed)`` — worker count only changes wall time, never the
+    table — so serial and parallel serving runs agree byte for byte.
+    """
+    shapes = required_shapes(max_batch, quick, kinds)
+    health = [False, True] if degraded else [False]
+    tasks = [
+        Task(key=f"measure:{kind}:{batch}:{'deg' if d else 'ok'}",
+             fn=measure_shape,
+             kwargs=dict(kind=kind, batch=batch, quick=quick,
+                         degraded=d, seed=seed))
+        for d in health
+        for kind, batch in shapes
+    ]
+    rows = run_tasks(tasks, max_workers=max_workers, reseed_kwarg=None)
+    cycles = {(r["kind"], r["batch"], r["degraded"]): r["cycles"]
+              for r in rows}
+    model = {r["kind"]: r["model_bytes"] for r in rows}
+    tile = {r["kind"]: r["tile_bytes"] for r in rows}
+    return ServiceCostTable(cycles=cycles, model_bytes=model,
+                            tile_bytes=tile, quick=quick,
+                            max_batch=max_batch)

@@ -1,0 +1,286 @@
+"""The fleet: admission → batching → scheduling over N simulated chips.
+
+:class:`FleetSimulator` drives the whole serving pipeline as a
+deterministic discrete-event loop in simulated time (PE clock cycles):
+requests arrive open-loop, pass admission control
+(:class:`~repro.serve.queueing.AdmissionQueue`), pack into launches
+(:class:`~repro.serve.batcher.DynamicBatcher`), and dispatch onto the
+chip whose state the scheduling policy prefers.  Service times come from
+the measured :class:`~repro.serve.costmodel.ServiceCostTable`; the only
+modeled additions are the per-launch dispatch overhead (program staging
+into the 1,024-entry instruction buffer plus launch handshake) and the
+model-reload penalty when a chip switches resident kind or BP tile
+(staged bytes over the chip's external link bandwidth).
+
+Scheduling policies:
+
+``round-robin``
+    Rotate through chips regardless of load — the baseline.
+``least-loaded``
+    The chip that frees up earliest.  Naturally routes around degraded
+    (slower) chips, whose queues drain late.
+``locality``
+    The chip that would *finish* the batch earliest, counting the reload
+    penalty it would pay — so same-model batches stick to warm chips
+    until queueing outweighs the reload saving.
+
+Every tie breaks on (free time, chip id), so a schedule is a pure
+function of the arrival trace, the config, and the cost table.
+
+Cycle accounting per request: ``batch_wait`` (arrival → batch close),
+``queue_wait`` (batch close → launch start, i.e. waiting for a chip),
+``service`` (launch start → finish, shared by the whole batch), and
+``latency`` — their sum.  Shed requests record only the shed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.costmodel import ServiceCostTable
+from repro.serve.queueing import SHED_POLICIES, AdmissionQueue
+from repro.serve.workload import Request
+from repro.trace.collector import NULL_TRACE, TraceSink
+
+POLICIES = ("round-robin", "least-loaded", "locality")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The serving-layer knobs (all times in PE clock cycles)."""
+
+    chips: int = 4
+    policy: str = "least-loaded"
+    max_batch: int = 8
+    max_wait_cycles: float = 20_000.0
+    queue_capacity: int = 64
+    shed_policy: str = "drop-newest"
+    #: Per-launch fixed cost: program staging + launch handshake.
+    dispatch_overhead_cycles: float = 2_000.0
+    #: External-link staging bandwidth for model/tile reloads
+    #: (8 B/cycle = 10 GB/s at 1.25 GHz, one vault's share of the
+    #: chip-level 320 GB/s).
+    reload_bytes_per_cycle: float = 8.0
+    #: Chips running the degraded (fault-injected, ECC-correcting)
+    #: service-time column of the cost table.
+    degraded_chips: tuple = ()
+    #: Latency SLO; a served request violates it when latency exceeds
+    #: this.  Default 0.25 ms at 1.25 GHz.
+    slo_cycles: float = 312_500.0
+    clock_ghz: float = 1.25
+
+    def __post_init__(self):
+        if self.chips <= 0:
+            raise ConfigError("chips must be positive")
+        if self.policy not in POLICIES:
+            raise ConfigError(f"unknown policy {self.policy!r}; "
+                              f"choose from {POLICIES}")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(f"unknown shed policy {self.shed_policy!r}")
+        if self.dispatch_overhead_cycles < 0:
+            raise ConfigError("dispatch_overhead_cycles must be nonnegative")
+        if self.reload_bytes_per_cycle <= 0:
+            raise ConfigError("reload_bytes_per_cycle must be positive")
+        if self.slo_cycles <= 0:
+            raise ConfigError("slo_cycles must be positive")
+        bad = [c for c in self.degraded_chips
+               if not 0 <= c < self.chips]
+        if bad:
+            raise ConfigError(f"degraded chip ids out of range: {bad}")
+
+
+@dataclass
+class ChipState:
+    """One chip's scheduling state and accumulated accounting."""
+
+    chip_id: int
+    degraded: bool = False
+    free_at: float = 0.0
+    resident_kind: str | None = None
+    resident_tile: int | None = None
+    busy_cycles: float = 0.0
+    reload_cycles: float = 0.0
+    batches: int = 0
+    requests: int = 0
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Final accounting for one request (shed or served)."""
+
+    rid: int
+    kind: str
+    tile: int
+    arrival: float
+    shed: bool
+    batch_id: int = -1
+    chip: int = -1
+    batch_size: int = 0
+    dispatch: float = 0.0  # batch close time
+    start: float = 0.0     # launch start on the chip
+    finish: float = 0.0
+
+    @property
+    def batch_wait(self) -> float:
+        return self.dispatch - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.dispatch
+
+    @property
+    def service(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched kernel launch."""
+
+    batch_id: int
+    kind: str
+    size: int
+    chip: int
+    close: float
+    start: float
+    finish: float
+    reload: float
+
+
+@dataclass
+class FleetResult:
+    """Everything the serving simulation observed."""
+
+    records: list  # RequestRecord, rid order
+    batches: list  # BatchRecord, dispatch order
+    chips: list    # final ChipState per chip
+    makespan: float  # first arrival -> last finish (or last arrival)
+
+
+class FleetSimulator:
+    """Deterministic serving simulation over ``config.chips`` chips."""
+
+    def __init__(self, config: ServeConfig, costs: ServiceCostTable,
+                 trace: TraceSink = NULL_TRACE):
+        if config.max_batch > costs.max_batch:
+            raise ConfigError(
+                f"config.max_batch {config.max_batch} exceeds the cost "
+                f"table's measured range {costs.max_batch}")
+        self.config = config
+        self.costs = costs
+        self.trace = trace if trace.enabled else None
+        self.chips = [
+            ChipState(chip_id=i, degraded=(i in config.degraded_chips))
+            for i in range(config.chips)
+        ]
+        self._rr = 0
+        self._batches: list[BatchRecord] = []
+        self._records: dict[int, RequestRecord] = {}
+
+    # -- scheduling ----------------------------------------------------
+
+    def _reload_cycles(self, chip: ChipState, batch: Batch) -> float:
+        if chip.resident_kind != batch.kind:
+            bytes_ = self.costs.model_bytes[batch.kind]
+        elif batch.kind == "bp" and chip.resident_tile != batch.tile:
+            bytes_ = self.costs.tile_bytes[batch.kind]
+        else:
+            return 0.0
+        return bytes_ / self.config.reload_bytes_per_cycle
+
+    def _pick_chip(self, batch: Batch) -> ChipState:
+        policy = self.config.policy
+        if policy == "round-robin":
+            chip = self.chips[self._rr % len(self.chips)]
+            self._rr += 1
+            return chip
+        if policy == "least-loaded":
+            return min(self.chips, key=lambda c: (c.free_at, c.chip_id))
+        # locality: earliest *finish*, reload penalty included.
+        def finish_key(c: ChipState):
+            start = max(batch.close, c.free_at)
+            service = (self._reload_cycles(c, batch)
+                       + self.config.dispatch_overhead_cycles
+                       + self.costs.launch_cycles(batch.kind, batch.size,
+                                                  c.degraded))
+            return (start + service, c.free_at, c.chip_id)
+        return min(self.chips, key=finish_key)
+
+    def _dispatch(self, batch: Batch) -> None:
+        chip = self._pick_chip(batch)
+        start = max(batch.close, chip.free_at)
+        reload = self._reload_cycles(chip, batch)
+        service = (reload + self.config.dispatch_overhead_cycles
+                   + self.costs.launch_cycles(batch.kind, batch.size,
+                                              chip.degraded))
+        finish = start + service
+        bid = len(self._batches)
+        chip.free_at = finish
+        chip.resident_kind = batch.kind
+        chip.resident_tile = batch.tile
+        chip.busy_cycles += service
+        chip.reload_cycles += reload
+        chip.batches += 1
+        chip.requests += batch.size
+        self._batches.append(BatchRecord(
+            batch_id=bid, kind=batch.kind, size=batch.size,
+            chip=chip.chip_id, close=batch.close, start=start,
+            finish=finish, reload=reload))
+        for req in batch.requests:
+            self._records[req.rid] = RequestRecord(
+                rid=req.rid, kind=req.kind, tile=req.tile,
+                arrival=req.arrival, shed=False, batch_id=bid,
+                chip=chip.chip_id, batch_size=batch.size,
+                dispatch=batch.close, start=start, finish=finish)
+        if self.trace is not None:
+            self.trace.serve("serve.batch", f"{batch.kind}x{batch.size}",
+                             start, service, chip.chip_id,
+                             {"kind": batch.kind, "size": batch.size,
+                              "batch_id": bid, "reload": reload})
+            for req in batch.requests:
+                self.trace.serve("serve.request", req.kind, req.arrival,
+                                 finish - req.arrival, chip.chip_id,
+                                 {"rid": req.rid, "tile": req.tile,
+                                  "batch_id": bid})
+
+    def _shed(self, request: Request, now: float) -> None:
+        self._records[request.rid] = RequestRecord(
+            rid=request.rid, kind=request.kind, tile=request.tile,
+            arrival=request.arrival, shed=True, dispatch=now)
+        if self.trace is not None:
+            self.trace.serve("serve.shed", request.kind, now, 0.0, -1,
+                             {"rid": request.rid, "tile": request.tile})
+
+    # -- the event loop ------------------------------------------------
+
+    def run(self, requests: list[Request]) -> FleetResult:
+        requests = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        batcher = DynamicBatcher(self.config.max_batch,
+                                 self.config.max_wait_cycles)
+        queue = AdmissionQueue(batcher, self.config.queue_capacity,
+                               self.config.shed_policy)
+        for req in requests:
+            for batch in batcher.due(req.arrival):
+                self._dispatch(batch)
+            admission = queue.offer(req)
+            if admission.shed is not None:
+                self._shed(admission.shed, req.arrival)
+            if admission.filled is not None:
+                self._dispatch(admission.filled)
+        for batch in batcher.flush():
+            self._dispatch(batch)
+
+        records = [self._records[r.rid] for r in
+                   sorted(requests, key=lambda r: r.rid)]
+        first = requests[0].arrival if requests else 0.0
+        last = max((b.finish for b in self._batches),
+                   default=requests[-1].arrival if requests else 0.0)
+        return FleetResult(records=records, batches=self._batches,
+                           chips=self.chips,
+                           makespan=max(last - first, 0.0))

@@ -1,0 +1,162 @@
+"""Latency/throughput rollups over per-request serving records.
+
+All math is defined here, test-covered on hand-built latency sets, and
+shared by the report builder and the bench:
+
+* :func:`percentile` — linear interpolation between closest ranks (the
+  numpy ``linear`` method, implemented locally so its edge cases — n=1,
+  p beyond the rank range — are pinned by unit tests rather than
+  inherited).
+* Throughput = served requests / makespan, converted to requests per
+  *service second* through the configured clock (cycles / 1.25e9).
+* SLO-violation rate is the fraction of **served** requests whose
+  end-to-end latency exceeds the SLO; shed requests count separately in
+  the shed rate (a shed is an availability failure, not a latency one).
+  With zero served requests the violation rate is reported as 0.0 and
+  every latency percentile as ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Percentiles every report carries.
+REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values, p: float) -> float:
+    """The ``p``-th percentile of ``values``, linear interpolation.
+
+    ``rank = p/100 * (n-1)``; the result interpolates between the two
+    closest order statistics.  n=1 returns the single value for every
+    ``p``; an empty input is a :class:`ConfigError`.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ConfigError(f"percentile must be in [0, 100], got {p}")
+    data = sorted(values)
+    if not data:
+        raise ConfigError("percentile of an empty set")
+    rank = p / 100.0 * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class ServeMetrics:
+    """The serving rollup for one simulated run."""
+
+    total: int
+    served: int
+    shed: int
+    shed_rate: float
+    makespan_cycles: float
+    throughput_rps: float
+    #: latency percentiles in cycles; ``None`` when nothing was served.
+    latency_p50: float | None
+    latency_p95: float | None
+    latency_p99: float | None
+    mean_batch_wait: float
+    mean_queue_wait: float
+    mean_service: float
+    mean_batch_size: float
+    slo_cycles: float
+    slo_violations: int
+    slo_violation_rate: float
+    clock_ghz: float
+
+    def cycles_to_ms(self, cycles: float | None) -> float | None:
+        if cycles is None:
+            return None
+        return cycles / (self.clock_ghz * 1e6)
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "served": self.served,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "makespan_cycles": self.makespan_cycles,
+            "makespan_ms": self.cycles_to_ms(self.makespan_cycles),
+            "throughput_rps": self.throughput_rps,
+            "latency_cycles": {
+                "p50": self.latency_p50,
+                "p95": self.latency_p95,
+                "p99": self.latency_p99,
+            },
+            "latency_ms": {
+                "p50": self.cycles_to_ms(self.latency_p50),
+                "p95": self.cycles_to_ms(self.latency_p95),
+                "p99": self.cycles_to_ms(self.latency_p99),
+            },
+            "mean_batch_wait_cycles": self.mean_batch_wait,
+            "mean_queue_wait_cycles": self.mean_queue_wait,
+            "mean_service_cycles": self.mean_service,
+            "mean_batch_size": self.mean_batch_size,
+            "slo_cycles": self.slo_cycles,
+            "slo_ms": self.cycles_to_ms(self.slo_cycles),
+            "slo_violations": self.slo_violations,
+            "slo_violation_rate": self.slo_violation_rate,
+        }
+
+
+def compute_metrics(records, batches, makespan_cycles: float,
+                    slo_cycles: float, clock_ghz: float = 1.25) -> ServeMetrics:
+    """Roll per-request records and batch records into a ServeMetrics."""
+    if slo_cycles <= 0:
+        raise ConfigError("slo_cycles must be positive")
+    records = list(records)
+    served = [r for r in records if not r.shed]
+    shed = len(records) - len(served)
+    latencies = [r.latency for r in served]
+    if served:
+        p50, p95, p99 = (percentile(latencies, p) for p in REPORT_PERCENTILES)
+    else:
+        p50 = p95 = p99 = None
+    violations = sum(1 for lat in latencies if lat > slo_cycles)
+    seconds = makespan_cycles / (clock_ghz * 1e9)
+    throughput = len(served) / seconds if seconds > 0 else 0.0
+    return ServeMetrics(
+        total=len(records),
+        served=len(served),
+        shed=shed,
+        shed_rate=shed / len(records) if records else 0.0,
+        makespan_cycles=makespan_cycles,
+        throughput_rps=throughput,
+        latency_p50=p50,
+        latency_p95=p95,
+        latency_p99=p99,
+        mean_batch_wait=_mean(r.batch_wait for r in served),
+        mean_queue_wait=_mean(r.queue_wait for r in served),
+        mean_service=_mean(r.service for r in served),
+        mean_batch_size=_mean(b.size for b in batches),
+        slo_cycles=slo_cycles,
+        slo_violations=violations,
+        slo_violation_rate=violations / len(served) if served else 0.0,
+        clock_ghz=clock_ghz,
+    )
+
+
+def chip_utilization(chips, makespan_cycles: float) -> list[dict]:
+    """Per-chip accounting rows (utilization against the run makespan)."""
+    rows = []
+    for chip in chips:
+        rows.append({
+            "chip": chip.chip_id,
+            "degraded": chip.degraded,
+            "busy_cycles": chip.busy_cycles,
+            "reload_cycles": chip.reload_cycles,
+            "utilization": (chip.busy_cycles / makespan_cycles
+                            if makespan_cycles > 0 else 0.0),
+            "batches": chip.batches,
+            "requests": chip.requests,
+        })
+    return rows

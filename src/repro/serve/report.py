@@ -1,0 +1,153 @@
+"""End-to-end serving runs and the JSON/CSV report.
+
+:func:`run_serve` is the programmatic entry point (generate → simulate →
+roll up); :func:`run_report` runs one or more workload mixes against a
+shared cost table and builds the CLI's JSON payload.  The payload is a
+pure function of the configs — no wall-clock timestamps, keys sorted on
+write — so two runs of the same command produce byte-identical files,
+and a ``--workers N`` run matches a serial one (worker count only
+parallelizes the cost-table measurements, whose values are
+deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.serve.costmodel import ServiceCostTable, build_cost_table
+from repro.serve.fleet import FleetResult, FleetSimulator, ServeConfig
+from repro.serve.metrics import ServeMetrics, chip_utilization, compute_metrics
+from repro.serve.workload import MIXES, WorkloadConfig, generate_requests
+from repro.trace.collector import NULL_TRACE, TraceSink
+
+SCHEMA = "repro.serve/v1"
+
+CSV_COLUMNS = (
+    "mix", "rid", "kind", "tile", "arrival", "shed", "batch_id", "chip",
+    "batch_size", "dispatch", "start", "finish", "batch_wait",
+    "queue_wait", "service", "latency",
+)
+
+
+@dataclass
+class ServeRun:
+    """One mix's simulation outcome plus its rollup."""
+
+    workload: WorkloadConfig
+    fleet: FleetResult
+    metrics: ServeMetrics
+
+
+def run_serve(workload: WorkloadConfig, config: ServeConfig,
+              quick: bool = True, max_workers: int | None = None,
+              costs: ServiceCostTable | None = None,
+              trace: TraceSink = NULL_TRACE) -> ServeRun:
+    """Generate the arrival trace, serve it, and roll up the metrics."""
+    if costs is None:
+        kinds = tuple(k for k in ("bp", "conv", "fc")
+                      if k in MIXES[workload.mix])
+        costs = build_cost_table(config.max_batch, quick=quick,
+                                 degraded=bool(config.degraded_chips),
+                                 kinds=kinds, max_workers=max_workers)
+    requests = generate_requests(workload)
+    fleet = FleetSimulator(config, costs, trace=trace).run(requests)
+    metrics = compute_metrics(fleet.records, fleet.batches, fleet.makespan,
+                              slo_cycles=config.slo_cycles,
+                              clock_ghz=config.clock_ghz)
+    return ServeRun(workload=workload, fleet=fleet, metrics=metrics)
+
+
+def run_report(workload: WorkloadConfig, config: ServeConfig,
+               mixes=("bp", "bp+vgg"), quick: bool = True,
+               max_workers: int | None = None,
+               trace: TraceSink = NULL_TRACE) -> tuple[dict, list[ServeRun]]:
+    """Serve every mix (shared cost table) and build the JSON payload."""
+    kinds = tuple(k for k in ("bp", "conv", "fc")
+                  if any(k in MIXES[m] for m in mixes))
+    costs = build_cost_table(config.max_batch, quick=quick,
+                             degraded=bool(config.degraded_chips),
+                             kinds=kinds, max_workers=max_workers)
+    runs = [
+        run_serve(replace(workload, mix=mix), config, quick=quick,
+                  costs=costs, trace=trace)
+        for mix in mixes
+    ]
+    payload = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "config": {
+            "chips": config.chips,
+            "policy": config.policy,
+            "max_batch": config.max_batch,
+            "max_wait_cycles": config.max_wait_cycles,
+            "queue_capacity": config.queue_capacity,
+            "shed_policy": config.shed_policy,
+            "dispatch_overhead_cycles": config.dispatch_overhead_cycles,
+            "reload_bytes_per_cycle": config.reload_bytes_per_cycle,
+            "degraded_chips": list(config.degraded_chips),
+            "slo_cycles": config.slo_cycles,
+            "clock_ghz": config.clock_ghz,
+        },
+        "workload": {
+            "arrival": workload.arrival,
+            "rate": workload.rate,
+            "requests": workload.requests,
+            "seed": workload.seed,
+            "num_tiles": workload.num_tiles,
+            "burst_factor": workload.burst_factor,
+            "burst_len": workload.burst_len,
+        },
+        "cost_table": {
+            "shapes": {
+                f"{kind}/b{batch}{'/degraded' if degraded else ''}": cycles
+                for (kind, batch, degraded), cycles
+                in sorted(costs.cycles.items())
+            },
+            "model_bytes": dict(sorted(costs.model_bytes.items())),
+            "tile_bytes": dict(sorted(costs.tile_bytes.items())),
+        },
+        "mixes": {
+            run.workload.mix: {
+                **run.metrics.as_dict(),
+                "chips": chip_utilization(run.fleet.chips,
+                                          run.fleet.makespan),
+            }
+            for run in runs
+        },
+    }
+    return payload, runs
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_csv(runs, path: str) -> None:
+    """Per-request records of every mix, one row each."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(",".join(CSV_COLUMNS) + "\n")
+        for run in runs:
+            for r in run.fleet.records:
+                shed = r.shed
+                row = {
+                    "mix": run.workload.mix,
+                    "rid": r.rid,
+                    "kind": r.kind,
+                    "tile": r.tile,
+                    "arrival": f"{r.arrival:g}",
+                    "shed": str(shed).lower(),
+                    "batch_id": r.batch_id if not shed else "",
+                    "chip": r.chip if not shed else "",
+                    "batch_size": r.batch_size if not shed else "",
+                    "dispatch": f"{r.dispatch:g}",
+                    "start": f"{r.start:g}" if not shed else "",
+                    "finish": f"{r.finish:g}" if not shed else "",
+                    "batch_wait": f"{r.batch_wait:g}" if not shed else "",
+                    "queue_wait": f"{r.queue_wait:g}" if not shed else "",
+                    "service": f"{r.service:g}" if not shed else "",
+                    "latency": f"{r.latency:g}" if not shed else "",
+                }
+                fh.write(",".join(str(row[c]) for c in CSV_COLUMNS) + "\n")

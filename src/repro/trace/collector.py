@@ -59,6 +59,10 @@ class TraceSink:
     def fault(self, kind, name, ts, pe, attrs):
         pass
 
+    # -- serving layer ------------------------------------------------
+    def serve(self, kind, name, ts, dur, chip, attrs):
+        pass
+
     # -- metadata -----------------------------------------------------
     def register_barrier(self, addr):
         """Tag ``addr`` as belonging to a barrier episode, so full-empty
@@ -164,6 +168,11 @@ class TraceCollector(TraceSink):
 
     def fault(self, kind, name, ts, pe, attrs):
         self._events.append(TraceEvent(kind, name, ts, 0.0, pe=pe, attrs=attrs))
+
+    def serve(self, kind, name, ts, dur, chip, attrs):
+        self._events.append(
+            TraceEvent(kind, name, ts, dur, attrs={**attrs, "chip": chip})
+        )
 
     def register_barrier(self, addr):
         self.barrier_addrs.add(addr)

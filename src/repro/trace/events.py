@@ -55,6 +55,15 @@ Kinds
     datapath fault, or a dropped/corrupted NoC message being re-injected.
     ``attrs`` carry the site and count details (``addr``/``start``,
     ``nbytes``, ``flips``/``delivered``/``retries``).
+
+``serve.request`` / ``serve.batch`` / ``serve.shed``
+    Serving-layer episodes from :mod:`repro.serve`: one served request
+    (``ts`` is its arrival, ``dur`` its end-to-end latency), one
+    dispatched kernel launch (``ts`` start, ``dur`` service time), or an
+    admission-control shed.  ``attrs`` carry ``chip`` plus ``rid``/
+    ``tile`` (requests) or ``kind``/``size``/``batch_id``/``reload``
+    (batches); serve events have no PE/vault/link identity — they live
+    above the chip.
 """
 
 from __future__ import annotations
@@ -81,6 +90,9 @@ KINDS = (
     "fault.sp",
     "fault.compute",
     "fault.noc",
+    "serve.request",
+    "serve.batch",
+    "serve.shed",
 )
 
 

@@ -1,0 +1,48 @@
+"""CLI smoke: ``python -m repro.serve`` and the ``repro.perf`` alias."""
+
+import json
+import subprocess
+import sys
+
+from repro.serve.cli import main
+
+
+def test_cli_writes_report_and_csv(tmp_path, capsys):
+    out = tmp_path / "serve.json"
+    csv = tmp_path / "serve.csv"
+    rc = main(["--chips", "2", "--requests", "25", "--rate", "150000",
+               "--seed", "0", "--max-batch", "3",
+               "--out", str(out), "--csv", str(csv)])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "bp+vgg" in printed
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.serve/v1"
+    assert set(payload["mixes"]) == {"bp", "bp+vgg"}
+    for mix in payload["mixes"].values():
+        assert mix["latency_cycles"]["p99"] >= mix["latency_cycles"]["p50"] > 0
+    lines = csv.read_text().splitlines()
+    assert lines[0].startswith("mix,rid,kind")
+    assert len(lines) == 1 + 2 * 25  # header + both mixes' records
+
+
+def test_cli_single_mix_and_policy(tmp_path):
+    out = tmp_path / "serve.json"
+    rc = main(["--chips", "2", "--requests", "20", "--rate", "150000",
+               "--mix", "bp", "--policy", "locality", "--arrival", "bursty",
+               "--max-batch", "2", "--degraded", "1", "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert list(payload["mixes"]) == ["bp"]
+    assert payload["config"]["degraded_chips"] == [1]
+    chips = payload["mixes"]["bp"]["chips"]
+    assert chips[1]["degraded"] is True
+
+
+def test_python_m_repro_perf_dispatches_to_bench():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.perf", "--help"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "benchmark suite" in proc.stdout

@@ -1,0 +1,175 @@
+"""Fleet scheduling on a hand-built cost table (no simulator runs)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.costmodel import ServiceCostTable
+from repro.serve.fleet import FleetSimulator, ServeConfig
+from repro.serve.workload import Request
+from repro.trace.collector import TraceCollector
+
+
+def _table(max_batch=4, bp_model_bytes=800):
+    cycles = {("bp", 1, False): 1000.0, ("bp", 1, True): 1500.0,
+              ("conv", 1, False): 500.0, ("conv", 1, True): 700.0}
+    fc = {1: 100.0, 2: 150.0, 3: 190.0, 4: 220.0}
+    for b, c in fc.items():
+        cycles[("fc", b, False)] = c
+        cycles[("fc", b, True)] = 2.0 * c
+    return ServiceCostTable(
+        cycles=cycles,
+        model_bytes={"bp": bp_model_bytes, "conv": 400, "fc": 1600},
+        tile_bytes={"bp": 80, "conv": 0, "fc": 0},
+        quick=True,
+        max_batch=max_batch,
+    )
+
+
+def _config(**kw):
+    defaults = dict(chips=2, policy="least-loaded", max_batch=4,
+                    max_wait_cycles=50.0, queue_capacity=16,
+                    dispatch_overhead_cycles=10.0,
+                    reload_bytes_per_cycle=8.0, slo_cycles=10_000.0)
+    defaults.update(kw)
+    return ServeConfig(**defaults)
+
+
+def _req(rid, arrival, kind="bp", tile=0):
+    return Request(rid=rid, kind=kind, tile=tile, arrival=arrival)
+
+
+def test_single_request_accounting_exact():
+    # bp model reload = 800/8 = 100 cycles; overhead 10; service 1000.
+    result = FleetSimulator(_config(), _table()).run([_req(0, 0.0)])
+    (r,) = result.records
+    assert not r.shed
+    assert r.dispatch == 50.0          # max_wait deadline
+    assert r.start == 50.0             # chip idle
+    assert r.finish == 50.0 + 100.0 + 10.0 + 1000.0
+    assert r.batch_wait == 50.0
+    assert r.queue_wait == 0.0
+    assert r.service == 1110.0
+    assert r.latency == r.batch_wait + r.queue_wait + r.service
+    assert result.makespan == r.finish - r.arrival
+    chip = result.chips[r.chip]
+    assert chip.busy_cycles == 1110.0
+    assert chip.reload_cycles == 100.0
+
+
+def test_fc_batch_uses_batched_kernel_cycles():
+    config = _config(max_batch=3, max_wait_cycles=1e6)
+    reqs = [_req(i, float(i), kind="fc") for i in range(3)]
+    result = FleetSimulator(config, _table()).run(reqs)
+    (batch,) = result.batches
+    assert batch.size == 3
+    # fc/B=3 measured cycles (190), not 3 x fc/B=1 (300).
+    assert batch.finish - batch.start == pytest.approx(
+        1600 / 8 + 10 + 190.0)
+
+
+def test_bp_batch_is_per_pass_linear():
+    config = _config(max_batch=2, max_wait_cycles=1e6)
+    reqs = [_req(0, 0.0), _req(1, 1.0)]
+    result = FleetSimulator(config, _table()).run(reqs)
+    (batch,) = result.batches
+    assert batch.finish - batch.start == pytest.approx(100 + 10 + 2 * 1000.0)
+
+
+def test_round_robin_alternates_chips():
+    config = _config(policy="round-robin", max_batch=1)
+    reqs = [_req(i, 10.0 * i) for i in range(4)]
+    result = FleetSimulator(config, _table()).run(reqs)
+    assert [b.chip for b in result.batches] == [0, 1, 0, 1]
+
+
+def test_least_loaded_prefers_earliest_free_chip():
+    config = _config(policy="least-loaded", max_batch=1)
+    # Three immediate single-request batches: 0 -> chip0, 1 -> chip1,
+    # 2 -> whichever frees first (chip1: conv is shorter than bp).
+    reqs = [_req(0, 0.0, kind="bp"), _req(1, 1.0, kind="conv"),
+            _req(2, 2.0, kind="bp")]
+    result = FleetSimulator(config, _table()).run(reqs)
+    assert [b.chip for b in result.batches] == [0, 1, 1]
+
+
+def test_locality_sticks_to_warm_chip_when_reload_dominates():
+    # Expensive bp model: reload 10_000 cycles. A second same-tile bp
+    # batch goes back to the warm chip rather than re-staging on a cold
+    # one (it arrives after the warm chip has drained).
+    table = _table(bp_model_bytes=80_000)
+    config = _config(policy="locality", max_batch=1)
+    reqs = [_req(0, 0.0, tile=2), _req(1, 12_000.0, tile=2)]
+    result = FleetSimulator(config, table).run(reqs)
+    assert [b.chip for b in result.batches] == [0, 0]
+    assert result.batches[1].reload == 0.0
+
+
+def test_locality_switches_chip_when_queueing_dominates():
+    # Cheap reload (100 cycles): the idle chip finishes first even cold.
+    config = _config(policy="locality", max_batch=1)
+    reqs = [_req(0, 0.0, tile=2), _req(1, 200.0, tile=2)]
+    result = FleetSimulator(config, _table()).run(reqs)
+    assert [b.chip for b in result.batches] == [0, 1]
+
+
+def test_locality_pays_tile_reload_on_same_kind_tile_switch():
+    table = _table(bp_model_bytes=80_000)
+    config = _config(policy="locality", max_batch=1, chips=1)
+    reqs = [_req(0, 0.0, tile=2), _req(1, 20_000.0, tile=5)]
+    result = FleetSimulator(config, table).run(reqs)
+    # Same kind, different tile: only the 80-byte tile state re-stages.
+    assert result.batches[1].reload == pytest.approx(80 / 8)
+
+
+def test_degraded_chip_uses_degraded_service_times():
+    config = _config(chips=1, degraded_chips=(0,), max_batch=1)
+    result = FleetSimulator(config, _table()).run([_req(0, 0.0)])
+    (batch,) = result.batches
+    assert batch.finish - batch.start == pytest.approx(100 + 10 + 1500.0)
+
+
+def test_queue_capacity_sheds_and_traces():
+    trace = TraceCollector()
+    config = _config(chips=1, queue_capacity=1, max_batch=4,
+                     max_wait_cycles=1e6)
+    reqs = [_req(0, 0.0), _req(1, 1.0), _req(2, 2.0)]
+    result = FleetSimulator(config, _table(), trace=trace).run(reqs)
+    shed = [r for r in result.records if r.shed]
+    assert [r.rid for r in shed] == [1, 2]
+    kinds = [e.kind for e in trace.events]
+    assert kinds.count("serve.shed") == 2
+    assert kinds.count("serve.batch") == 1
+    assert kinds.count("serve.request") == 1
+    batch_event = trace.by_kind("serve.batch")[0]
+    assert batch_event.attrs["chip"] == 0
+    assert batch_event.attrs["size"] == 1
+
+
+def test_records_come_back_in_rid_order_with_invariants():
+    config = _config(max_batch=3, queue_capacity=4, max_wait_cycles=30.0)
+    reqs = [_req(i, 7.0 * i, kind=("bp", "fc", "conv")[i % 3], tile=i % 2)
+            for i in range(24)]
+    result = FleetSimulator(config, _table()).run(reqs)
+    assert [r.rid for r in result.records] == list(range(24))
+    for r in result.records:
+        if r.shed:
+            continue
+        assert r.batch_wait >= 0.0
+        assert r.queue_wait >= 0.0
+        assert r.service > 0.0
+        assert 0 < r.batch_size <= 3
+        assert 0 <= r.chip < 2
+        assert r.latency == pytest.approx(
+            r.batch_wait + r.queue_wait + r.service)
+    assert result.makespan == pytest.approx(
+        max(b.finish for b in result.batches) - reqs[0].arrival)
+
+
+def test_max_batch_beyond_table_range_raises():
+    with pytest.raises(ConfigError):
+        FleetSimulator(_config(max_batch=5), _table(max_batch=4))
+
+
+def test_degraded_chip_id_out_of_range_raises():
+    with pytest.raises(ConfigError):
+        _config(degraded_chips=(7,))

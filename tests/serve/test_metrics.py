@@ -1,0 +1,120 @@
+"""Unit tests for the serving metrics math (percentiles, SLO, shed)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.fleet import BatchRecord, RequestRecord
+from repro.serve.metrics import chip_utilization, compute_metrics, percentile
+
+
+def _served(rid, arrival, dispatch, start, finish, kind="bp"):
+    return RequestRecord(rid=rid, kind=kind, tile=0, arrival=arrival,
+                         shed=False, batch_id=0, chip=0, batch_size=1,
+                         dispatch=dispatch, start=start, finish=finish)
+
+
+def _shed(rid, arrival, kind="bp"):
+    return RequestRecord(rid=rid, kind=kind, tile=0, arrival=arrival,
+                         shed=True, dispatch=arrival)
+
+
+class TestPercentile:
+    def test_single_value_is_every_percentile(self):
+        for p in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile([42.0], p) == 42.0
+
+    def test_linear_interpolation(self):
+        data = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(data, 0) == 10.0
+        assert percentile(data, 100) == 40.0
+        assert percentile(data, 50) == 25.0  # between ranks 1 and 2
+        assert percentile(data, 25) == pytest.approx(17.5)
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_known_hundred_point_set(self):
+        data = list(range(1, 101))  # 1..100
+        assert percentile(data, 50) == 50.5
+        assert percentile(data, 95) == pytest.approx(95.05)
+        assert percentile(data, 99) == pytest.approx(99.01)
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 101)
+        with pytest.raises(ConfigError):
+            percentile([1.0], -1)
+
+
+class TestComputeMetrics:
+    def test_hand_built_accounting(self):
+        # One request: arrives 100, batch closes 300, starts 500,
+        # finishes 1100 -> batch_wait 200, queue_wait 200, service 600.
+        r = _served(0, 100.0, 300.0, 500.0, 1100.0)
+        assert r.batch_wait == 200.0
+        assert r.queue_wait == 200.0
+        assert r.service == 600.0
+        assert r.latency == 1000.0
+        b = BatchRecord(batch_id=0, kind="bp", size=1, chip=0,
+                        close=300.0, start=500.0, finish=1100.0, reload=0.0)
+        m = compute_metrics([r], [b], makespan_cycles=1000.0,
+                            slo_cycles=500.0, clock_ghz=1.25)
+        assert m.total == m.served == 1
+        assert m.shed == 0 and m.shed_rate == 0.0
+        # n=1: every percentile is the single latency.
+        assert m.latency_p50 == m.latency_p95 == m.latency_p99 == 1000.0
+        assert m.slo_violations == 1 and m.slo_violation_rate == 1.0
+        # 1000 cycles over 1000-cycle makespan at 1.25 GHz.
+        assert m.throughput_rps == pytest.approx(1.25e9 / 1000.0)
+        assert m.cycles_to_ms(1.25e6) == pytest.approx(1.0)
+
+    def test_slo_counts_only_served(self):
+        records = [
+            _served(0, 0.0, 0.0, 0.0, 100.0),    # latency 100, ok
+            _served(1, 0.0, 0.0, 0.0, 1000.0),   # latency 1000, violated
+            _shed(2, 5.0),
+        ]
+        m = compute_metrics(records, [], makespan_cycles=1000.0,
+                            slo_cycles=500.0)
+        assert m.total == 3 and m.served == 2 and m.shed == 1
+        assert m.shed_rate == pytest.approx(1 / 3)
+        assert m.slo_violations == 1
+        assert m.slo_violation_rate == 0.5
+
+    def test_all_shed_edge_case(self):
+        records = [_shed(i, float(i)) for i in range(4)]
+        m = compute_metrics(records, [], makespan_cycles=100.0,
+                            slo_cycles=500.0)
+        assert m.served == 0 and m.shed == 4
+        assert m.shed_rate == 1.0
+        assert m.latency_p50 is None
+        assert m.latency_p95 is None
+        assert m.latency_p99 is None
+        assert m.slo_violation_rate == 0.0
+        assert m.throughput_rps == 0.0
+        assert m.as_dict()["latency_ms"]["p99"] is None
+
+    def test_empty_records(self):
+        m = compute_metrics([], [], makespan_cycles=0.0, slo_cycles=1.0)
+        assert m.total == 0 and m.shed_rate == 0.0
+        assert m.throughput_rps == 0.0
+
+    def test_bad_slo_raises(self):
+        with pytest.raises(ConfigError):
+            compute_metrics([], [], makespan_cycles=0.0, slo_cycles=0.0)
+
+
+def test_chip_utilization_rows():
+    from repro.serve.fleet import ChipState
+
+    chips = [ChipState(chip_id=0, busy_cycles=500.0, batches=2, requests=5),
+             ChipState(chip_id=1, degraded=True)]
+    rows = chip_utilization(chips, makespan_cycles=1000.0)
+    assert rows[0]["utilization"] == 0.5
+    assert rows[0]["requests"] == 5
+    assert rows[1]["utilization"] == 0.0
+    assert rows[1]["degraded"] is True

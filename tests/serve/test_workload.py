@@ -1,0 +1,72 @@
+"""Arrival-trace generation: determinism, mixes, process shapes."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.workload import MIXES, WorkloadConfig, generate_requests
+
+
+def test_same_seed_same_trace():
+    cfg = WorkloadConfig(mix="bp+vgg", requests=100, seed=3)
+    assert generate_requests(cfg) == generate_requests(cfg)
+
+
+def test_different_seeds_differ():
+    a = generate_requests(WorkloadConfig(requests=50, seed=0))
+    b = generate_requests(WorkloadConfig(requests=50, seed=1))
+    assert [r.arrival for r in a] != [r.arrival for r in b]
+
+
+def test_arrivals_are_increasing_and_ids_sequential():
+    reqs = generate_requests(WorkloadConfig(mix="bp+vgg", requests=200))
+    assert [r.rid for r in reqs] == list(range(200))
+    arrivals = [r.arrival for r in reqs]
+    assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+
+def test_mix_restricts_kinds_and_tiles_in_range():
+    reqs = generate_requests(WorkloadConfig(mix="bp", requests=80,
+                                            num_tiles=4))
+    assert {r.kind for r in reqs} == {"bp"}
+    assert all(0 <= r.tile < 4 for r in reqs)
+    mixed = generate_requests(WorkloadConfig(mix="bp+vgg", requests=400,
+                                             seed=2))
+    kinds = {r.kind for r in mixed}
+    assert kinds == set(MIXES["bp+vgg"])
+
+
+@pytest.mark.parametrize("arrival", ["poisson", "bursty"])
+def test_mean_rate_is_respected(arrival):
+    cfg = WorkloadConfig(arrival=arrival, rate=100_000.0, requests=4000,
+                         seed=5)
+    reqs = generate_requests(cfg)
+    mean_gap = reqs[-1].arrival / len(reqs)
+    # Mean inter-arrival gap should be near clock_hz/rate = 12500 cycles.
+    assert mean_gap == pytest.approx(cfg.mean_gap_cycles, rel=0.15)
+
+
+def test_bursty_has_heavier_gap_tail_than_poisson():
+    pois = generate_requests(WorkloadConfig(arrival="poisson",
+                                            requests=3000, seed=9))
+    burst = generate_requests(WorkloadConfig(arrival="bursty",
+                                             requests=3000, seed=9,
+                                             burst_factor=16.0))
+    def gap_var(reqs):
+        gaps = [b.arrival - a.arrival for a, b in zip(reqs, reqs[1:])]
+        mean = sum(gaps) / len(gaps)
+        return sum((g - mean) ** 2 for g in gaps) / len(gaps) / mean**2
+    # Squared coefficient of variation: ~1 for Poisson, >1 for bursty.
+    assert gap_var(burst) > 1.5 * gap_var(pois)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(mix="nope")
+    with pytest.raises(ConfigError):
+        WorkloadConfig(arrival="uniform")
+    with pytest.raises(ConfigError):
+        WorkloadConfig(rate=0.0)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(requests=0)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(burst_factor=0.5)
