@@ -15,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigError
 from repro.faults.sweep import (
     DEFAULT_RATES,
     MECHANISMS,
@@ -35,6 +36,27 @@ def _ints(text: str) -> list[int]:
 
 def _workloads(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,29 +80,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable the SECDED ECC model on DRAM reads")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workload geometry (default: quick)")
-    parser.add_argument("--max-workers", type=int, default=None)
-    parser.add_argument("--timeout", type=float, default=None,
+    parser.add_argument("--max-workers", type=_positive_int, default=None)
+    parser.add_argument("--timeout", type=_positive_float, default=None,
                         help="per-point wall-clock budget in seconds")
-    parser.add_argument("--retries", type=int, default=0,
+    parser.add_argument("--retries", type=_nonneg_int, default=0,
                         help="retry budget per point (for timeouts)")
+    parser.add_argument("--checkpoint", default=None,
+                        help="journal completed points to this file")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse points already journaled in --checkpoint")
     parser.add_argument("--out", default=None, help="write JSON here")
     parser.add_argument("--csv", default=None, help="write CSV here")
     return parser
 
 
+def _run(args) -> dict:
+    from repro.perf.checkpoint import TaskCheckpoint
+
+    if args.resume and not args.checkpoint:
+        raise ConfigError("--resume requires --checkpoint PATH")
+    checkpoint = None
+    if args.checkpoint:
+        meta = {"tool": "repro.faults", "mechanism": args.mechanism,
+                "ecc": args.ecc, "quick": not args.full,
+                "workloads": sorted(args.workloads),
+                "rates": [float(r) for r in args.rates],
+                "seeds": [int(s) for s in args.seeds]}
+        checkpoint = TaskCheckpoint(args.checkpoint, meta=meta,
+                                    resume=args.resume)
+    try:
+        return run_sweep(
+            workloads=args.workloads,
+            rates=args.rates,
+            seeds=args.seeds,
+            mechanism=args.mechanism,
+            ecc=args.ecc,
+            quick=not args.full,
+            max_workers=args.max_workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=checkpoint,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    payload = run_sweep(
-        workloads=args.workloads,
-        rates=args.rates,
-        seeds=args.seeds,
-        mechanism=args.mechanism,
-        ecc=args.ecc,
-        quick=not args.full,
-        max_workers=args.max_workers,
-        timeout=args.timeout,
-        retries=args.retries,
-    )
+    try:
+        payload = _run(args)
+    except ConfigError as exc:
+        print(f"error: config: {exc}", file=sys.stderr)
+        return 2
     header = (f"{'workload':<8} {'rate':>10} {'seed':>5} {'ok':>3} "
               f"{'quality':>22} {'faults':>7}")
     print(header)

@@ -170,6 +170,7 @@ def run_sweep(
     max_workers: int | None = None,
     timeout: float | None = None,
     retries: int = 0,
+    checkpoint=None,
 ) -> dict[str, Any]:
     """Run the full (workload x rate x seed) grid and collect one payload.
 
@@ -178,6 +179,8 @@ def run_sweep(
     ``(mechanism, rate, seed)`` in its worker.  ``reseed_kwarg`` is
     disabled for retries: a point's seed *is* its identity, so a retry
     (useful against timeouts) must replay the same experiment.
+    ``checkpoint`` journals completed points so a killed sweep resumes
+    without recomputing them (failed points are retried on resume).
     """
     rates = [float(r) for r in rates]
     seeds = [int(s) for s in seeds]
@@ -219,7 +222,7 @@ def run_sweep(
 
     outcomes = run_tasks(tasks, max_workers=max_workers, timeout=timeout,
                          retries=retries, return_errors=True,
-                         reseed_kwarg=None)
+                         reseed_kwarg=None, checkpoint=checkpoint)
     points: list[dict[str, Any]] = []
     for task, outcome in zip(tasks, outcomes):
         if outcome.ok:

@@ -13,6 +13,7 @@ from repro.perf.extrapolate import (
 from repro.perf.memsweep import SweepPoint, bp_sweep_point, cnn_sweep_point, run_figure5
 from repro.perf.requirements import BPRequirements, fc6_weight_bytes, vgg16_conv_gops
 from repro.perf.roofline import Roofline, RooflinePoint, point_from_counters
+from repro.perf.checkpoint import CheckpointWarning, TaskCheckpoint
 from repro.perf.runner import (
     Task,
     TaskResult,
@@ -34,8 +35,10 @@ __all__ = [
     "LayerTiming",
     "Roofline",
     "RooflinePoint",
+    "CheckpointWarning",
     "SweepPoint",
     "Task",
+    "TaskCheckpoint",
     "TaskResult",
     "TaskTimeoutError",
     "bp_sweep_point",

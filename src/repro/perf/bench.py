@@ -19,6 +19,10 @@ Benches:
 * ``serve-fleet`` (macro) — the :mod:`repro.serve` serving layer on a
   fixed seeded arrival trace (bp+vgg mix, four chips): cost-table
   measurement plus the fleet event loop, end to end.
+* ``serve-resilience`` (macro) — the same fleet under a seeded chip
+  failure lifecycle (one fail-stop chip, one straggler, hedging on):
+  health checks, retries, hedges, and breakers all exercised; records
+  availability, goodput, and wasted cycles alongside wall time.
 
 ``--compare`` additionally runs every simulator bench with the
 pre-decoded fast path disabled (``PEConfig(fast_path=False)``) and
@@ -38,6 +42,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.faults.config import NO_FAULTS
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
@@ -47,7 +52,8 @@ from repro.pe.counters import PECounters
 SCHEMA = "repro.perf.bench/v1"
 
 MICRO_BENCHES = ("fixedpoint-sat", "pe-vector")
-MACRO_BENCHES = ("vault-bp-tile", "conv-pass", "fc-chunk", "serve-fleet")
+MACRO_BENCHES = ("vault-bp-tile", "conv-pass", "fc-chunk", "serve-fleet",
+                 "serve-resilience")
 ALL_BENCHES = MICRO_BENCHES + MACRO_BENCHES
 
 #: Single-kernel simulator benches with a reference (fast_path=False)
@@ -321,6 +327,63 @@ def _bench_serve(repeat: int, quick: bool, compare: bool) -> dict:
     return record
 
 
+def _bench_serve_resilience(repeat: int, quick: bool, compare: bool) -> dict:
+    from repro.serve.failures import FailureConfig
+    from repro.serve.fleet import ServeConfig
+    from repro.serve.report import run_report
+    from repro.serve.resilience import ResilienceConfig
+    from repro.serve.workload import WorkloadConfig
+
+    workload = WorkloadConfig(mix="bp+vgg", arrival="poisson",
+                              rate=100_000.0,
+                              requests=60 if quick else 200, seed=0)
+    config = ServeConfig(
+        chips=4,
+        failures=FailureConfig(
+            seed=3,
+            fail_stop_chips=(0,),
+            fail_stop_mtbf_cycles=400_000.0,
+            repair_mean_cycles=150_000.0,
+            fail_slow_chips=(1,),
+            fail_slow_mtbf_cycles=300_000.0,
+            fail_slow_duration_cycles=200_000.0,
+        ),
+        resilience=ResilienceConfig(hedge_delay_cycles=20_000.0),
+    )
+
+    def work(workers: int = 1) -> dict:
+        return run_report(workload, config, mixes=("bp+vgg",),
+                          quick=quick, max_workers=workers)[0]
+
+    payload = work()  # warmup (also builds/caches the kernel programs)
+    wall = _best_wall(work, repeat)
+    m = payload["mixes"]["bp+vgg"]
+    if m["served"] + m["shed"] + m["expired"] != m["total"]:
+        raise AssertionError("serve-resilience: request accounting leak")
+    record = {
+        "name": "serve-resilience",
+        "kind": "macro",
+        "wall_s": wall,
+        "sim_cycles": m["makespan_cycles"],
+        "cycles_per_wall_second": m["makespan_cycles"] / wall,
+        "requests_served": m["served"],
+        "availability": m["availability"],
+        "sim_goodput_rps": m["goodput_rps"],
+        "retries": m["retries"],
+        "hedges": m["hedges"],
+        "retry_wasted_cycles": m["retry_wasted_cycles"],
+        "hedge_wasted_cycles": m["hedge_wasted_cycles"],
+        "latency_p999_ms": m["latency_ms"]["p999"],
+    }
+    if compare:
+        if work(workers=2) != payload:
+            raise AssertionError(
+                "serve-resilience: parallel cost-table run diverged "
+                "from serial")
+        record["parallel_equal"] = True
+    return record
+
+
 def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
                 quick: bool = False, compare: bool = False) -> list[dict]:
     """Run the named benches and return one JSON-able record per bench."""
@@ -330,9 +393,18 @@ def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
             records.append(_bench_fixedpoint(repeat, quick, compare))
         elif name == "serve-fleet":
             records.append(_bench_serve(repeat, quick, compare))
+        elif name == "serve-resilience":
+            records.append(_bench_serve_resilience(repeat, quick, compare))
         else:
             records.append(_bench_sim(name, repeat, quick, compare))
     return records
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -348,7 +420,7 @@ def main(argv: list[str] | None = None) -> int:
                         "BENCH_<tag>.json with --tag)")
     parser.add_argument("--tag", default=None,
                         help="snapshot tag, e.g. the PR number")
-    parser.add_argument("--repeat", type=int, default=3,
+    parser.add_argument("--repeat", type=_positive_int, default=3,
                         help="timing repetitions per bench (best-of)")
     parser.add_argument("--quick", action="store_true",
                         help="small problem sizes (CI smoke)")
@@ -363,8 +435,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     names = tuple(args.bench) if args.bench else ALL_BENCHES
-    records = run_benches(names, repeat=args.repeat, quick=args.quick,
-                          compare=args.compare)
+    try:
+        records = run_benches(names, repeat=args.repeat, quick=args.quick,
+                              compare=args.compare)
+    except ConfigError as exc:
+        print(f"error: config: {exc}", file=sys.stderr)
+        return 2
     if args.merge_baseline:
         with open(args.merge_baseline) as f:
             base = json.load(f)

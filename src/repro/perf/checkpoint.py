@@ -1,0 +1,174 @@
+"""Resumable on-disk checkpoints for long task campaigns.
+
+A :class:`TaskCheckpoint` journals every completed task result of a
+:func:`repro.perf.runner.run_tasks` campaign to an append-only JSONL
+file, flushed per entry — so a sweep killed after K of N points restarts
+with ``--resume`` and recomputes only the missing N−K.  Because task
+values are replayed *verbatim* (pickle round-trip) and ``run_tasks``
+merges cached and fresh results in submission order, a resumed run's
+artifact is byte-identical to an uninterrupted one; CI asserts this.
+
+File format — one JSON object per line:
+
+* Header: ``{"schema": "repro.perf.checkpoint/v1", "meta": {...}}``.
+  ``meta`` fingerprints the campaign (config knobs); resuming against a
+  checkpoint whose meta differs falls back to a clean start with a
+  warning rather than silently mixing results from different configs.
+* Entries: ``{"key": ..., "crc": ..., "data": ...}`` where ``data`` is
+  the base64 pickle of the task's result and ``crc`` its CRC-32 — a
+  kill mid-write leaves a truncated or garbled tail line, which is
+  detected and dropped (the journal keeps its valid prefix).  Any other
+  corruption — bad header, schema mismatch — warns and starts clean.
+
+Failed :class:`~repro.perf.runner.TaskResult` rows (``ok=False``) are
+*not* journaled: a resume retries them instead of replaying the failure.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import os
+import pickle
+import warnings
+from typing import Any
+
+SCHEMA = "repro.perf.checkpoint/v1"
+
+
+class CheckpointWarning(UserWarning):
+    """A checkpoint could not be (fully) resumed; recomputing instead."""
+
+
+def _encode(value: Any) -> tuple[str, int]:
+    raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    data = base64.b64encode(raw).decode("ascii")
+    return data, binascii.crc32(raw)
+
+
+def _decode(data: str) -> tuple[Any, int]:
+    raw = base64.b64decode(data.encode("ascii"), validate=True)
+    return pickle.loads(raw), binascii.crc32(raw)
+
+
+class TaskCheckpoint:
+    """One campaign's resumable result journal.
+
+    ``resume=True`` loads any compatible existing journal at ``path``;
+    otherwise (or when the journal is unusable) the file is started
+    clean.  Pass the instance to ``run_tasks(..., checkpoint=...)`` —
+    cached keys are returned without running, fresh results are appended
+    as they are collected.  Use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(self, path: str, meta: dict | None = None,
+                 resume: bool = False):
+        self.path = path
+        self.meta = dict(meta or {})
+        self._cache: dict[str, Any] = {}
+        self.loaded = 0
+        if resume and os.path.exists(path):
+            self._load()
+        self._fh = open(path, "a" if self._cache else "w",
+                        encoding="utf-8")
+        if not self._cache:
+            header = json.dumps({"schema": SCHEMA, "meta": self.meta},
+                                sort_keys=True)
+            self._fh.write(header + "\n")
+            self._fh.flush()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            warnings.warn(f"checkpoint {self.path}: unreadable ({exc}); "
+                          f"starting clean", CheckpointWarning, stacklevel=3)
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+            schema, meta = header["schema"], header["meta"]
+        except (ValueError, TypeError, KeyError):
+            warnings.warn(f"checkpoint {self.path}: corrupt header; "
+                          f"starting clean", CheckpointWarning, stacklevel=3)
+            return
+        if schema != SCHEMA:
+            warnings.warn(f"checkpoint {self.path}: schema {schema!r} != "
+                          f"{SCHEMA!r}; starting clean",
+                          CheckpointWarning, stacklevel=3)
+            return
+        if meta != self.meta:
+            warnings.warn(f"checkpoint {self.path}: written by a different "
+                          f"campaign config; starting clean",
+                          CheckpointWarning, stacklevel=3)
+            return
+        entries: dict[str, Any] = {}
+        dropped = 0
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+                value, crc = _decode(entry["data"])
+                if crc != entry["crc"]:
+                    raise ValueError("crc mismatch")
+            except Exception:  # noqa: BLE001 - any damage invalidates the tail
+                dropped = len(lines) - 1 - len(entries)
+                break
+            entries[entry["key"]] = value
+        if dropped:
+            warnings.warn(
+                f"checkpoint {self.path}: dropped {dropped} corrupt "
+                f"trailing line(s) (kill mid-write?); keeping "
+                f"{len(entries)} valid result(s)",
+                CheckpointWarning, stacklevel=3)
+            self._rewrite(entries)
+        self._cache = entries
+        self.loaded = len(entries)
+
+    def _rewrite(self, entries: dict[str, Any]) -> None:
+        """Rewrite the journal as header + the valid prefix."""
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"schema": SCHEMA, "meta": self.meta},
+                                sort_keys=True) + "\n")
+            for key, value in entries.items():
+                data, crc = _encode(value)
+                fh.write(json.dumps({"key": key, "crc": crc, "data": data})
+                         + "\n")
+
+    # -- the run_tasks interface --------------------------------------
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(hit, value) for ``key``; ``(False, None)`` when not journaled."""
+        if key in self._cache:
+            return True, self._cache[key]
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Journal one completed result (flushed immediately).
+
+        Failed ``TaskResult`` rows are skipped so a resume retries them.
+        """
+        from repro.perf.runner import TaskResult
+        if isinstance(value, TaskResult) and not value.ok:
+            return
+        if key in self._cache:
+            return
+        self._cache[key] = value
+        data, crc = _encode(value)
+        self._fh.write(json.dumps({"key": key, "crc": crc, "data": data})
+                       + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TaskCheckpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -196,6 +196,42 @@ def _call_policy(task: Task, policy: _Policy) -> Any:
     raise last_error
 
 
+def _execute(tasks: list[Task], policy: _Policy, max_workers: int | None,
+             on_result: Callable[[str, Any], None] | None = None) -> list[Any]:
+    """Run ``tasks`` under ``policy``, results in submission order.
+
+    ``on_result(key, value)`` fires as each result is *collected* (still
+    submission order), which is where checkpoint journaling hooks in.
+    """
+    if max_workers is None:
+        max_workers = default_workers()
+    workers = min(max_workers, len(tasks))
+    if workers <= 1 or multiprocessing.parent_process() is not None:
+        results = []
+        for task in tasks:
+            value = _call_policy(task, policy)
+            if on_result is not None:
+                on_result(task.key, value)
+            results.append(value)
+        return results
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [pool.submit(_call_policy, t, policy) for t in tasks]
+        results = []
+        for task, future in zip(tasks, futures):
+            value = future.result()
+            if on_result is not None:
+                on_result(task.key, value)
+            results.append(value)
+    except BaseException:
+        # Fail fast: drop queued tasks and return without waiting for
+        # stragglers; the pool's processes are reaped in the background.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
+
+
 def run_tasks(
     tasks: Iterable[Task],
     max_workers: int | None = None,
@@ -205,6 +241,7 @@ def run_tasks(
     backoff: float = 0.5,
     return_errors: bool = False,
     reseed_kwarg: str | None = "seed",
+    checkpoint=None,
 ) -> list[Any]:
     """Run ``tasks``, returning their results in submission order.
 
@@ -225,25 +262,30 @@ def run_tasks(
     * ``return_errors`` — instead of raising, every task yields a
       :class:`TaskResult`; failures carry their error text so a long
       campaign salvages completed points.
+    * ``checkpoint`` — a :class:`~repro.perf.checkpoint.TaskCheckpoint`:
+      tasks whose key is already journaled return their cached value
+      without running; fresh results are journaled as collected, so a
+      killed campaign resumes where it stopped and the merged result
+      list is identical to an uninterrupted run's.
     """
     tasks = list(tasks)
     policy = _Policy(timeout=timeout, retries=retries, backoff=backoff,
                      return_errors=return_errors, reseed_kwarg=reseed_kwarg)
-    if max_workers is None:
-        max_workers = default_workers()
-    workers = min(max_workers, len(tasks))
-    if workers <= 1 or multiprocessing.parent_process() is not None:
-        return [_call_policy(t, policy) for t in tasks]
-    pool = ProcessPoolExecutor(max_workers=workers)
-    try:
-        futures = [pool.submit(_call_policy, t, policy) for t in tasks]
-        results = [f.result() for f in futures]
-    except BaseException:
-        # Fail fast: drop queued tasks and return without waiting for
-        # stragglers; the pool's processes are reaped in the background.
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
-    pool.shutdown(wait=True)
+    if checkpoint is None:
+        return _execute(tasks, policy, max_workers)
+    results: list[Any] = [None] * len(tasks)
+    todo: list[int] = []
+    for i, task in enumerate(tasks):
+        hit, value = checkpoint.get(task.key)
+        if hit:
+            results[i] = value
+        else:
+            todo.append(i)
+    if todo:
+        fresh = _execute([tasks[i] for i in todo], policy, max_workers,
+                         on_result=checkpoint.put)
+        for i, value in zip(todo, fresh):
+            results[i] = value
     return results
 
 

@@ -8,9 +8,22 @@ admission control (:mod:`~repro.serve.queueing`), dynamic batching
 (:mod:`~repro.serve.fleet`), and latency/throughput rollups
 (:mod:`~repro.serve.metrics`) behind a ``python -m repro.serve`` CLI
 (:mod:`~repro.serve.cli`).
+
+Robustness: a seeded chip failure lifecycle
+(:mod:`~repro.serve.failures`) can be injected into the fleet, and the
+scheduler defends with health checks, circuit breakers, bounded
+retries, hedging, and load-shedding tiers
+(:mod:`~repro.serve.resilience`).
 """
 
 from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.failures import (
+    FAILURE_KINDS,
+    ChipFailureTimeline,
+    FailureConfig,
+    FailureWindow,
+    scripted_timeline,
+)
 from repro.serve.costmodel import (
     ServiceCostTable,
     build_cost_table,
@@ -34,6 +47,12 @@ from repro.serve.metrics import (
     percentile,
 )
 from repro.serve.queueing import SHED_POLICIES, Admission, AdmissionQueue
+from repro.serve.resilience import (
+    DEFAULT_RESILIENCE,
+    CircuitBreaker,
+    HealthMonitor,
+    ResilienceConfig,
+)
 from repro.serve.report import (
     ServeRun,
     run_report,
@@ -56,15 +75,23 @@ __all__ = [
     "AdmissionQueue",
     "Batch",
     "BatchRecord",
+    "ChipFailureTimeline",
     "ChipState",
+    "CircuitBreaker",
+    "DEFAULT_RESILIENCE",
     "DynamicBatcher",
+    "FAILURE_KINDS",
+    "FailureConfig",
+    "FailureWindow",
     "FleetResult",
     "FleetSimulator",
+    "HealthMonitor",
     "KINDS",
     "MIXES",
     "POLICIES",
     "Request",
     "RequestRecord",
+    "ResilienceConfig",
     "SHED_POLICIES",
     "ServeConfig",
     "ServeMetrics",
@@ -81,6 +108,7 @@ __all__ = [
     "required_shapes",
     "run_report",
     "run_serve",
+    "scripted_timeline",
     "write_csv",
     "write_json",
 ]

@@ -1,14 +1,25 @@
 """``python -m repro.serve`` — the serving-layer command line.
 
 Simulates an inference service in front of a fleet of VIP chips and
-reports throughput, p50/p95/p99 latency, SLO-violation rate, and shed
-rate per workload mix::
+reports throughput, goodput, availability, p50/p95/p99/p99.9 latency,
+SLO-violation rate, and shed rate per workload mix::
 
     python -m repro.serve --chips 4 --arrival poisson --rate 50000 --seed 0
 
+Resilience: ``--fail-chips N`` subjects the first N chips to a seeded
+fail-stop lifecycle (``--fail-slow-chips`` / ``--transient-chips``
+likewise for stragglers and transient degradation); the scheduler
+defends with health checks, bounded retries, optional hedging
+(``--hedge-delay-ms``), circuit breakers, and load-shedding tiers.
+
 Two runs of the same command write byte-identical JSON, and
 ``--workers N`` (parallel cost-table measurement) matches a serial run
-exactly; CI asserts both.
+exactly; CI asserts both.  ``--checkpoint PATH`` journals cost-table
+measurements; ``--resume`` picks a killed run's journal back up and
+reproduces the uninterrupted artifact bit for bit.
+
+Invalid configurations exit with status 2 and a one-line ``error:``
+message on stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -16,14 +27,53 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigError
+from repro.perf.checkpoint import TaskCheckpoint
+from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
 from repro.serve.queueing import SHED_POLICIES
 from repro.serve.report import run_report, write_csv, write_json
+from repro.serve.resilience import DEFAULT_RESILIENCE, ResilienceConfig
 from repro.serve.workload import ARRIVALS, MIXES, WorkloadConfig
+
+CLOCK_GHZ = 1.25
 
 
 def _ints(text: str) -> tuple:
     return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _ms(value: float) -> float:
+    """Simulated milliseconds -> PE clock cycles."""
+    return value * CLOCK_GHZ * 1e6
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,40 +82,81 @@ def build_parser() -> argparse.ArgumentParser:
         description="Batched inference serving over a multi-chip VIP fleet.",
     )
     fleet = parser.add_argument_group("fleet")
-    fleet.add_argument("--chips", type=int, default=4)
+    fleet.add_argument("--chips", type=_positive_int, default=4)
     fleet.add_argument("--policy", choices=POLICIES, default="least-loaded")
     fleet.add_argument("--degraded", type=_ints, default=(),
                        help="comma-separated chip ids running the "
                             "fault-injected (ECC-correcting) service "
                             "times from repro.faults")
     batching = parser.add_argument_group("admission and batching")
-    batching.add_argument("--max-batch", type=int, default=8)
-    batching.add_argument("--max-wait", type=float, default=20_000.0,
+    batching.add_argument("--max-batch", type=_positive_int, default=8)
+    batching.add_argument("--max-wait", type=_positive_float,
+                          default=20_000.0,
                           help="batch close deadline in cycles")
-    batching.add_argument("--queue-capacity", type=int, default=64)
+    batching.add_argument("--queue-capacity", type=_positive_int, default=64)
     batching.add_argument("--shed-policy", choices=SHED_POLICIES,
                           default="drop-newest")
     workload = parser.add_argument_group("workload")
     workload.add_argument("--arrival", choices=ARRIVALS, default="poisson")
-    workload.add_argument("--rate", type=float, default=50_000.0,
+    workload.add_argument("--rate", type=_positive_float, default=50_000.0,
                           help="offered load in requests per simulated "
                                "second")
-    workload.add_argument("--requests", type=int, default=200,
+    workload.add_argument("--requests", type=_positive_int, default=200,
                           help="requests per mix")
     workload.add_argument("--seed", type=int, default=0)
     workload.add_argument("--mix", action="append", choices=sorted(MIXES),
                           help="workload mix (repeatable); default: "
                                "bp and bp+vgg")
-    workload.add_argument("--num-tiles", type=int, default=8)
-    workload.add_argument("--burst-factor", type=float, default=8.0)
-    workload.add_argument("--burst-len", type=float, default=20.0)
+    workload.add_argument("--num-tiles", type=_positive_int, default=8)
+    workload.add_argument("--burst-factor", type=_positive_float, default=8.0)
+    workload.add_argument("--burst-len", type=_positive_float, default=20.0)
+    failures = parser.add_argument_group("failure lifecycle")
+    failures.add_argument("--fail-chips", type=_nonneg_int, default=0,
+                          help="subject the first N chips to seeded "
+                               "fail-stop events (0 disables)")
+    failures.add_argument("--fail-slow-chips", type=_nonneg_int, default=0,
+                          help="subject the first N chips to fail-slow "
+                               "(straggler) windows")
+    failures.add_argument("--transient-chips", type=_nonneg_int, default=0,
+                          help="subject the first N chips to transient "
+                               "degraded-service windows")
+    failures.add_argument("--fail-seed", type=int, default=0,
+                          help="base seed of the failure lifecycle streams")
+    failures.add_argument("--mtbf-ms", type=_positive_float, default=2.4,
+                          help="mean simulated ms between fail-stop events")
+    failures.add_argument("--repair-ms", type=_positive_float, default=0.64,
+                          help="mean simulated ms to repair a fail-stop")
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument("--health-interval-ms", type=_positive_float,
+                            default=0.02,
+                            help="health-check tick period (simulated ms)")
+    resilience.add_argument("--detect-latency-ms", type=_nonneg_float,
+                            default=0.0,
+                            help="extra detection latency after the tick")
+    resilience.add_argument("--health-fp-rate", type=_nonneg_float,
+                            default=0.0,
+                            help="health-check false-positive probability")
+    resilience.add_argument("--max-retries", type=_nonneg_int, default=3,
+                            help="re-dispatch budget per killed batch")
+    resilience.add_argument("--retry-deadline-ms", type=_positive_float,
+                            default=1.0,
+                            help="drop requests older than this instead of "
+                                 "retrying")
+    resilience.add_argument("--hedge-delay-ms", type=_nonneg_float,
+                            default=None,
+                            help="hedge a launch overrunning its healthy "
+                                 "estimate by this much (default: off)")
     run = parser.add_argument_group("run")
-    run.add_argument("--slo-ms", type=float, default=0.25,
+    run.add_argument("--slo-ms", type=_positive_float, default=0.25,
                      help="latency SLO in simulated milliseconds")
     run.add_argument("--full", action="store_true",
                      help="paper-scale kernel geometry (default: quick)")
-    run.add_argument("--workers", type=int, default=None,
+    run.add_argument("--workers", type=_positive_int, default=None,
                      help="pool size for cost-table measurement")
+    run.add_argument("--checkpoint", default=None,
+                     help="journal cost-table measurements to this file")
+    run.add_argument("--resume", action="store_true",
+                     help="reuse results already journaled in --checkpoint")
     run.add_argument("--out", default=None, help="write the JSON report here")
     run.add_argument("--csv", default=None,
                      help="write per-request records here")
@@ -78,9 +169,40 @@ def _fmt_ms(cycles, clock_ghz: float) -> str:
     return f"{cycles / (clock_ghz * 1e6):.3f}"
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _failure_config(args) -> FailureConfig | None:
+    if not (args.fail_chips or args.fail_slow_chips or args.transient_chips):
+        return None
+    counts = (args.fail_chips, args.fail_slow_chips, args.transient_chips)
+    if max(counts) > args.chips:
+        raise ConfigError(
+            f"failure chip count {max(counts)} exceeds --chips {args.chips}")
+    return FailureConfig(
+        seed=args.fail_seed,
+        fail_stop_chips=tuple(range(args.fail_chips)),
+        fail_stop_mtbf_cycles=_ms(args.mtbf_ms),
+        repair_mean_cycles=_ms(args.repair_ms),
+        fail_slow_chips=tuple(range(args.fail_slow_chips)),
+        transient_chips=tuple(range(args.transient_chips)),
+    )
+
+
+def _resilience_config(args) -> ResilienceConfig:
+    return ResilienceConfig(
+        health_check_interval_cycles=_ms(args.health_interval_ms),
+        detection_latency_cycles=_ms(args.detect_latency_ms),
+        health_false_positive_rate=args.health_fp_rate,
+        max_retries=args.max_retries,
+        retry_deadline_cycles=_ms(args.retry_deadline_ms),
+        hedge_delay_cycles=(_ms(args.hedge_delay_ms)
+                            if args.hedge_delay_ms is not None else None),
+    )
+
+
+def _run(args) -> int:
     mixes = tuple(args.mix) if args.mix else ("bp", "bp+vgg")
+    if args.resume and not args.checkpoint:
+        raise ConfigError("--resume requires --checkpoint PATH")
+    failures = _failure_config(args)
     config = ServeConfig(
         chips=args.chips,
         policy=args.policy,
@@ -89,7 +211,10 @@ def main(argv: list[str] | None = None) -> int:
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         degraded_chips=args.degraded,
-        slo_cycles=args.slo_ms * 1.25e6,
+        slo_cycles=_ms(args.slo_ms),
+        failures=failures,
+        resilience=(_resilience_config(args)
+                    if failures is not None else None),
     )
     workload = WorkloadConfig(
         mix=mixes[0],
@@ -101,24 +226,42 @@ def main(argv: list[str] | None = None) -> int:
         burst_factor=args.burst_factor,
         burst_len=args.burst_len,
     )
-    payload, runs = run_report(workload, config, mixes=mixes,
-                               quick=not args.full,
-                               max_workers=args.workers)
+    checkpoint = None
+    if args.checkpoint:
+        meta = {"tool": "repro.serve", "max_batch": args.max_batch,
+                "quick": not args.full,
+                "degraded": bool(args.degraded or args.transient_chips),
+                "mixes": sorted(mixes)}
+        checkpoint = TaskCheckpoint(args.checkpoint, meta=meta,
+                                    resume=args.resume)
+    try:
+        payload, runs = run_report(workload, config, mixes=mixes,
+                                   quick=not args.full,
+                                   max_workers=args.workers,
+                                   checkpoint=checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
-    header = (f"{'mix':<8} {'served':>6} {'shed%':>6} {'thr req/s':>10} "
-              f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'slo%':>6} "
-              f"{'batch':>5}")
+    header = (f"{'mix':<8} {'served':>6} {'shed%':>6} {'exp':>4} "
+              f"{'avail%':>6} {'good req/s':>10} {'p50 ms':>8} "
+              f"{'p99 ms':>8} {'p999 ms':>8} {'slo%':>6} {'batch':>5}")
     print(header)
     print("-" * len(header))
     for run in runs:
         m = run.metrics
         print(f"{run.workload.mix:<8} {m.served:>6} "
-              f"{m.shed_rate * 100:>5.1f}% {m.throughput_rps:>10.0f} "
+              f"{m.shed_rate * 100:>5.1f}% {m.expired:>4} "
+              f"{m.availability * 100:>5.1f}% {m.goodput_rps:>10.0f} "
               f"{_fmt_ms(m.latency_p50, m.clock_ghz):>8} "
-              f"{_fmt_ms(m.latency_p95, m.clock_ghz):>8} "
               f"{_fmt_ms(m.latency_p99, m.clock_ghz):>8} "
+              f"{_fmt_ms(m.latency_p999, m.clock_ghz):>8} "
               f"{m.slo_violation_rate * 100:>5.1f}% "
               f"{m.mean_batch_size:>5.2f}")
+        if m.retries or m.hedges:
+            print(f"{'':>8} retries={m.retries} hedges={m.hedges} "
+                  f"retry_waste={m.retry_wasted_cycles:.0f}cy "
+                  f"hedge_waste={m.hedge_wasted_cycles:.0f}cy")
     if args.out:
         write_json(payload, args.out)
         print(f"wrote {args.out}")
@@ -126,6 +269,15 @@ def main(argv: list[str] | None = None) -> int:
         write_csv(runs, args.csv)
         print(f"wrote {args.csv}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except ConfigError as exc:
+        print(f"error: config: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

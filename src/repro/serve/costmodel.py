@@ -236,12 +236,14 @@ def required_shapes(max_batch: int, quick: bool,
 def build_cost_table(max_batch: int, quick: bool = True,
                      degraded: bool = False, kinds=KINDS,
                      max_workers: int | None = None,
-                     seed: int = 0) -> ServiceCostTable:
+                     seed: int = 0, checkpoint=None) -> ServiceCostTable:
     """Measure every required shape across the ``run_tasks`` pool.
 
     The result is a pure function of ``(max_batch, quick, degraded,
     kinds, seed)`` — worker count only changes wall time, never the
     table — so serial and parallel serving runs agree byte for byte.
+    ``checkpoint`` journals per-shape measurements so a killed build
+    resumes without re-simulating completed shapes.
     """
     shapes = required_shapes(max_batch, quick, kinds)
     health = [False, True] if degraded else [False]
@@ -253,7 +255,8 @@ def build_cost_table(max_batch: int, quick: bool = True,
         for d in health
         for kind, batch in shapes
     ]
-    rows = run_tasks(tasks, max_workers=max_workers, reseed_kwarg=None)
+    rows = run_tasks(tasks, max_workers=max_workers, reseed_kwarg=None,
+                     checkpoint=checkpoint)
     cycles = {(r["kind"], r["batch"], r["degraded"]): r["cycles"]
               for r in rows}
     model = {r["kind"]: r["model_bytes"] for r in rows}

@@ -1,0 +1,249 @@
+"""The chip failure lifecycle: what physically happens to the fleet.
+
+Production fleets lose chips mid-flight.  This module models *when and
+how* — the serving-side machinery that detects and survives it lives in
+:mod:`repro.serve.resilience`, and the fleet event loop that weaves the
+two together in :mod:`repro.serve.fleet`.
+
+Three failure modes, per chip:
+
+``fail-stop``
+    The chip dies outright: every launch in flight at the failure
+    instant is killed, launches dispatched while it is down burn nothing
+    and complete never, and after an exponentially-distributed repair
+    time the chip comes back cold (the resilience layer decides when to
+    trust it again).
+
+``fail-slow``
+    A straggler window: the chip keeps completing work, but every cycle
+    it spends (reload, dispatch handshake, kernel) is stretched by
+    ``fail_slow_factor``.  This is the tail-latency killer that hedged
+    requests defend against — the batch *will* finish, just too late.
+
+``transient``
+    A degradation window during which the chip serves from the
+    *degraded* (fault-injected, ECC-correcting) column of the measured
+    cost table — the :mod:`repro.faults` composition, switched on and
+    off over time instead of statically per chip.
+
+Determinism follows the :mod:`repro.faults` discipline exactly: every
+``(chip, mode)`` pair draws its windows from its own
+``numpy`` Generator seeded by :func:`repro.faults.injector.stream_seed`
+(BLAKE2b over ``(seed, mode, chip)``), windows are generated lazily in
+time order, and enabling one mode never shifts another's stream.  A
+fixed :class:`FailureConfig` therefore maps to exactly one failure
+schedule on every machine, serial or parallel.
+
+Tests script exact lifecycles by passing explicit windows to
+:func:`scripted_timeline` instead of drawing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+from repro.faults.injector import stream_seed
+
+FAILURE_KINDS = ("fail-stop", "fail-slow", "transient")
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Seeded specification of the fleet's failure lifecycle.
+
+    All times are PE clock cycles.  A mode is active on the chips listed
+    in its ``*_chips`` tuple; with every tuple empty the config is
+    disabled and the fleet runs the exact pre-failure code path
+    (byte-identical reports, null-object style).
+    """
+
+    #: Base seed; every per-chip per-mode stream derives from it.
+    seed: int = 0
+
+    #: Chips subject to fail-stop events.
+    fail_stop_chips: tuple = ()
+    #: Mean cycles between fail-stop events (exponential gaps).
+    fail_stop_mtbf_cycles: float = 3_000_000.0
+    #: Mean repair (downtime) duration per fail-stop event.
+    repair_mean_cycles: float = 800_000.0
+
+    #: Chips subject to fail-slow (straggler) windows.
+    fail_slow_chips: tuple = ()
+    fail_slow_mtbf_cycles: float = 2_000_000.0
+    fail_slow_duration_cycles: float = 500_000.0
+    #: Service-time multiplier inside a fail-slow window.
+    fail_slow_factor: float = 4.0
+
+    #: Chips subject to transient-degradation windows (degraded cost
+    #: column — the repro.faults ECC-correcting service times).
+    transient_chips: tuple = ()
+    transient_mtbf_cycles: float = 2_000_000.0
+    transient_duration_cycles: float = 400_000.0
+
+    def __post_init__(self):
+        for f in ("fail_stop_mtbf_cycles", "repair_mean_cycles",
+                  "fail_slow_mtbf_cycles", "fail_slow_duration_cycles",
+                  "transient_mtbf_cycles", "transient_duration_cycles"):
+            if getattr(self, f) <= 0:
+                raise ConfigError(f"{f} must be positive")
+        if self.fail_slow_factor < 1.0:
+            raise ConfigError("fail_slow_factor must be >= 1")
+        for f in ("fail_stop_chips", "fail_slow_chips", "transient_chips"):
+            if any(c < 0 for c in getattr(self, f)):
+                raise ConfigError(f"{f} contains a negative chip id")
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one chip is subject to at least one mode."""
+        return bool(self.fail_stop_chips or self.fail_slow_chips
+                    or self.transient_chips)
+
+    def validate_chips(self, chips: int) -> None:
+        for f in ("fail_stop_chips", "fail_slow_chips", "transient_chips"):
+            bad = [c for c in getattr(self, f) if not 0 <= c < chips]
+            if bad:
+                raise ConfigError(f"{f} out of range for {chips} chips: {bad}")
+
+    def as_dict(self) -> dict:
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+
+@dataclass(frozen=True)
+class FailureWindow:
+    """One failure episode on one chip: ``[start, end)``."""
+
+    kind: str  # one of FAILURE_KINDS
+    start: float
+    end: float
+    #: Service multiplier (fail-slow windows; 1.0 otherwise).
+    factor: float = 1.0
+
+
+class ChipFailureTimeline:
+    """The physical failure schedule of every chip, generated lazily.
+
+    Windows per ``(chip, mode)`` are drawn in time order from that
+    pair's own seeded stream, so any query order produces the same
+    schedule.  The timeline is the *ground truth* the event loop
+    consults; the scheduler only ever learns about it through health
+    checks and failed launches (:mod:`repro.serve.resilience`).
+    """
+
+    def __init__(self, config: FailureConfig, chips: int):
+        config.validate_chips(chips)
+        self.config = config
+        self.chips = chips
+        #: (chip, kind) -> generated windows, in start order.
+        self._windows: dict[tuple[int, str], list[FailureWindow]] = {}
+        #: (chip, kind) -> every window starting at or before this time
+        #: has been generated.
+        self._covered: dict[tuple[int, str], float] = {}
+        self._rngs: dict[tuple[int, str], object] = {}
+
+    # -- generation ----------------------------------------------------
+
+    def _params(self, kind: str) -> tuple[tuple, float, float, float]:
+        cfg = self.config
+        if kind == "fail-stop":
+            return (cfg.fail_stop_chips, cfg.fail_stop_mtbf_cycles,
+                    cfg.repair_mean_cycles, 1.0)
+        if kind == "fail-slow":
+            return (cfg.fail_slow_chips, cfg.fail_slow_mtbf_cycles,
+                    cfg.fail_slow_duration_cycles, cfg.fail_slow_factor)
+        return (cfg.transient_chips, cfg.transient_mtbf_cycles,
+                cfg.transient_duration_cycles, 1.0)
+
+    def _ensure(self, chip: int, kind: str, t: float) -> list[FailureWindow]:
+        """Generate windows for ``(chip, kind)`` until coverage passes ``t``."""
+        key = (chip, kind)
+        windows = self._windows.setdefault(key, [])
+        chips, mtbf, mean_dur, factor = self._params(kind)
+        if chip not in chips:
+            return windows
+        covered = self._covered.get(key, 0.0)
+        if covered > t:
+            return windows
+        rng = self._rngs.get(key)
+        if rng is None:
+            import numpy as np
+            rng = np.random.default_rng(
+                stream_seed(self.config.seed, "serve-fail", kind, chip))
+            self._rngs[key] = rng
+        while covered <= t:
+            gap = float(rng.exponential(mtbf))
+            duration = float(rng.exponential(mean_dur))
+            start = (windows[-1].end if windows else 0.0) + gap
+            windows.append(FailureWindow(kind=kind, start=start,
+                                         end=start + duration,
+                                         factor=factor))
+            covered = start
+            self._covered[key] = covered
+        return windows
+
+    # -- queries (ground truth) ----------------------------------------
+
+    def _window_at(self, chip: int, kind: str, t: float) -> FailureWindow | None:
+        for w in self._ensure(chip, kind, t):
+            if w.start <= t < w.end:
+                return w
+            if w.start > t:
+                break
+        return None
+
+    def down_at(self, chip: int, t: float) -> FailureWindow | None:
+        """The fail-stop downtime window containing ``t``, if any."""
+        return self._window_at(chip, "fail-stop", t)
+
+    def fail_stop_in(self, chip: int, t0: float, t1: float) -> FailureWindow | None:
+        """The fail-stop window that kills work running over ``[t0, t1)``:
+        the downtime containing ``t0`` (launch into a dead chip) or the
+        first one starting inside the span."""
+        down = self.down_at(chip, t0)
+        if down is not None:
+            return down
+        for w in self._ensure(chip, "fail-stop", t1):
+            if t0 < w.start < t1:
+                return w
+            if w.start >= t1:
+                break
+        return None
+
+    def slow_factor_at(self, chip: int, t: float) -> float:
+        """Service-time multiplier at ``t`` (1.0 when healthy)."""
+        w = self._window_at(chip, "fail-slow", t)
+        return w.factor if w is not None else 1.0
+
+    def transient_at(self, chip: int, t: float) -> bool:
+        """True when the chip serves from the degraded cost column at ``t``."""
+        return self._window_at(chip, "transient", t) is not None
+
+    @property
+    def uses_degraded_column(self) -> bool:
+        return bool(self.config.transient_chips)
+
+
+def scripted_timeline(chips: int,
+                      windows: dict[int, list[FailureWindow]]) -> ChipFailureTimeline:
+    """A timeline with explicit windows instead of drawn ones (tests).
+
+    ``windows`` maps chip id -> episodes; each chip's list is sorted and
+    coverage is marked complete so no random draws ever happen.
+    """
+    config = FailureConfig()  # disabled spec; windows are authoritative
+    timeline = ChipFailureTimeline(config, chips)
+    inf = float("inf")
+    for chip in range(chips):
+        per_kind: dict[str, list[FailureWindow]] = {k: [] for k in FAILURE_KINDS}
+        for w in sorted(windows.get(chip, ()), key=lambda w: w.start):
+            if w.kind not in FAILURE_KINDS:
+                raise ConfigError(f"unknown failure kind {w.kind!r}")
+            per_kind[w.kind].append(w)
+        for kind in FAILURE_KINDS:
+            timeline._windows[(chip, kind)] = per_kind[kind]
+            timeline._covered[(chip, kind)] = inf
+    return timeline

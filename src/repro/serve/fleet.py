@@ -1,4 +1,5 @@
-"""The fleet: admission → batching → scheduling over N simulated chips.
+"""The fleet: admission → batching → scheduling over N simulated chips,
+with an optional chip-failure lifecycle and the machinery to survive it.
 
 :class:`FleetSimulator` drives the whole serving pipeline as a
 deterministic discrete-event loop in simulated time (PE clock cycles):
@@ -28,23 +29,55 @@ Every tie breaks on (free time, chip id), so a schedule is a pure
 function of the arrival trace, the config, and the cost table.
 
 Cycle accounting per request: ``batch_wait`` (arrival → batch close),
-``queue_wait`` (batch close → launch start, i.e. waiting for a chip),
-``service`` (launch start → finish, shared by the whole batch), and
-``latency`` — their sum.  Shed requests record only the shed time.
+``queue_wait`` (batch close → launch start, i.e. waiting for a chip —
+including any failed attempts and retry backoff), ``service`` (launch
+start → finish of the *successful* launch, shared by the whole batch),
+and ``latency`` — their sum.  The accounting invariant ``latency ==
+batch_wait + queue_wait + service`` therefore holds through re-dispatch
+and hedging by construction.  Shed requests record only the shed time.
+
+Failure handling (``config.failures`` enabled) — see
+:mod:`repro.serve.failures` for the physical lifecycle and
+:mod:`repro.serve.resilience` for the scheduler-side defense:
+
+* The scheduler has **no oracle**: it keeps routing to a failed chip
+  until a health check detects the failure; launches killed by a
+  fail-stop are re-dispatched (bounded retries, deadline-aware backoff)
+  after the detection time, never at the physical failure instant.
+* Every admitted request is **exactly-once accounted** with an
+  ``outcome``: ``served``, ``shed`` (admission control), or ``expired``
+  (deadline passed while retrying, or the retry budget ran out) —
+  asserted at the end of every run, so nothing is silently lost.
+* Hedged launches and killed attempts append their own
+  :class:`BatchRecord` rows (``outcome`` ``hedge-loser`` / ``killed``)
+  with the cycles they burned, so wasted work is first-class.
+* With ``config.failures`` ``None`` (or disabled) the simulator runs
+  the exact pre-failure code path: reports are byte-identical to a
+  build without the failure plumbing.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.serve.batcher import Batch, DynamicBatcher
 from repro.serve.costmodel import ServiceCostTable
+from repro.serve.failures import ChipFailureTimeline, FailureConfig
 from repro.serve.queueing import SHED_POLICIES, AdmissionQueue
+from repro.serve.resilience import (
+    DEFAULT_RESILIENCE,
+    HealthMonitor,
+    ResilienceConfig,
+)
 from repro.serve.workload import Request
 from repro.trace.collector import NULL_TRACE, TraceSink
 
 POLICIES = ("round-robin", "least-loaded", "locality")
+
+#: Request outcomes (the conservation invariant's exhaustive set).
+OUTCOMES = ("served", "shed", "expired")
 
 
 @dataclass(frozen=True)
@@ -70,6 +103,12 @@ class ServeConfig:
     #: this.  Default 0.25 ms at 1.25 GHz.
     slo_cycles: float = 312_500.0
     clock_ghz: float = 1.25
+    #: The chip failure lifecycle (None or disabled = the exact
+    #: pre-failure code path; see repro.serve.failures).
+    failures: FailureConfig | None = None
+    #: Scheduler-side resilience knobs; None uses DEFAULT_RESILIENCE
+    #: when failures are enabled.
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self):
         if self.chips <= 0:
@@ -89,6 +128,12 @@ class ServeConfig:
                if not 0 <= c < self.chips]
         if bad:
             raise ConfigError(f"degraded chip ids out of range: {bad}")
+        if self.failures is not None:
+            self.failures.validate_chips(self.chips)
+
+    @property
+    def failures_enabled(self) -> bool:
+        return self.failures is not None and self.failures.enabled
 
 
 @dataclass
@@ -104,11 +149,13 @@ class ChipState:
     reload_cycles: float = 0.0
     batches: int = 0
     requests: int = 0
+    #: Launches killed under this chip by a fail-stop (incl. hedges).
+    kills: int = 0
 
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Final accounting for one request (shed or served)."""
+    """Final accounting for one request (served, shed, or expired)."""
 
     rid: int
     kind: str
@@ -121,6 +168,12 @@ class RequestRecord:
     dispatch: float = 0.0  # batch close time
     start: float = 0.0     # launch start on the chip
     finish: float = 0.0
+    #: Exactly-once accounting: "served", "shed", or "expired".
+    outcome: str = "served"
+    #: Re-dispatch attempts the serving (or expiring) launch had behind it.
+    retries: int = 0
+    #: True when a hedge launch raced the primary for this request.
+    hedged: bool = False
 
     @property
     def batch_wait(self) -> float:
@@ -141,7 +194,7 @@ class RequestRecord:
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One dispatched kernel launch."""
+    """One kernel launch (or launch attempt)."""
 
     batch_id: int
     kind: str
@@ -151,6 +204,14 @@ class BatchRecord:
     start: float
     finish: float
     reload: float
+    #: Which re-dispatch attempt this launch was (0 = first).
+    attempt: int = 0
+    #: "served", "killed" (fail-stop), or "hedge-loser" (cancelled).
+    outcome: str = "served"
+    #: Cycles the chip burned on a killed / cancelled launch.
+    waste: float = 0.0
+    #: True for hedge launches (winner or loser).
+    hedge: bool = False
 
 
 @dataclass
@@ -158,16 +219,43 @@ class FleetResult:
     """Everything the serving simulation observed."""
 
     records: list  # RequestRecord, rid order
-    batches: list  # BatchRecord, dispatch order
+    batches: list  # BatchRecord, resolution order
     chips: list    # final ChipState per chip
     makespan: float  # first arrival -> last finish (or last arrival)
 
 
+@dataclass
+class _Pending:
+    """A batch awaiting (re-)dispatch."""
+
+    batch: Batch
+    attempt: int = 0
+    excluded: frozenset = field(default_factory=frozenset)
+
+
+@dataclass
+class _InFlight:
+    """A launched batch whose hedge timer is armed (resolution deferred)."""
+
+    batch: Batch
+    attempt: int
+    chip: "ChipState"
+    start: float
+    finish: float
+    reload: float
+    degraded: bool
+
+
 class FleetSimulator:
-    """Deterministic serving simulation over ``config.chips`` chips."""
+    """Deterministic serving simulation over ``config.chips`` chips.
+
+    ``timeline`` injects an explicit (e.g. scripted) failure timeline;
+    by default one is drawn from ``config.failures`` when enabled.
+    """
 
     def __init__(self, config: ServeConfig, costs: ServiceCostTable,
-                 trace: TraceSink = NULL_TRACE):
+                 trace: TraceSink = NULL_TRACE,
+                 timeline: ChipFailureTimeline | None = None):
         if config.max_batch > costs.max_batch:
             raise ConfigError(
                 f"config.max_batch {config.max_batch} exceeds the cost "
@@ -179,9 +267,47 @@ class FleetSimulator:
             ChipState(chip_id=i, degraded=(i in config.degraded_chips))
             for i in range(config.chips)
         ]
+        if timeline is None and config.failures_enabled:
+            timeline = ChipFailureTimeline(config.failures, config.chips)
+        self.timeline = timeline
+        self.resilience = config.resilience or DEFAULT_RESILIENCE
+        if timeline is not None:
+            seed = config.failures.seed if config.failures is not None else 0
+            self.monitor: HealthMonitor | None = HealthMonitor(
+                self.resilience, timeline, config.chips, seed=seed,
+                trace=trace)
+        else:
+            self.monitor = None
         self._rr = 0
+        self._seq = 0
+        self._events: list = []  # (time, seq, kind, payload) min-heap
         self._batches: list[BatchRecord] = []
         self._records: dict[int, RequestRecord] = {}
+        self.retry_count = 0
+        self.hedge_count = 0
+
+    # -- event plumbing ------------------------------------------------
+
+    def _push(self, time: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def _drain(self, until: float | None) -> None:
+        """Execute every queued event at or before ``until`` (all of
+        them when ``until`` is None), advancing health state first."""
+        while self._events and (until is None
+                                or self._events[0][0] <= until):
+            time, _, kind, payload = heapq.heappop(self._events)
+            if self.monitor is not None:
+                self.monitor.advance(time)
+            if kind == "dispatch":
+                self._execute_dispatch(payload, time)
+            elif kind == "hedge":
+                self._execute_hedge(payload, time)
+            elif kind == "breaker-fail":
+                self.monitor.breakers[payload].record_failure(time)
+            else:  # breaker-ok
+                self.monitor.breakers[payload].record_success(time)
 
     # -- scheduling ----------------------------------------------------
 
@@ -194,15 +320,17 @@ class FleetSimulator:
             return 0.0
         return bytes_ / self.config.reload_bytes_per_cycle
 
-    def _pick_chip(self, batch: Batch) -> ChipState:
+    def _policy_pick(self, batch: Batch, candidates: list) -> ChipState:
         policy = self.config.policy
         if policy == "round-robin":
-            chip = self.chips[self._rr % len(self.chips)]
+            chip = candidates[self._rr % len(candidates)]
             self._rr += 1
             return chip
         if policy == "least-loaded":
-            return min(self.chips, key=lambda c: (c.free_at, c.chip_id))
-        # locality: earliest *finish*, reload penalty included.
+            return min(candidates, key=lambda c: (c.free_at, c.chip_id))
+        # locality: earliest *finish*, reload penalty included.  The
+        # estimate uses the chip's *known* (static-degraded) column —
+        # the scheduler has no oracle for transient/slow windows.
         def finish_key(c: ChipState):
             start = max(batch.close, c.free_at)
             service = (self._reload_cycles(c, batch)
@@ -210,20 +338,54 @@ class FleetSimulator:
                        + self.costs.launch_cycles(batch.kind, batch.size,
                                                   c.degraded))
             return (start + service, c.free_at, c.chip_id)
-        return min(self.chips, key=finish_key)
+        return min(candidates, key=finish_key)
 
-    def _dispatch(self, batch: Batch) -> None:
-        chip = self._pick_chip(batch)
-        start = max(batch.close, chip.free_at)
+    def _pick_chip(self, batch: Batch, now: float,
+                   excluded: frozenset = frozenset()) -> ChipState | None:
+        if self.monitor is None:
+            return self._policy_pick(batch, self.chips)
+        candidates = [c for c in self.chips
+                      if c.chip_id not in excluded
+                      and self.monitor.allow(c.chip_id, now)]
+        if not candidates:
+            return None
+        return self._policy_pick(batch, candidates)
+
+    # -- launch math ---------------------------------------------------
+
+    def _healthy_estimate(self, chip: ChipState, batch: Batch,
+                          reload: float) -> float:
+        """The scheduler's service expectation (its hedging baseline)."""
+        return (reload + self.config.dispatch_overhead_cycles
+                + self.costs.launch_cycles(batch.kind, batch.size,
+                                           chip.degraded))
+
+    def _launch(self, chip: ChipState, batch: Batch,
+                t: float) -> tuple[float, float, float, bool]:
+        """Compute one launch on ``chip`` starting no earlier than ``t``:
+        returns (start, finish, reload, effective_degraded)."""
+        start = max(batch.close, chip.free_at, t)
         reload = self._reload_cycles(chip, batch)
-        service = (reload + self.config.dispatch_overhead_cycles
-                   + self.costs.launch_cycles(batch.kind, batch.size,
-                                              chip.degraded))
-        finish = start + service
+        degraded = chip.degraded
+        service = self._healthy_estimate(chip, batch, reload)
+        if self.timeline is not None:
+            if not degraded and self.timeline.transient_at(chip.chip_id,
+                                                           start):
+                degraded = True
+                service = (reload + self.config.dispatch_overhead_cycles
+                           + self.costs.launch_cycles(batch.kind, batch.size,
+                                                      True))
+            service *= self.timeline.slow_factor_at(chip.chip_id, start)
+        return start, start + service, reload, degraded
+
+    # -- resolution ----------------------------------------------------
+
+    def _finalize(self, batch: Batch, attempt: int, chip: ChipState,
+                  start: float, finish: float, reload: float,
+                  hedge: bool = False, hedged: bool = False) -> None:
+        """Commit a successful launch: records, accounting, traces."""
         bid = len(self._batches)
-        chip.free_at = finish
-        chip.resident_kind = batch.kind
-        chip.resident_tile = batch.tile
+        service = finish - start
         chip.busy_cycles += service
         chip.reload_cycles += reload
         chip.batches += 1
@@ -231,13 +393,17 @@ class FleetSimulator:
         self._batches.append(BatchRecord(
             batch_id=bid, kind=batch.kind, size=batch.size,
             chip=chip.chip_id, close=batch.close, start=start,
-            finish=finish, reload=reload))
+            finish=finish, reload=reload, attempt=attempt,
+            outcome="served", hedge=hedge))
         for req in batch.requests:
             self._records[req.rid] = RequestRecord(
                 rid=req.rid, kind=req.kind, tile=req.tile,
                 arrival=req.arrival, shed=False, batch_id=bid,
                 chip=chip.chip_id, batch_size=batch.size,
-                dispatch=batch.close, start=start, finish=finish)
+                dispatch=batch.close, start=start, finish=finish,
+                outcome="served", retries=attempt, hedged=hedged)
+        if self.monitor is not None:
+            self._push(finish, "breaker-ok", chip.chip_id)
         if self.trace is not None:
             self.trace.serve("serve.batch", f"{batch.kind}x{batch.size}",
                              start, service, chip.chip_id,
@@ -249,10 +415,183 @@ class FleetSimulator:
                                  {"rid": req.rid, "tile": req.tile,
                                   "batch_id": bid})
 
+    def _record_waste(self, batch: Batch, attempt: int, chip: ChipState,
+                      start: float, cancel: float, reload: float,
+                      outcome: str, hedge: bool) -> float:
+        """Account a killed or cancelled launch; returns the waste."""
+        waste = max(cancel - start, 0.0)
+        chip.free_at = max(min(chip.free_at, cancel), start)
+        chip.busy_cycles += waste
+        if outcome == "hedge-loser":
+            chip.reload_cycles += reload
+        else:
+            chip.kills += 1
+        self._batches.append(BatchRecord(
+            batch_id=len(self._batches), kind=batch.kind, size=batch.size,
+            chip=chip.chip_id, close=batch.close, start=start,
+            finish=cancel, reload=reload, attempt=attempt,
+            outcome=outcome, waste=waste, hedge=hedge))
+        return waste
+
+    def _expire(self, requests, close: float, attempt: int,
+                now: float) -> None:
+        for req in requests:
+            self._records[req.rid] = RequestRecord(
+                rid=req.rid, kind=req.kind, tile=req.tile,
+                arrival=req.arrival, shed=False, dispatch=close,
+                outcome="expired", retries=attempt)
+            if self.trace is not None:
+                self.trace.serve("serve.expired", req.kind, now, 0.0, -1,
+                                 {"rid": req.rid, "tile": req.tile,
+                                  "attempt": attempt})
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_plain(self, pending: _Pending) -> None:
+        """The exact pre-failure dispatch path (failures disabled)."""
+        batch = pending.batch
+        chip = self._policy_pick(batch, self.chips)
+        start = max(batch.close, chip.free_at)
+        reload = self._reload_cycles(chip, batch)
+        finish = start + (reload + self.config.dispatch_overhead_cycles
+                          + self.costs.launch_cycles(batch.kind, batch.size,
+                                                     chip.degraded))
+        chip.free_at = finish
+        chip.resident_kind = batch.kind
+        chip.resident_tile = batch.tile
+        self._finalize(batch, 0, chip, start, finish, reload)
+
+    def _execute_dispatch(self, pending: _Pending, t: float) -> None:
+        if self.monitor is None:
+            self._dispatch_plain(pending)
+            return
+        res = self.resilience
+        batch = pending.batch
+        # Deadline-aware: drop requests too old to be worth retrying.
+        alive = [r for r in batch.requests
+                 if r.arrival + res.retry_deadline_cycles > t]
+        if len(alive) < len(batch.requests):
+            gone = [r for r in batch.requests if r not in alive]
+            self._expire(gone, batch.close, pending.attempt, t)
+            if not alive:
+                return
+            batch = Batch(kind=batch.kind, requests=alive, close=batch.close)
+        if pending.attempt > 0 and self.trace is not None:
+            self.trace.serve("serve.retry", batch.kind, t, 0.0, -1,
+                             {"kind": batch.kind, "size": batch.size,
+                              "attempt": pending.attempt})
+        chip = self._pick_chip(batch, t, pending.excluded)
+        if chip is None and pending.excluded:
+            # Every non-excluded chip is breaker-blocked; retrying the
+            # observed-failing chip beats waiting out the whole fleet.
+            chip = self._pick_chip(batch, t)
+        if chip is None:
+            # Whole fleet believed down: wait one health interval and
+            # re-check (requests age out via the deadline above).
+            self._push(t + res.health_check_interval_cycles, "dispatch",
+                       _Pending(batch, pending.attempt, frozenset()))
+            return
+        start, finish, reload, _ = self._launch(chip, batch, t)
+        chip.free_at = finish
+        chip.resident_kind = batch.kind
+        chip.resident_tile = batch.tile
+        kill = self.timeline.fail_stop_in(chip.chip_id, start, finish)
+        if kill is not None:
+            self._kill(batch, pending, chip, start, reload, kill)
+            return
+        if res.hedge_delay_cycles is not None:
+            expected = self._healthy_estimate(chip, batch, reload)
+            hedge_at = start + expected + res.hedge_delay_cycles
+            if hedge_at < finish:
+                self._push(hedge_at, "hedge",
+                           _InFlight(batch=batch, attempt=pending.attempt,
+                                     chip=chip, start=start, finish=finish,
+                                     reload=reload, degraded=chip.degraded))
+                return
+        self._finalize(batch, pending.attempt, chip, start, finish, reload)
+
+    def _kill(self, batch: Batch, pending: _Pending, chip: ChipState,
+              start: float, reload: float, kill) -> None:
+        """A fail-stop caught this launch: account, detect, retry."""
+        res = self.resilience
+        kill_t = max(start, kill.start)
+        waste = self._record_waste(batch, pending.attempt, chip, start,
+                                   kill_t, reload, "killed", hedge=False)
+        detect = self.monitor.detect_time(kill_t)
+        self._push(detect, "breaker-fail", chip.chip_id)
+        if self.trace is not None:
+            self.trace.serve("serve.failure", batch.kind, kill_t, 0.0,
+                             chip.chip_id,
+                             {"kind": batch.kind, "size": batch.size,
+                              "attempt": pending.attempt, "waste": waste,
+                              "detect": detect})
+        attempt = pending.attempt + 1
+        if attempt > res.max_retries:
+            self._expire(batch.requests, batch.close, pending.attempt,
+                         kill_t)
+            return
+        self.retry_count += 1
+        retry_t = detect + res.backoff_cycles(attempt)
+        self._push(retry_t, "dispatch",
+                   _Pending(batch, attempt,
+                            pending.excluded | {chip.chip_id}))
+
+    def _execute_hedge(self, flight: _InFlight, t: float) -> None:
+        """The hedge timer fired: race a duplicate launch if one helps."""
+        batch, primary = flight.batch, flight.chip
+        hchip = self._pick_chip(batch, t, frozenset({primary.chip_id}))
+        if hchip is None:
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload)
+            return
+        h_start, h_finish, h_reload, _ = self._launch(hchip, batch, t)
+        if h_start >= flight.finish:
+            # The hedge could not even start before the primary finishes.
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload)
+            return
+        self.hedge_count += 1
+        hchip.free_at = h_finish
+        hchip.resident_kind = batch.kind
+        hchip.resident_tile = batch.tile
+        if self.trace is not None:
+            self.trace.serve("serve.hedge", batch.kind, h_start, 0.0,
+                             hchip.chip_id,
+                             {"kind": batch.kind, "size": batch.size,
+                              "primary": primary.chip_id})
+        h_kill = self.timeline.fail_stop_in(hchip.chip_id, h_start, h_finish)
+        if h_kill is not None:
+            # The hedge died; the primary (which we know completes)
+            # carries the batch.  The dead hedge chip is detected as any
+            # other fail-stop.
+            kill_t = max(h_start, h_kill.start)
+            self._record_waste(batch, flight.attempt, hchip, h_start,
+                               kill_t, h_reload, "killed", hedge=True)
+            self._push(self.monitor.detect_time(kill_t), "breaker-fail",
+                       hchip.chip_id)
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload, hedged=True)
+            return
+        if h_finish < flight.finish:
+            # Hedge wins; cancel the primary at the winner's finish.
+            self._record_waste(batch, flight.attempt, primary, flight.start,
+                               h_finish, flight.reload, "hedge-loser",
+                               hedge=False)
+            self._finalize(batch, flight.attempt, hchip, h_start, h_finish,
+                           h_reload, hedge=True, hedged=True)
+        else:
+            # Primary wins; cancel the hedge when the primary finishes.
+            cancel = min(h_finish, flight.finish)
+            self._record_waste(batch, flight.attempt, hchip, h_start,
+                               cancel, h_reload, "hedge-loser", hedge=True)
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload, hedged=True)
+
     def _shed(self, request: Request, now: float) -> None:
         self._records[request.rid] = RequestRecord(
             rid=request.rid, kind=request.kind, tile=request.tile,
-            arrival=request.arrival, shed=True, dispatch=now)
+            arrival=request.arrival, shed=True, dispatch=now,
+            outcome="shed")
         if self.trace is not None:
             self.trace.serve("serve.shed", request.kind, now, 0.0, -1,
                              {"rid": request.rid, "tile": request.tile})
@@ -267,19 +606,32 @@ class FleetSimulator:
                                self.config.shed_policy)
         for req in requests:
             for batch in batcher.due(req.arrival):
-                self._dispatch(batch)
+                self._push(batch.close, "dispatch", _Pending(batch))
+            self._drain(until=req.arrival)
+            if self.monitor is not None:
+                self.monitor.advance(req.arrival)
+                multiplier = self.resilience.tier_multiplier(
+                    self.monitor.alive_fraction(req.arrival))
+                queue.capacity = max(
+                    1, int(self.config.queue_capacity * multiplier))
             admission = queue.offer(req)
             if admission.shed is not None:
                 self._shed(admission.shed, req.arrival)
             if admission.filled is not None:
-                self._dispatch(admission.filled)
+                self._push(admission.filled.close, "dispatch",
+                           _Pending(admission.filled))
+                self._drain(until=req.arrival)
         for batch in batcher.flush():
-            self._dispatch(batch)
+            self._push(batch.close, "dispatch", _Pending(batch))
+        self._drain(until=None)
 
         records = [self._records[r.rid] for r in
                    sorted(requests, key=lambda r: r.rid)]
+        missing = [r.rid for r in requests if r.rid not in self._records]
+        assert not missing, f"requests lost without accounting: {missing}"
         first = requests[0].arrival if requests else 0.0
-        last = max((b.finish for b in self._batches),
+        last = max((b.finish for b in self._batches
+                    if b.outcome == "served"),
                    default=requests[-1].arrival if requests else 0.0)
         return FleetResult(records=records, batches=self._batches,
                            chips=self.chips,

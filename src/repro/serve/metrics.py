@@ -6,14 +6,26 @@ shared by the report builder and the bench:
 * :func:`percentile` — linear interpolation between closest ranks (the
   numpy ``linear`` method, implemented locally so its edge cases — n=1,
   p beyond the rank range — are pinned by unit tests rather than
-  inherited).
+  inherited).  p99.9 interpolates like any other rank: with n < 1001
+  samples it leans on the max order statistic, which the unit tests pin
+  explicitly.
 * Throughput = served requests / makespan, converted to requests per
   *service second* through the configured clock (cycles / 1.25e9).
+  **Goodput** counts only requests served *within the SLO* — the two
+  split exactly when failures push latencies past the deadline.
+* **Availability** is the fraction of all admitted requests (served,
+  shed, and expired alike) that completed within the SLO — the
+  user-facing "did my request come back in time" number that
+  fault-injection sweeps plot against fault rate.
 * SLO-violation rate is the fraction of **served** requests whose
-  end-to-end latency exceeds the SLO; shed requests count separately in
-  the shed rate (a shed is an availability failure, not a latency one).
+  end-to-end latency exceeds the SLO; shed and expired requests count
+  separately (they are availability failures, not latency ones).
   With zero served requests the violation rate is reported as 0.0 and
   every latency percentile as ``None``.
+* Wasted cycles split by cause: ``retry_wasted_cycles`` were burned by
+  launches a fail-stop killed; ``hedge_wasted_cycles`` by hedge races
+  (the loser's burned span, plus hedge launches that were themselves
+  killed).
 """
 
 from __future__ import annotations
@@ -23,7 +35,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 
 #: Percentiles every report carries.
-REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+REPORT_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
 
 def percentile(values, p: float) -> float:
@@ -50,6 +62,12 @@ def _mean(values) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def _outcome(record) -> str:
+    if record.shed:
+        return "shed"
+    return getattr(record, "outcome", "served")
+
+
 @dataclass(frozen=True)
 class ServeMetrics:
     """The serving rollup for one simulated run."""
@@ -58,12 +76,20 @@ class ServeMetrics:
     served: int
     shed: int
     shed_rate: float
+    #: Requests dropped after admission (deadline passed mid-retry or
+    #: the retry budget ran out) — zero without failures.
+    expired: int
     makespan_cycles: float
     throughput_rps: float
+    #: Requests served within the SLO, per service second.
+    goodput_rps: float
+    #: Fraction of all admitted requests served within the SLO.
+    availability: float
     #: latency percentiles in cycles; ``None`` when nothing was served.
     latency_p50: float | None
     latency_p95: float | None
     latency_p99: float | None
+    latency_p999: float | None
     mean_batch_wait: float
     mean_queue_wait: float
     mean_service: float
@@ -71,6 +97,12 @@ class ServeMetrics:
     slo_cycles: float
     slo_violations: int
     slo_violation_rate: float
+    #: Launch attempts a fail-stop killed / hedge launches raced.
+    retries: int
+    hedges: int
+    #: Chip cycles burned by killed attempts / by hedge races.
+    retry_wasted_cycles: float
+    hedge_wasted_cycles: float
     clock_ghz: float
 
     def cycles_to_ms(self, cycles: float | None) -> float | None:
@@ -84,18 +116,23 @@ class ServeMetrics:
             "served": self.served,
             "shed": self.shed,
             "shed_rate": self.shed_rate,
+            "expired": self.expired,
             "makespan_cycles": self.makespan_cycles,
             "makespan_ms": self.cycles_to_ms(self.makespan_cycles),
             "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "availability": self.availability,
             "latency_cycles": {
                 "p50": self.latency_p50,
                 "p95": self.latency_p95,
                 "p99": self.latency_p99,
+                "p999": self.latency_p999,
             },
             "latency_ms": {
                 "p50": self.cycles_to_ms(self.latency_p50),
                 "p95": self.cycles_to_ms(self.latency_p95),
                 "p99": self.cycles_to_ms(self.latency_p99),
+                "p999": self.cycles_to_ms(self.latency_p999),
             },
             "mean_batch_wait_cycles": self.mean_batch_wait,
             "mean_queue_wait_cycles": self.mean_queue_wait,
@@ -105,6 +142,10 @@ class ServeMetrics:
             "slo_ms": self.cycles_to_ms(self.slo_cycles),
             "slo_violations": self.slo_violations,
             "slo_violation_rate": self.slo_violation_rate,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "retry_wasted_cycles": self.retry_wasted_cycles,
+            "hedge_wasted_cycles": self.hedge_wasted_cycles,
         }
 
 
@@ -114,33 +155,58 @@ def compute_metrics(records, batches, makespan_cycles: float,
     if slo_cycles <= 0:
         raise ConfigError("slo_cycles must be positive")
     records = list(records)
-    served = [r for r in records if not r.shed]
-    shed = len(records) - len(served)
+    batches = list(batches)
+    served = [r for r in records if _outcome(r) == "served"]
+    shed = sum(1 for r in records if _outcome(r) == "shed")
+    expired = sum(1 for r in records if _outcome(r) == "expired")
     latencies = [r.latency for r in served]
     if served:
-        p50, p95, p99 = (percentile(latencies, p) for p in REPORT_PERCENTILES)
+        p50, p95, p99, p999 = (percentile(latencies, p)
+                               for p in REPORT_PERCENTILES)
     else:
-        p50 = p95 = p99 = None
+        p50 = p95 = p99 = p999 = None
     violations = sum(1 for lat in latencies if lat > slo_cycles)
+    in_slo = len(served) - violations
     seconds = makespan_cycles / (clock_ghz * 1e9)
     throughput = len(served) / seconds if seconds > 0 else 0.0
+    goodput = in_slo / seconds if seconds > 0 else 0.0
+    launched = [b for b in batches
+                if getattr(b, "outcome", "served") == "served"]
+    killed = [b for b in batches
+              if getattr(b, "outcome", "served") == "killed"]
+    hedge_launches = [b for b in batches if getattr(b, "hedge", False)]
+    hedge_waste = sum(
+        b.waste for b in batches
+        if getattr(b, "outcome", "served") == "hedge-loser"
+        or (getattr(b, "hedge", False)
+            and getattr(b, "outcome", "served") == "killed"))
+    retry_waste = sum(b.waste for b in killed
+                      if not getattr(b, "hedge", False))
     return ServeMetrics(
         total=len(records),
         served=len(served),
         shed=shed,
         shed_rate=shed / len(records) if records else 0.0,
+        expired=expired,
         makespan_cycles=makespan_cycles,
         throughput_rps=throughput,
+        goodput_rps=goodput,
+        availability=in_slo / len(records) if records else 0.0,
         latency_p50=p50,
         latency_p95=p95,
         latency_p99=p99,
+        latency_p999=p999,
         mean_batch_wait=_mean(r.batch_wait for r in served),
         mean_queue_wait=_mean(r.queue_wait for r in served),
         mean_service=_mean(r.service for r in served),
-        mean_batch_size=_mean(b.size for b in batches),
+        mean_batch_size=_mean(b.size for b in launched),
         slo_cycles=slo_cycles,
         slo_violations=violations,
         slo_violation_rate=violations / len(served) if served else 0.0,
+        retries=sum(1 for b in killed if not getattr(b, "hedge", False)),
+        hedges=len(hedge_launches),
+        retry_wasted_cycles=retry_waste,
+        hedge_wasted_cycles=hedge_waste,
         clock_ghz=clock_ghz,
     )
 
@@ -158,5 +224,6 @@ def chip_utilization(chips, makespan_cycles: float) -> list[dict]:
                             if makespan_cycles > 0 else 0.0),
             "batches": chip.batches,
             "requests": chip.requests,
+            "kills": getattr(chip, "kills", 0),
         })
     return rows

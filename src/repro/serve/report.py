@@ -7,7 +7,14 @@ pure function of the configs — no wall-clock timestamps, keys sorted on
 write — so two runs of the same command produce byte-identical files,
 and a ``--workers N`` run matches a serial one (worker count only
 parallelizes the cost-table measurements, whose values are
-deterministic).
+deterministic).  The same holds with a failure lifecycle enabled: the
+lifecycle is drawn from seeded streams, never from wall-clock state.
+
+Schema history: ``repro.serve/v1`` (PR 4) → ``repro.serve/v2`` adds the
+resilience metrics (availability, goodput, expired, retry/hedge waste,
+p999) and the ``failures``/``resilience`` config sections.  With
+failures disabled the *simulation outcomes* — every record, batch, and
+cycle count — are identical to v1; only the new metric keys differ.
 """
 
 from __future__ import annotations
@@ -18,15 +25,16 @@ from dataclasses import dataclass, replace
 from repro.serve.costmodel import ServiceCostTable, build_cost_table
 from repro.serve.fleet import FleetResult, FleetSimulator, ServeConfig
 from repro.serve.metrics import ServeMetrics, chip_utilization, compute_metrics
+from repro.serve.resilience import DEFAULT_RESILIENCE
 from repro.serve.workload import MIXES, WorkloadConfig, generate_requests
 from repro.trace.collector import NULL_TRACE, TraceSink
 
-SCHEMA = "repro.serve/v1"
+SCHEMA = "repro.serve/v2"
 
 CSV_COLUMNS = (
-    "mix", "rid", "kind", "tile", "arrival", "shed", "batch_id", "chip",
-    "batch_size", "dispatch", "start", "finish", "batch_wait",
-    "queue_wait", "service", "latency",
+    "mix", "rid", "kind", "tile", "arrival", "shed", "outcome", "retries",
+    "hedged", "batch_id", "chip", "batch_size", "dispatch", "start",
+    "finish", "batch_wait", "queue_wait", "service", "latency",
 )
 
 
@@ -39,17 +47,27 @@ class ServeRun:
     metrics: ServeMetrics
 
 
+def _needs_degraded(config: ServeConfig) -> bool:
+    """Whether any chip can ever serve from the degraded cost column."""
+    if config.degraded_chips:
+        return True
+    return (config.failures is not None
+            and bool(config.failures.transient_chips))
+
+
 def run_serve(workload: WorkloadConfig, config: ServeConfig,
               quick: bool = True, max_workers: int | None = None,
               costs: ServiceCostTable | None = None,
-              trace: TraceSink = NULL_TRACE) -> ServeRun:
+              trace: TraceSink = NULL_TRACE,
+              checkpoint=None) -> ServeRun:
     """Generate the arrival trace, serve it, and roll up the metrics."""
     if costs is None:
         kinds = tuple(k for k in ("bp", "conv", "fc")
                       if k in MIXES[workload.mix])
         costs = build_cost_table(config.max_batch, quick=quick,
-                                 degraded=bool(config.degraded_chips),
-                                 kinds=kinds, max_workers=max_workers)
+                                 degraded=_needs_degraded(config),
+                                 kinds=kinds, max_workers=max_workers,
+                                 checkpoint=checkpoint)
     requests = generate_requests(workload)
     fleet = FleetSimulator(config, costs, trace=trace).run(requests)
     metrics = compute_metrics(fleet.records, fleet.batches, fleet.makespan,
@@ -61,18 +79,24 @@ def run_serve(workload: WorkloadConfig, config: ServeConfig,
 def run_report(workload: WorkloadConfig, config: ServeConfig,
                mixes=("bp", "bp+vgg"), quick: bool = True,
                max_workers: int | None = None,
-               trace: TraceSink = NULL_TRACE) -> tuple[dict, list[ServeRun]]:
+               trace: TraceSink = NULL_TRACE,
+               checkpoint=None) -> tuple[dict, list[ServeRun]]:
     """Serve every mix (shared cost table) and build the JSON payload."""
     kinds = tuple(k for k in ("bp", "conv", "fc")
                   if any(k in MIXES[m] for m in mixes))
     costs = build_cost_table(config.max_batch, quick=quick,
-                             degraded=bool(config.degraded_chips),
-                             kinds=kinds, max_workers=max_workers)
+                             degraded=_needs_degraded(config),
+                             kinds=kinds, max_workers=max_workers,
+                             checkpoint=checkpoint)
     runs = [
         run_serve(replace(workload, mix=mix), config, quick=quick,
                   costs=costs, trace=trace)
         for mix in mixes
     ]
+    if config.failures_enabled:
+        resilience = (config.resilience or DEFAULT_RESILIENCE).as_dict()
+    else:
+        resilience = None
     payload = {
         "schema": SCHEMA,
         "quick": quick,
@@ -88,6 +112,9 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
             "degraded_chips": list(config.degraded_chips),
             "slo_cycles": config.slo_cycles,
             "clock_ghz": config.clock_ghz,
+            "failures": (config.failures.as_dict()
+                         if config.failures is not None else None),
+            "resilience": resilience,
         },
         "workload": {
             "arrival": workload.arrival,
@@ -131,23 +158,27 @@ def write_csv(runs, path: str) -> None:
         fh.write(",".join(CSV_COLUMNS) + "\n")
         for run in runs:
             for r in run.fleet.records:
-                shed = r.shed
+                outcome = "shed" if r.shed else r.outcome
+                served = outcome == "served"
                 row = {
                     "mix": run.workload.mix,
                     "rid": r.rid,
                     "kind": r.kind,
                     "tile": r.tile,
                     "arrival": f"{r.arrival:g}",
-                    "shed": str(shed).lower(),
-                    "batch_id": r.batch_id if not shed else "",
-                    "chip": r.chip if not shed else "",
-                    "batch_size": r.batch_size if not shed else "",
+                    "shed": str(r.shed).lower(),
+                    "outcome": outcome,
+                    "retries": r.retries if served else "",
+                    "hedged": str(r.hedged).lower() if served else "",
+                    "batch_id": r.batch_id if served else "",
+                    "chip": r.chip if served else "",
+                    "batch_size": r.batch_size if served else "",
                     "dispatch": f"{r.dispatch:g}",
-                    "start": f"{r.start:g}" if not shed else "",
-                    "finish": f"{r.finish:g}" if not shed else "",
-                    "batch_wait": f"{r.batch_wait:g}" if not shed else "",
-                    "queue_wait": f"{r.queue_wait:g}" if not shed else "",
-                    "service": f"{r.service:g}" if not shed else "",
-                    "latency": f"{r.latency:g}" if not shed else "",
+                    "start": f"{r.start:g}" if served else "",
+                    "finish": f"{r.finish:g}" if served else "",
+                    "batch_wait": f"{r.batch_wait:g}" if served else "",
+                    "queue_wait": f"{r.queue_wait:g}" if served else "",
+                    "service": f"{r.service:g}" if served else "",
+                    "latency": f"{r.latency:g}" if served else "",
                 }
                 fh.write(",".join(str(row[c]) for c in CSV_COLUMNS) + "\n")

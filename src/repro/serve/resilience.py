@@ -1,0 +1,253 @@
+"""The serving-side machinery that survives chip failures.
+
+:mod:`repro.serve.failures` says what physically happens to the fleet;
+this module is what the *scheduler* knows and does about it:
+
+* **Health checks** — the monitor probes every chip on a fixed tick
+  (``health_check_interval_cycles``), so a fail-stop is detected at the
+  first tick after the failure plus ``detection_latency_cycles``, never
+  instantly.  Checks can also lie: with ``health_false_positive_rate``
+  a healthy chip is occasionally reported dead (drawn per ``(chip,
+  tick)`` from a seeded stream, so the lie is reproducible).
+* **Circuit breakers** — one per chip, fed by health checks and by
+  failed launches.  ``closed`` chips take traffic; ``failure_threshold``
+  consecutive bad observations *open* the breaker for
+  ``breaker_open_cycles``; an open breaker then goes ``half-open`` and
+  the next launch (or healthy tick) is the probe that closes it again —
+  the repair/reintegration half of the lifecycle.
+* **Retry policy** — killed launches are re-dispatched after the
+  failure is *detected*, with exponential backoff per attempt, bounded
+  by ``max_retries``; requests whose age exceeds
+  ``retry_deadline_cycles`` at re-dispatch time are dropped as
+  *expired* (deadline-aware backoff) rather than retried forever.
+* **Hedging** — optional p99 defense: when a launch overruns its
+  healthy-service estimate by ``hedge_delay_cycles``, a duplicate is
+  launched on another chip; the first completion wins and the loser's
+  burned cycles are accounted as hedge waste.
+* **Load-shedding tiers** — when the believed-alive fraction of the
+  fleet drops, the admission queue tightens through discrete capacity
+  tiers so demand degrades gracefully instead of queueing unboundedly.
+
+Everything here is a pure function of (config, failure timeline, event
+order), so resilient runs are as bit-reproducible as healthy ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.faults.injector import stream_seed
+from repro.trace.collector import NULL_TRACE, TraceSink
+
+#: Circuit-breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The scheduler-side knobs (all times in PE clock cycles)."""
+
+    #: Health-check tick period; failure detection latency is the time
+    #: to the next tick plus ``detection_latency_cycles``.
+    health_check_interval_cycles: float = 25_000.0
+    #: Extra latency between a health-check tick observing a failure and
+    #: the scheduler acting on it.
+    detection_latency_cycles: float = 0.0
+    #: Probability a health check reports a *healthy* chip as failed
+    #: (seeded per (chip, tick); opens the breaker like a real failure).
+    health_false_positive_rate: float = 0.0
+    #: Consecutive bad observations that open a chip's breaker.
+    breaker_failure_threshold: int = 1
+    #: How long an open breaker blocks traffic before going half-open.
+    breaker_open_cycles: float = 200_000.0
+    #: Re-dispatch budget per batch after fail-stop kills.
+    max_retries: int = 3
+    #: Backoff before re-dispatch attempt ``n``:
+    #: ``retry_backoff_cycles * 2**(n-1)`` after detection.
+    retry_backoff_cycles: float = 5_000.0
+    #: A request older than this at re-dispatch time is dropped as
+    #: deadline-expired instead of retried (1 ms at 1.25 GHz).
+    retry_deadline_cycles: float = 1_250_000.0
+    #: Hedging: launch a duplicate when a batch overruns its healthy
+    #: service estimate by this much.  ``None`` disables hedging.
+    hedge_delay_cycles: float | None = None
+    #: Load-shedding tiers: (alive_fraction_threshold, capacity_multiplier),
+    #: highest threshold first; the first row whose threshold the
+    #: believed-alive fraction meets sets the admission-queue capacity.
+    shed_tiers: tuple = ((0.75, 1.0), (0.5, 0.5), (0.25, 0.25), (0.0, 0.125))
+
+    def __post_init__(self):
+        if self.health_check_interval_cycles <= 0:
+            raise ConfigError("health_check_interval_cycles must be positive")
+        if self.detection_latency_cycles < 0:
+            raise ConfigError("detection_latency_cycles must be nonnegative")
+        if not 0.0 <= self.health_false_positive_rate <= 1.0:
+            raise ConfigError("health_false_positive_rate must be in [0, 1]")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError("breaker_failure_threshold must be >= 1")
+        if self.breaker_open_cycles <= 0:
+            raise ConfigError("breaker_open_cycles must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be nonnegative")
+        if self.retry_backoff_cycles < 0:
+            raise ConfigError("retry_backoff_cycles must be nonnegative")
+        if self.retry_deadline_cycles <= 0:
+            raise ConfigError("retry_deadline_cycles must be positive")
+        if (self.hedge_delay_cycles is not None
+                and self.hedge_delay_cycles < 0):
+            raise ConfigError("hedge_delay_cycles must be nonnegative")
+        last = 1.1
+        for threshold, multiplier in self.shed_tiers:
+            if not 0.0 <= threshold < last:
+                raise ConfigError("shed_tiers thresholds must be descending "
+                                  "and in [0, 1]")
+            if not 0.0 < multiplier <= 1.0:
+                raise ConfigError("shed_tiers multipliers must be in (0, 1]")
+            last = threshold
+
+    def backoff_cycles(self, attempt: int) -> float:
+        """Backoff before re-dispatch attempt ``attempt`` (1-based)."""
+        return self.retry_backoff_cycles * 2.0 ** (attempt - 1)
+
+    def tier_multiplier(self, alive_fraction: float) -> float:
+        for threshold, multiplier in self.shed_tiers:
+            if alive_fraction >= threshold:
+                return multiplier
+        return self.shed_tiers[-1][1] if self.shed_tiers else 1.0
+
+    def as_dict(self) -> dict:
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "shed_tiers":
+                value = [list(tier) for tier in value]
+            out[f.name] = value
+        return out
+
+
+#: Shared default: what a FailureConfig-enabled fleet runs unless told
+#: otherwise.
+DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+class CircuitBreaker:
+    """Per-chip open/half-open/closed breaker.
+
+    ``closed`` admits traffic and counts consecutive failures; at
+    ``threshold`` it opens until ``now + open_cycles``.  An expired open
+    breaker reports ``half-open`` from :meth:`allow`, admitting exactly
+    the probe traffic that decides it: a success closes it, a failure
+    re-opens it.  Transitions are traced as ``serve.breaker`` events.
+    """
+
+    def __init__(self, chip_id: int, threshold: int, open_cycles: float,
+                 trace: TraceSink = NULL_TRACE):
+        self.chip_id = chip_id
+        self.threshold = threshold
+        self.open_cycles = open_cycles
+        self.trace = trace if trace.enabled else None
+        self.state = CLOSED
+        self.failures = 0
+        self.open_until = 0.0
+        self.opened_count = 0
+
+    def _transition(self, state: str, now: float) -> None:
+        if state == self.state:
+            return
+        if self.trace is not None:
+            self.trace.serve("serve.breaker", state, now, 0.0, self.chip_id,
+                             {"from": self.state, "to": state})
+        self.state = state
+
+    def allow(self, now: float) -> bool:
+        """May traffic be routed to this chip at ``now``?"""
+        if self.state == OPEN and now >= self.open_until:
+            self._transition(HALF_OPEN, now)
+        return self.state != OPEN
+
+    def record_failure(self, now: float) -> None:
+        """One bad observation (failed health check or killed launch)."""
+        if self.state == OPEN and now >= self.open_until:
+            self._transition(HALF_OPEN, now)
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            self.failures = 0
+            self.open_until = now + self.open_cycles
+            self.opened_count += 1
+            self._transition(OPEN, now)
+
+    def record_success(self, now: float) -> None:
+        """One good observation (healthy check or completed launch)."""
+        if self.state == OPEN and now >= self.open_until:
+            self._transition(HALF_OPEN, now)
+        self.failures = 0
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED, now)
+
+
+class HealthMonitor:
+    """Periodic health checks feeding the per-chip breakers.
+
+    :meth:`advance` lazily processes every tick up to the queried time,
+    so belief state is always current when a scheduling decision is
+    made, and tick processing order is a pure function of event order.
+    """
+
+    def __init__(self, config: ResilienceConfig, timeline, chips: int,
+                 seed: int = 0, trace: TraceSink = NULL_TRACE):
+        self.config = config
+        self.timeline = timeline
+        self.chips = chips
+        self.seed = seed
+        self.breakers = [
+            CircuitBreaker(c, config.breaker_failure_threshold,
+                           config.breaker_open_cycles, trace)
+            for c in range(chips)
+        ]
+        self._next_tick = 1  # tick 0 is at t=0: nothing has run yet
+        self.checks = 0
+        self.false_positives = 0
+
+    def _false_positive(self, chip: int, tick: int) -> bool:
+        rate = self.config.health_false_positive_rate
+        if rate <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            stream_seed(self.seed, "serve-health", chip, tick))
+        return bool(rng.random() < rate)
+
+    def advance(self, t: float) -> None:
+        """Process every health-check tick at or before ``t``."""
+        interval = self.config.health_check_interval_cycles
+        latency = self.config.detection_latency_cycles
+        while self._next_tick * interval <= t:
+            tick = self._next_tick
+            self._next_tick += 1
+            at = tick * interval
+            for chip in range(self.chips):
+                self.checks += 1
+                if self.timeline.down_at(chip, at) is not None:
+                    self.breakers[chip].record_failure(at + latency)
+                elif self._false_positive(chip, tick):
+                    self.false_positives += 1
+                    self.breakers[chip].record_failure(at + latency)
+                else:
+                    self.breakers[chip].record_success(at + latency)
+
+    def detect_time(self, fail_t: float) -> float:
+        """When the scheduler learns about a failure at ``fail_t``: the
+        next health-check tick, plus the detection latency."""
+        interval = self.config.health_check_interval_cycles
+        tick = math.floor(fail_t / interval) + 1
+        return tick * interval + self.config.detection_latency_cycles
+
+    def allow(self, chip: int, now: float) -> bool:
+        return self.breakers[chip].allow(now)
+
+    def alive_fraction(self, now: float) -> float:
+        alive = sum(1 for b in self.breakers if b.allow(now))
+        return alive / len(self.breakers) if self.breakers else 1.0

@@ -64,6 +64,16 @@ Kinds
     ``tile`` (requests) or ``kind``/``size``/``batch_id``/``reload``
     (batches); serve events have no PE/vault/link identity — they live
     above the chip.
+
+``serve.failure`` / ``serve.retry`` / ``serve.hedge`` / ``serve.breaker``
+    Resilience episodes from :mod:`repro.serve` under an injected chip
+    failure lifecycle: a launch killed by a fail-stop (``ts`` is the
+    physical kill instant; ``attrs`` carry the wasted cycles and the
+    scheduler's ``detect`` time), a re-dispatch of a killed batch, a
+    hedge launch racing a straggling primary (``attrs['primary']`` is
+    the straggler's chip), and a circuit-breaker state transition
+    (``attrs``: ``from``/``to``).  ``serve.expired`` marks a request
+    dropped after its retry deadline passed.
 """
 
 from __future__ import annotations
@@ -93,6 +103,11 @@ KINDS = (
     "serve.request",
     "serve.batch",
     "serve.shed",
+    "serve.failure",
+    "serve.retry",
+    "serve.hedge",
+    "serve.breaker",
+    "serve.expired",
 )
 
 

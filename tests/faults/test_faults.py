@@ -203,3 +203,35 @@ class TestSweep:
             assert point["faults_injected"] == 0
         header = csv.read_text().splitlines()[0]
         assert header.startswith("workload,mechanism,rate,seed,ok")
+
+    def test_resume_without_checkpoint_is_structured_error(self, capsys):
+        from repro.faults.cli import main
+
+        rc = main(["--resume"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: config:")
+        assert "Traceback" not in err
+
+    def test_checkpoint_resume_sweep_is_byte_identical(self, tmp_path):
+        from repro.faults.cli import main
+
+        args = ["--workloads", "conv", "--rates", "0,1e-4", "--seeds", "0",
+                "--max-workers", "1"]
+        base = tmp_path / "base.json"
+        assert main(args + ["--out", str(base)]) == 0
+
+        ck = tmp_path / "ck.jsonl"
+        full = tmp_path / "full.json"
+        assert main(args + ["--checkpoint", str(ck),
+                            "--out", str(full)]) == 0
+        assert full.read_bytes() == base.read_bytes()
+
+        lines = ck.read_text().splitlines()
+        assert len(lines) == 1 + 2  # header + both sweep points
+        ck.write_text("\n".join(lines[:2]) + "\n")  # kill after K=1 of 2
+
+        resumed = tmp_path / "resumed.json"
+        assert main(args + ["--checkpoint", str(ck), "--resume",
+                            "--out", str(resumed)]) == 0
+        assert resumed.read_bytes() == base.read_bytes()

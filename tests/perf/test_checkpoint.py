@@ -1,0 +1,176 @@
+"""Checkpointed recovery: kill after K of N tasks, resume, byte-identical."""
+
+import json
+
+import pytest
+
+from repro.perf.checkpoint import SCHEMA, CheckpointWarning, TaskCheckpoint
+from repro.perf.runner import Task, TaskResult, run_tasks
+
+CALLS = []
+
+
+def _square(x):
+    CALLS.append(x)
+    return {"x": x, "sq": x * x}
+
+
+def _flaky(x, fail):
+    CALLS.append(x)
+    if fail:
+        raise ValueError(f"boom {x}")
+    return x * 10
+
+
+def _tasks(n=6):
+    return [Task(key=f"sq:{i}", fn=_square, args=(i,)) for i in range(n)]
+
+
+@pytest.fixture(autouse=True)
+def _reset_calls():
+    CALLS.clear()
+
+
+class TestJournal:
+    def test_put_get_round_trip(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with TaskCheckpoint(path, meta={"tool": "t"}) as ck:
+            ck.put("a", {"deep": [1, 2, (3, 4)]})
+            assert ck.get("a") == (True, {"deep": [1, 2, (3, 4)]})
+            assert ck.get("b") == (False, None)
+        with TaskCheckpoint(path, meta={"tool": "t"}, resume=True) as ck2:
+            assert ck2.loaded == 1
+            assert ck2.get("a") == (True, {"deep": [1, 2, (3, 4)]})
+
+    def test_header_written_first(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        TaskCheckpoint(path, meta={"k": 1}).close()
+        header = json.loads(open(path).readline())
+        assert header == {"schema": SCHEMA, "meta": {"k": 1}}
+
+    def test_failed_task_results_are_not_journaled(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with TaskCheckpoint(path, meta={}) as ck:
+            ck.put("bad", TaskResult(key="bad", ok=False, error="E: x"))
+            ck.put("good", TaskResult(key="good", ok=True, value=7))
+            assert ck.get("bad") == (False, None)
+        with TaskCheckpoint(path, meta={}, resume=True) as ck2:
+            assert ck2.loaded == 1
+            assert ck2.get("good")[1].value == 7
+
+
+class TestResume:
+    def test_resume_after_kill_is_byte_identical(self, tmp_path):
+        baseline = run_tasks(_tasks(), max_workers=1)
+        assert CALLS == list(range(6))
+
+        # Full run journaling to disk, then "kill" it after K=3 of N=6
+        # results by truncating the journal to header + 3 entries.
+        path = str(tmp_path / "ck.jsonl")
+        with TaskCheckpoint(path, meta={"n": 6}) as ck:
+            run_tasks(_tasks(), max_workers=1, checkpoint=ck)
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1 + 6
+        open(path, "w").write("\n".join(lines[:4]) + "\n")
+
+        CALLS.clear()
+        with TaskCheckpoint(path, meta={"n": 6}, resume=True) as ck:
+            assert ck.loaded == 3
+            resumed = run_tasks(_tasks(), max_workers=1, checkpoint=ck)
+        assert CALLS == [3, 4, 5]  # only the missing N-K recomputed
+        assert (json.dumps(resumed, sort_keys=True)
+                == json.dumps(baseline, sort_keys=True))
+
+    def test_completed_checkpoint_recomputes_nothing(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with TaskCheckpoint(path, meta={}) as ck:
+            run_tasks(_tasks(), max_workers=1, checkpoint=ck)
+        CALLS.clear()
+        with TaskCheckpoint(path, meta={}, resume=True) as ck:
+            again = run_tasks(_tasks(), max_workers=1, checkpoint=ck)
+        assert CALLS == []
+        assert again == run_tasks(_tasks(), max_workers=1)
+
+    def test_failed_results_are_retried_on_resume(self, tmp_path):
+        tasks = [Task(key=f"f:{i}", fn=_flaky, args=(i, i == 1))
+                 for i in range(3)]
+        path = str(tmp_path / "ck.jsonl")
+        with TaskCheckpoint(path, meta={}) as ck:
+            first = run_tasks(tasks, max_workers=1, return_errors=True,
+                              checkpoint=ck)
+        assert [r.ok for r in first] == [True, False, True]
+
+        CALLS.clear()
+        fixed = [Task(key=f"f:{i}", fn=_flaky, args=(i, False))
+                 for i in range(3)]
+        with TaskCheckpoint(path, meta={}, resume=True) as ck:
+            second = run_tasks(fixed, max_workers=1, return_errors=True,
+                               checkpoint=ck)
+        assert CALLS == [1]  # only the previously-failed key re-ran
+        assert [r.ok for r in second] == [True, True, True]
+        assert [r.value for r in second] == [0, 10, 20]
+
+
+class TestCorruption:
+    def _journaled(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with TaskCheckpoint(path, meta={"n": 6}) as ck:
+            run_tasks(_tasks(), max_workers=1, checkpoint=ck)
+        return path
+
+    def test_garbled_tail_dropped_with_warning(self, tmp_path):
+        path = self._journaled(tmp_path)
+        lines = open(path).read().splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # kill mid-write
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.warns(CheckpointWarning, match="trailing"):
+            ck = TaskCheckpoint(path, meta={"n": 6}, resume=True)
+        assert ck.loaded == 5  # valid prefix kept
+        CALLS.clear()
+        resumed = run_tasks(_tasks(), max_workers=1, checkpoint=ck)
+        ck.close()
+        assert CALLS == [5]
+        assert resumed == run_tasks(_tasks(), max_workers=1)
+        # ...and the journal was rewritten clean: resumable again.
+        with TaskCheckpoint(path, meta={"n": 6}, resume=True) as ck2:
+            assert ck2.loaded == 6
+
+    def test_corrupt_header_starts_clean(self, tmp_path):
+        path = self._journaled(tmp_path)
+        lines = open(path).read().splitlines()
+        open(path, "w").write("not json{\n" + "\n".join(lines[1:]) + "\n")
+        with pytest.warns(CheckpointWarning, match="header"):
+            ck = TaskCheckpoint(path, meta={"n": 6}, resume=True)
+        assert ck.loaded == 0
+        ck.close()
+
+    def test_schema_mismatch_starts_clean(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        open(path, "w").write(
+            json.dumps({"schema": "other/v9", "meta": {}}) + "\n")
+        with pytest.warns(CheckpointWarning, match="schema"):
+            ck = TaskCheckpoint(path, meta={}, resume=True)
+        assert ck.loaded == 0
+        ck.close()
+
+    def test_meta_mismatch_starts_clean(self, tmp_path):
+        path = self._journaled(tmp_path)
+        with pytest.warns(CheckpointWarning, match="different"):
+            ck = TaskCheckpoint(path, meta={"n": 7}, resume=True)
+        assert ck.loaded == 0
+        CALLS.clear()
+        run_tasks(_tasks(), max_workers=1, checkpoint=ck)
+        ck.close()
+        assert CALLS == list(range(6))  # full recompute, no mixing
+
+    def test_crc_mismatch_invalidates_tail(self, tmp_path):
+        path = self._journaled(tmp_path)
+        lines = open(path).read().splitlines()
+        entry = json.loads(lines[3])
+        entry["crc"] ^= 1
+        lines[3] = json.dumps(entry)
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.warns(CheckpointWarning, match="dropped"):
+            ck = TaskCheckpoint(path, meta={"n": 6}, resume=True)
+        assert ck.loaded == 2  # entries before the bad line survive
+        ck.close()

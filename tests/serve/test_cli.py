@@ -17,7 +17,7 @@ def test_cli_writes_report_and_csv(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "bp+vgg" in printed
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.serve/v1"
+    assert payload["schema"] == "repro.serve/v2"
     assert set(payload["mixes"]) == {"bp", "bp+vgg"}
     for mix in payload["mixes"].values():
         assert mix["latency_cycles"]["p99"] >= mix["latency_cycles"]["p50"] > 0
@@ -46,3 +46,76 @@ def test_python_m_repro_perf_dispatches_to_bench():
     )
     assert proc.returncode == 0
     assert "benchmark suite" in proc.stdout
+
+
+def test_resilience_smoke_conserves_every_request(tmp_path):
+    out = tmp_path / "serve.json"
+    rc = main(["--chips", "2", "--requests", "30", "--rate", "150000",
+               "--mix", "bp", "--max-batch", "3", "--policy", "least-loaded",
+               "--fail-chips", "1", "--mtbf-ms", "0.3", "--repair-ms", "0.1",
+               "--out", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["config"]["failures"]["fail_stop_chips"] == [0]
+    assert payload["config"]["resilience"]["max_retries"] == 3
+    m = payload["mixes"]["bp"]
+    # Conservation: every admitted request accounted exactly once.
+    assert m["served"] + m["shed"] + m["expired"] == m["total"] == 30
+    assert m["availability"] > 0.0
+    assert m["goodput_rps"] <= m["throughput_rps"]
+
+
+def test_invalid_config_exits_2_with_one_line_error():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.serve", "--fail-chips", "3",
+         "--chips", "2"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 2
+    assert proc.stderr.startswith("error: config:")
+    assert len(proc.stderr.strip().splitlines()) == 1
+    assert "Traceback" not in proc.stderr
+
+
+def test_resume_without_checkpoint_is_structured_error(capsys):
+    rc = main(["--resume"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: config:")
+    assert "Traceback" not in err
+
+
+def test_argparse_bounds_reject_nonsense(capsys):
+    import pytest
+
+    for argv in (["--chips", "0"], ["--rate", "-5"], ["--max-retries", "-1"],
+                 ["--requests", "0"]):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+    capsys.readouterr()  # swallow argparse usage noise
+
+
+def test_checkpoint_resume_report_is_byte_identical(tmp_path):
+    # bp+vgg measures several shapes (bp, conv, fc/b1..b3), so the
+    # journal has enough entries to truncate mid-campaign.
+    args = ["--chips", "2", "--requests", "20", "--rate", "150000",
+            "--mix", "bp+vgg", "--max-batch", "3", "--seed", "0"]
+    base = tmp_path / "base.json"
+    assert main(args + ["--out", str(base)]) == 0
+
+    ck = tmp_path / "ck.jsonl"
+    full = tmp_path / "full.json"
+    assert main(args + ["--checkpoint", str(ck), "--out", str(full)]) == 0
+    assert full.read_bytes() == base.read_bytes()
+
+    # Kill after K of N cost-table measurements: keep header + half.
+    lines = ck.read_text().splitlines()
+    assert len(lines) >= 3
+    keep = 1 + (len(lines) - 1) // 2
+    ck.write_text("\n".join(lines[:keep]) + "\n")
+
+    resumed = tmp_path / "resumed.json"
+    assert main(args + ["--checkpoint", str(ck), "--resume",
+                        "--out", str(resumed)]) == 0
+    assert resumed.read_bytes() == base.read_bytes()

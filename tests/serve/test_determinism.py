@@ -87,11 +87,14 @@ def test_report_has_both_mixes_with_required_metrics():
     payload, runs = run_report(_workload(requests=30), _config(),
                                mixes=("bp", "bp+vgg"), quick=True,
                                max_workers=1)
-    assert payload["schema"] == "repro.serve/v1"
+    assert payload["schema"] == "repro.serve/v2"
     assert set(payload["mixes"]) == {"bp", "bp+vgg"}
     for mix in ("bp", "bp+vgg"):
         m = payload["mixes"][mix]
         assert m["throughput_rps"] > 0
+        assert m["goodput_rps"] <= m["throughput_rps"]
+        assert 0.0 <= m["availability"] <= 1.0
+        assert m["expired"] == 0 and m["retries"] == 0 and m["hedges"] == 0
         assert m["latency_cycles"]["p99"] >= m["latency_cycles"]["p50"] > 0
         assert 0.0 <= m["slo_violation_rate"] <= 1.0
         assert 0.0 <= m["shed_rate"] < 1.0

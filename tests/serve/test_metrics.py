@@ -108,6 +108,76 @@ class TestComputeMetrics:
             compute_metrics([], [], makespan_cycles=0.0, slo_cycles=0.0)
 
 
+def _expired(rid, arrival, kind="bp"):
+    return RequestRecord(rid=rid, kind=kind, tile=0, arrival=arrival,
+                         shed=False, dispatch=arrival, outcome="expired",
+                         retries=2)
+
+
+class TestResilienceMetrics:
+    def test_p999_small_n_leans_on_max(self):
+        # With n << 1001 the 99.9th percentile interpolates between the
+        # two largest order statistics, never beyond the max.
+        data = [10.0, 20.0, 30.0, 40.0]
+        p999 = percentile(data, 99.9)
+        assert 30.0 < p999 <= 40.0
+        assert p999 == pytest.approx(40.0, rel=1e-2)
+        assert percentile([42.0], 99.9) == 42.0
+
+    def test_availability_and_goodput_split_on_slo(self):
+        records = [
+            _served(0, 0.0, 0.0, 0.0, 100.0),    # in SLO
+            _served(1, 0.0, 0.0, 0.0, 1000.0),   # violated
+            _shed(2, 5.0),
+            _expired(3, 6.0),
+        ]
+        m = compute_metrics(records, [], makespan_cycles=1000.0,
+                            slo_cycles=500.0, clock_ghz=1.25)
+        assert m.total == 4 and m.served == 2
+        assert m.shed == 1 and m.expired == 1
+        # 1 of 4 admitted requests completed within the SLO.
+        assert m.availability == pytest.approx(0.25)
+        # throughput counts both served; goodput only the in-SLO one.
+        assert m.throughput_rps == pytest.approx(2 * 1.25e9 / 1000.0)
+        assert m.goodput_rps == pytest.approx(1.25e9 / 1000.0)
+        d = m.as_dict()
+        assert d["availability"] == m.availability
+        assert d["expired"] == 1
+        assert d["latency_cycles"]["p999"] is not None
+
+    def test_waste_split_by_cause(self):
+        def batch(outcome, waste, hedge=False):
+            return BatchRecord(batch_id=0, kind="bp", size=1, chip=0,
+                               close=0.0, start=0.0, finish=waste,
+                               reload=0.0, outcome=outcome, waste=waste,
+                               hedge=hedge)
+        batches = [
+            batch("served", 0.0),
+            batch("killed", 300.0),                 # fail-stop kill -> retry
+            batch("hedge-loser", 200.0),            # cancelled primary
+            batch("hedge-loser", 150.0, hedge=True),  # cancelled hedge
+            batch("killed", 50.0, hedge=True),      # hedge died mid-race
+            batch("served", 0.0, hedge=True),       # winning hedge
+        ]
+        m = compute_metrics([_served(0, 0.0, 0.0, 0.0, 10.0)], batches,
+                            makespan_cycles=100.0, slo_cycles=500.0)
+        assert m.retries == 1
+        assert m.retry_wasted_cycles == 300.0
+        assert m.hedges == 3  # every hedge launch, whatever its fate
+        assert m.hedge_wasted_cycles == 200.0 + 150.0 + 50.0
+        # mean batch size counts only launches that actually served.
+        assert m.mean_batch_size == 1.0
+
+    def test_all_expired_edge_case(self):
+        records = [_expired(i, float(i)) for i in range(3)]
+        m = compute_metrics(records, [], makespan_cycles=100.0,
+                            slo_cycles=500.0)
+        assert m.served == 0 and m.expired == 3 and m.shed == 0
+        assert m.availability == 0.0
+        assert m.latency_p999 is None
+        assert m.goodput_rps == 0.0
+
+
 def test_chip_utilization_rows():
     from repro.serve.fleet import ChipState
 
