@@ -86,16 +86,49 @@ class FixedPointFormat:
         return FixedPointFormat(self.bits, frac)
 
 
+def _bounds_or_raise(bits: int) -> tuple:
+    bounds = _CLIP_BOUNDS.get(bits)
+    if bounds is None:
+        raise ValueError(f"unsupported element width: {bits}")
+    return bounds
+
+
+def _clamp_inplace(arr: np.ndarray, lo, hi) -> np.ndarray:
+    # Two in-place ufunc calls beat np.clip's wrapper chain (and its
+    # output allocation) by ~4x on the short vectors the PE issues.
+    np.maximum(arr, lo, out=arr)
+    np.minimum(arr, hi, out=arr)
+    return arr
+
+
 def saturate(values, bits: int):
     """Clamp integer ``values`` to the signed range of ``bits``.
 
     Accepts scalars or numpy arrays; always returns ``int64`` typed data so
-    callers can keep accumulating without overflow.
+    callers can keep accumulating without overflow.  The input is never
+    mutated; the result is always freshly owned by the caller.
     """
-    bounds = _CLIP_BOUNDS.get(bits)
-    if bounds is None:
-        raise ValueError(f"unsupported element width: {bits}")
-    return np.clip(np.asarray(values, dtype=np.int64), bounds[0], bounds[1])
+    lo, hi = _bounds_or_raise(bits)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr is values:  # no-copy aliasing of the caller's own array
+        arr = arr.copy()
+    if arr.ndim == 0:
+        return np.clip(arr, lo, hi)
+    return _clamp_inplace(arr, lo, hi)
+
+
+def saturate_cast(values, bits: int):
+    """Clamp ``values`` to the signed range of ``bits`` and cast to that
+    width's dtype, *consuming* the input: an int64 array's buffer is
+    clamped in place, so callers must pass data they own and no longer
+    need (the PE writeback path hands over freshly computed results).
+    """
+    lo, hi = _bounds_or_raise(bits)
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim == 0:
+        return np.clip(arr, lo, hi).astype(DTYPES[bits])
+    _clamp_inplace(arr, lo, hi)
+    return arr.astype(DTYPES[bits])
 
 
 def to_fixed(values, fmt: FixedPointFormat = FixedPointFormat()):
@@ -110,18 +143,23 @@ def from_fixed(values, fmt: FixedPointFormat = FixedPointFormat()):
     return np.asarray(values, dtype=np.float64) / (1 << fmt.frac)
 
 
+def _sat_binop(ufunc, a, b, bits: int):
+    """``saturate(ufunc(a, b), bits)`` clamping the fresh result in place."""
+    lo, hi = _bounds_or_raise(bits)
+    out = ufunc(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+    if not isinstance(out, np.ndarray):  # scalar operands
+        return np.clip(out, lo, hi)
+    return _clamp_inplace(out, lo, hi)
+
+
 def sat_add(a, b, bits: int = 16):
     """Saturating elementwise addition at ``bits`` width."""
-    return saturate(
-        np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64), bits
-    )
+    return _sat_binop(np.add, a, b, bits)
 
 
 def sat_sub(a, b, bits: int = 16):
     """Saturating elementwise subtraction at ``bits`` width."""
-    return saturate(
-        np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), bits
-    )
+    return _sat_binop(np.subtract, a, b, bits)
 
 
 def sat_mul(a, b, bits: int = 16, frac_shift: int = 0):
@@ -132,10 +170,16 @@ def sat_mul(a, b, bits: int = 16, frac_shift: int = 0):
     saturates to ``bits``.  This mirrors the VIP vertical-unit multiplier,
     whose fractional shift is set per kernel (see ``set.fx``).
     """
-    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    lo, hi = _bounds_or_raise(bits)
+    product = np.multiply(np.asarray(a, dtype=np.int64),
+                          np.asarray(b, dtype=np.int64))
+    if not isinstance(product, np.ndarray):  # scalar operands
+        if frac_shift:
+            product = product >> frac_shift
+        return np.clip(product, lo, hi)
     if frac_shift:
-        product = product >> frac_shift
-    return saturate(product, bits)
+        np.right_shift(product, frac_shift, out=product)
+    return _clamp_inplace(product, lo, hi)
 
 
 def choose_frac_bits(values, bits: int = 16, headroom: int = 1) -> int:

@@ -161,6 +161,10 @@ class PE:
         self.fx = 0
         self._vec_pipe_free = 0.0
         self._vec_last_done = 0.0
+        # Per-PE memo over vector_timing: the lru_cache key hashes the
+        # frozen PEConfig on every lookup, which is measurable at one
+        # call per vector instruction; the config never changes per PE.
+        self._vec_timing: dict = {}
         self._lsu_port_free = 0.0
         self._outstanding: list[float] = []
         # Cache the trace sink as None-when-disabled so the hot path pays a
@@ -542,7 +546,11 @@ class PE:
             self.counters.stall_vector_pipe += self._vec_pipe_free - t
             t = self._vec_pipe_free
 
-        timing = vector_timing(cfg, vop, use_horizontal, cols, rows, instr.width)
+        tkey = (vop, use_horizontal, cols, rows, instr.width)
+        timing = self._vec_timing.get(tkey)
+        if timing is None:
+            timing = self._vec_timing[tkey] = vector_timing(
+                cfg, vop, use_horizontal, cols, rows, instr.width)
         self._vec_pipe_free = t + timing.occupancy
         done = t + timing.done
         if done > self._vec_last_done:

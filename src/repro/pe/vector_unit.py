@@ -28,7 +28,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.fixedpoint import DTYPES, sat_add, sat_mul, sat_sub, saturate
+from repro.fixedpoint import (
+    DTYPES,
+    sat_add,
+    sat_mul,
+    sat_sub,
+    saturate,
+    saturate_cast,
+)
 from repro.pe.config import PEConfig
 
 
@@ -122,13 +129,14 @@ class ScratchpadView:
         dtype = DTYPES[width_bits]
         nbytes = count * dtype().itemsize
         self.check_range(addr, nbytes, "vector read")
-        return (
-            self.data[addr : addr + nbytes].copy().view(dtype).astype(np.int64)
-        )
+        # astype copies, so the slice can be viewed without a copy first.
+        return self.data[addr : addr + nbytes].view(dtype).astype(np.int64)
 
     def write_vector(self, addr: int, values: np.ndarray, width_bits: int) -> None:
         dtype = DTYPES[width_bits]
-        out = saturate(values, width_bits).astype(dtype)
+        # Writeback consumes ``values`` (always a freshly computed result),
+        # so the saturating cast may clamp its buffer in place.
+        out = saturate_cast(values, width_bits)
         nbytes = out.size * dtype().itemsize
         self.check_range(addr, nbytes, "vector write")
         self.data[addr : addr + nbytes] = out.view(np.uint8)

@@ -400,6 +400,39 @@ def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
     return records
 
 
+def check_regression(records: list, baseline: dict,
+                     tolerance: float = 0.15) -> tuple[list, list]:
+    """Compare fresh bench records against a baseline snapshot.
+
+    A bench regresses when its speedup vs baseline
+    (``baseline_wall_s / wall_s``) falls below ``1 - tolerance`` — i.e.
+    it got more than ``tolerance`` slower.  Only wall time is gated;
+    simulated cycles are covered by the equivalence asserts.  Returns
+    ``(regressed_names, report_lines)``; benches missing from the
+    baseline are reported but never gate.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ConfigError(f"tolerance must be in [0, 1), got {tolerance}")
+    if "benches" in baseline:
+        baseline = {b["name"]: b for b in baseline["benches"]}
+    floor = 1.0 - tolerance
+    regressed, lines = [], []
+    for record in records:
+        name = record["name"]
+        base = baseline.get(name)
+        if not base or "wall_s" not in base:
+            lines.append(f"{name:>14}: SKIP (no baseline entry)")
+            continue
+        speedup = base["wall_s"] / record["wall_s"]
+        if speedup < floor:
+            regressed.append(name)
+            lines.append(f"{name:>14}: FAIL {speedup:.2f}x vs baseline "
+                         f"(floor {floor:.2f}x)")
+        else:
+            lines.append(f"{name:>14}: ok   {speedup:.2f}x vs baseline")
+    return regressed, lines
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -432,6 +465,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="JSON of baseline timings (a previous bench "
                         "snapshot, or {name: {wall_s, cycles}}) to record "
                         "per-bench speedup_vs_baseline against")
+    parser.add_argument("--check-regression", default=None,
+                        metavar="BASELINE_JSON",
+                        help="gate against a baseline snapshot: exit 3 if "
+                        "any bench ran more than --tolerance slower than "
+                        "its baseline wall time")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional wall-time slowdown for "
+                        "--check-regression (default 0.15)")
     args = parser.parse_args(argv)
 
     names = tuple(args.bench) if args.bench else ALL_BENCHES
@@ -477,6 +518,27 @@ def main(argv: list[str] | None = None) -> int:
             line += f"  {r['speedup_vs_baseline']:5.2f}x vs baseline"
         print(line)
     print(f"wrote {out}")
+    if args.check_regression:
+        try:
+            with open(args.check_regression) as f:
+                baseline = json.load(f)
+            regressed, lines = check_regression(records, baseline,
+                                                args.tolerance)
+        except OSError as exc:
+            print(f"error: config: unreadable baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ConfigError as exc:
+            print(f"error: config: {exc}", file=sys.stderr)
+            return 2
+        print(f"regression gate vs {args.check_regression} "
+              f"(tolerance {args.tolerance:g}):")
+        for line in lines:
+            print(line)
+        if regressed:
+            print(f"error: bench regression: {', '.join(regressed)}",
+                  file=sys.stderr)
+            return 3
     return 0
 
 

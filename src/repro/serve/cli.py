@@ -32,11 +32,15 @@ from repro.perf.checkpoint import TaskCheckpoint
 from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
 from repro.serve.queueing import SHED_POLICIES
-from repro.serve.report import run_report, write_csv, write_json
+from repro.serve.report import (
+    checkpoint_meta,
+    run_report,
+    write_csv,
+    write_json,
+)
 from repro.serve.resilience import DEFAULT_RESILIENCE, ResilienceConfig
+from repro.serve.scenario import CLOCK_GHZ, list_scenarios, load_scenario
 from repro.serve.workload import ARRIVALS, MIXES, WorkloadConfig
-
-CLOCK_GHZ = 1.25
 
 
 def _ints(text: str) -> tuple:
@@ -146,6 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
                             default=None,
                             help="hedge a launch overrunning its healthy "
                                  "estimate by this much (default: off)")
+    scenario = parser.add_argument_group("scenario")
+    scenario.add_argument("--scenario", default=None, metavar="NAME_OR_PATH",
+                          help="run a declarative scenario file (library "
+                               "name or path); replaces every workload/"
+                               "fleet/failure/resilience flag — only run "
+                               "infrastructure flags (--out, --csv, "
+                               "--checkpoint, --resume, --workers) still "
+                               "apply")
+    scenario.add_argument("--list-scenarios", action="store_true",
+                          help="list the named scenarios on the search "
+                               "path and exit")
     run = parser.add_argument_group("run")
     run.add_argument("--slo-ms", type=_positive_float, default=0.25,
                      help="latency SLO in simulated milliseconds")
@@ -199,44 +214,56 @@ def _resilience_config(args) -> ResilienceConfig:
 
 
 def _run(args) -> int:
-    mixes = tuple(args.mix) if args.mix else ("bp", "bp+vgg")
+    if args.list_scenarios:
+        scenarios = list_scenarios()
+        if not scenarios:
+            print("no scenarios found on the search path")
+        for entry in scenarios:
+            print(f"{entry['name']:<20} {entry['description']}")
+        return 0
     if args.resume and not args.checkpoint:
         raise ConfigError("--resume requires --checkpoint PATH")
-    failures = _failure_config(args)
-    config = ServeConfig(
-        chips=args.chips,
-        policy=args.policy,
-        max_batch=args.max_batch,
-        max_wait_cycles=args.max_wait,
-        queue_capacity=args.queue_capacity,
-        shed_policy=args.shed_policy,
-        degraded_chips=args.degraded,
-        slo_cycles=_ms(args.slo_ms),
-        failures=failures,
-        resilience=(_resilience_config(args)
-                    if failures is not None else None),
-    )
-    workload = WorkloadConfig(
-        mix=mixes[0],
-        arrival=args.arrival,
-        rate=args.rate,
-        requests=args.requests,
-        seed=args.seed,
-        num_tiles=args.num_tiles,
-        burst_factor=args.burst_factor,
-        burst_len=args.burst_len,
-    )
+    if args.scenario:
+        scenario = load_scenario(args.scenario)
+        mixes, quick = scenario.mixes, scenario.quick
+        config, workload = scenario.serve, scenario.workload
+        print(f"scenario {scenario.name}: "
+              f"{scenario.description or '(no description)'}")
+    else:
+        mixes = tuple(args.mix) if args.mix else ("bp", "bp+vgg")
+        quick = not args.full
+        failures = _failure_config(args)
+        config = ServeConfig(
+            chips=args.chips,
+            policy=args.policy,
+            max_batch=args.max_batch,
+            max_wait_cycles=args.max_wait,
+            queue_capacity=args.queue_capacity,
+            shed_policy=args.shed_policy,
+            degraded_chips=args.degraded,
+            slo_cycles=_ms(args.slo_ms),
+            failures=failures,
+            resilience=(_resilience_config(args)
+                        if failures is not None else None),
+        )
+        workload = WorkloadConfig(
+            mix=mixes[0],
+            arrival=args.arrival,
+            rate=args.rate,
+            requests=args.requests,
+            seed=args.seed,
+            num_tiles=args.num_tiles,
+            burst_factor=args.burst_factor,
+            burst_len=args.burst_len,
+        )
     checkpoint = None
     if args.checkpoint:
-        meta = {"tool": "repro.serve", "max_batch": args.max_batch,
-                "quick": not args.full,
-                "degraded": bool(args.degraded or args.transient_chips),
-                "mixes": sorted(mixes)}
-        checkpoint = TaskCheckpoint(args.checkpoint, meta=meta,
-                                    resume=args.resume)
+        checkpoint = TaskCheckpoint(
+            args.checkpoint, meta=checkpoint_meta(config, mixes, quick),
+            resume=args.resume)
     try:
         payload, runs = run_report(workload, config, mixes=mixes,
-                                   quick=not args.full,
+                                   quick=quick,
                                    max_workers=args.workers,
                                    checkpoint=checkpoint)
     finally:

@@ -1,0 +1,38 @@
+"""The online control plane: a long-running serve service.
+
+The batch CLI (``python -m repro.serve``) simulates one scenario and
+exits; this package keeps a service up that accepts scenario jobs over
+HTTP, runs them through the exact same deterministic core
+(:func:`repro.serve.report.run_report`), streams live progress
+snapshots while a run advances, and persists every job's JSONL
+checkpoint journal so a killed service resumes its work byte-for-byte.
+
+Layering — the service is a thin shell, the core stays deterministic:
+
+* :mod:`repro.serve.control.jobs` — :class:`JobManager`: durable job
+  state on disk, a sequential worker, checkpoint/resume, progress and
+  cancellation.  No networking; fully testable in-process.
+* :mod:`repro.serve.control.service` — :class:`ControlServer`: a
+  stdlib-``asyncio`` HTTP front end mapping routes onto the manager.
+* :mod:`repro.serve.control.client` — :class:`ControlClient`: a
+  stdlib-``urllib`` client for scripts, tests, and CI.
+* ``python -m repro.serve.control`` — run the service.
+
+Determinism contract: a scenario submitted over HTTP produces a
+``result.json`` byte-identical to ``python -m repro.serve --scenario``
+with ``--out`` — both compile the same document through
+:mod:`repro.serve.scenario` and render through the same
+:func:`~repro.serve.report.write_json`.
+"""
+
+from repro.serve.control.client import ControlClient, ControlError
+from repro.serve.control.jobs import JobCancelled, JobManager
+from repro.serve.control.service import ControlServer
+
+__all__ = [
+    "ControlClient",
+    "ControlError",
+    "ControlServer",
+    "JobCancelled",
+    "JobManager",
+]

@@ -1,0 +1,86 @@
+"""``python -m repro.serve.control`` — run the control-plane service.
+
+Binds the HTTP service, recovers any unfinished jobs from the state
+directory (their checkpoint journals turn re-runs into replays), and
+serves until interrupted::
+
+    python -m repro.serve.control --state-dir /tmp/vip-control --port 8642
+
+``--port 0`` picks a free port; ``--port-file PATH`` writes the chosen
+``host:port`` for scripts that need to find the service (CI does).
+Configuration errors exit 2 with the one-line ``error: config:``
+convention shared with the batch CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.errors import ConfigError
+from repro.serve.control.jobs import JobManager
+from repro.serve.control.service import ControlServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.control",
+        description="Long-running serve control plane over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="0 picks a free port")
+    parser.add_argument("--state-dir", default="control-state",
+                        help="durable job state (jobs/, checkpoints, "
+                             "results)")
+    parser.add_argument("--scenario-dir", default=None,
+                        help="prepend this directory to the scenario "
+                             "search path")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for each job's cost-table "
+                             "measurement")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound host:port here once "
+                             "listening")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.workers is not None and args.workers < 1:
+            raise ConfigError("--workers must be >= 1")
+        if args.port < 0 or args.port > 65535:
+            raise ConfigError(f"--port out of range: {args.port}")
+        if args.scenario_dir:
+            if not os.path.isdir(args.scenario_dir):
+                raise ConfigError(
+                    f"--scenario-dir is not a directory: "
+                    f"{args.scenario_dir}")
+            os.environ["REPRO_SCENARIO_DIR"] = args.scenario_dir
+        manager = JobManager(args.state_dir, max_workers=args.workers)
+        recovered = manager.recover()
+        server = ControlServer(manager, host=args.host, port=args.port)
+    except ConfigError as exc:
+        print(f"error: config: {exc}", file=sys.stderr)
+        return 2
+    server.start()
+    if recovered:
+        print(f"recovered {len(recovered)} unfinished job(s): "
+              f"{', '.join(recovered)}")
+    address = f"{server.host}:{server.port}"
+    print(f"control plane listening on http://{address}")
+    print(f"state dir: {os.path.abspath(args.state_dir)}")
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(address + "\n")
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""A stdlib client for the control plane (scripts, tests, CI).
+
+:class:`ControlClient` wraps ``urllib`` so callers never hand-build
+requests::
+
+    client = ControlClient("http://127.0.0.1:8642")
+    job = client.submit("steady-bp")
+    final = client.wait(job["job_id"], timeout=300.0)
+    raw = client.metrics_bytes(job["job_id"])   # byte-identical to --out
+
+HTTP errors raise :class:`ControlError` carrying the status code and
+the service's ``error`` message (e.g. the ``config: <field path>``
+text for a rejected scenario document).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve.control.jobs import TERMINAL_STATES
+
+
+class ControlError(Exception):
+    """An HTTP-level failure from the control service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ControlClient:
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, bytes]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode())
+            except ValueError:
+                message = raw.decode("utf-8", "replace")
+            raise ControlError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ControlError(0, f"unreachable: {exc.reason}") from exc
+
+    def _json(self, method: str, path: str,
+              body: dict | None = None) -> dict:
+        _, raw = self._request(method, path, body)
+        return json.loads(raw)
+
+    # -- the API -------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def scenarios(self) -> list:
+        return self._json("GET", "/scenarios")["scenarios"]
+
+    def submit(self, scenario, name: str | None = None) -> dict:
+        """Submit a library name (str) or an inline document (dict)."""
+        body: dict = {"scenario": scenario}
+        if name is not None:
+            body["name"] = name
+        return self._json("POST", "/jobs", body)
+
+    def jobs(self) -> list:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def metrics(self, job_id: str) -> tuple[int, dict]:
+        """(status_code, payload): 202 + live snapshot while running,
+        200 + the final report once done."""
+        code, raw = self._request("GET", f"/jobs/{job_id}/metrics")
+        return code, json.loads(raw)
+
+    def metrics_bytes(self, job_id: str) -> bytes:
+        """The finished job's raw ``result.json`` bytes."""
+        code, raw = self._request("GET", f"/jobs/{job_id}/metrics")
+        if code != 200:
+            raise ControlError(code, "job not finished")
+        return raw
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns the
+        final status dict (raises :class:`ControlError` on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ControlError(0, f"timed out waiting for {job_id} "
+                                      f"(last: {status['status']})")
+            time.sleep(poll)

@@ -65,6 +65,7 @@ from repro.errors import ConfigError
 from repro.serve.batcher import Batch, DynamicBatcher
 from repro.serve.costmodel import ServiceCostTable
 from repro.serve.failures import ChipFailureTimeline, FailureConfig
+from repro.serve.metrics import percentile
 from repro.serve.queueing import SHED_POLICIES, AdmissionQueue
 from repro.serve.resilience import (
     DEFAULT_RESILIENCE,
@@ -596,14 +597,64 @@ class FleetSimulator:
             self.trace.serve("serve.shed", request.kind, now, 0.0, -1,
                              {"rid": request.rid, "tile": request.tile})
 
+    # -- observation ---------------------------------------------------
+
+    def snapshot(self, now: float, arrived: int, total: int) -> dict:
+        """A live progress snapshot: pure observation of simulator state.
+
+        Reads records, counters, and breaker states without touching
+        them — callers (the control plane's progress stream) can take
+        snapshots at any cadence without perturbing the simulation, so
+        observed runs stay byte-identical to unobserved ones.
+        """
+        served = shed = expired = 0
+        latencies = []
+        for rec in self._records.values():
+            if rec.outcome == "served":
+                served += 1
+                latencies.append(rec.finish - rec.arrival)
+            elif rec.outcome == "shed":
+                shed += 1
+            else:
+                expired += 1
+        elapsed_s = now / (self.config.clock_ghz * 1e9)
+        snap = {
+            "sim_time_cycles": now,
+            "requests_arrived": arrived,
+            "requests_total": total,
+            "served": served,
+            "shed": shed,
+            "expired": expired,
+            "retries": self.retry_count,
+            "hedges": self.hedge_count,
+            "throughput_rps": (served / elapsed_s) if elapsed_s > 0 else 0.0,
+            "latency_p50": (percentile(latencies, 50.0)
+                            if latencies else None),
+            "latency_p99": (percentile(latencies, 99.0)
+                            if latencies else None),
+        }
+        if self.monitor is not None:
+            # Read breaker states directly; allow() would advance an
+            # expired open breaker to half-open as a side effect.
+            snap["breakers"] = {
+                str(b.chip_id): b.state for b in self.monitor.breakers
+            }
+        return snap
+
     # -- the event loop ------------------------------------------------
 
-    def run(self, requests: list[Request]) -> FleetResult:
+    def run(self, requests: list[Request],
+            on_progress=None, progress_every: int | None = None
+            ) -> FleetResult:
         requests = sorted(requests, key=lambda r: (r.arrival, r.rid))
         batcher = DynamicBatcher(self.config.max_batch,
                                  self.config.max_wait_cycles)
         queue = AdmissionQueue(batcher, self.config.queue_capacity,
                                self.config.shed_policy)
+        total = len(requests)
+        if on_progress is not None and progress_every is None:
+            progress_every = max(1, total // 20)
+        arrived = 0
         for req in requests:
             for batch in batcher.due(req.arrival):
                 self._push(batch.close, "dispatch", _Pending(batch))
@@ -621,9 +672,17 @@ class FleetSimulator:
                 self._push(admission.filled.close, "dispatch",
                            _Pending(admission.filled))
                 self._drain(until=req.arrival)
+            arrived += 1
+            if on_progress is not None and arrived % progress_every == 0:
+                on_progress(self.snapshot(req.arrival, arrived, total))
         for batch in batcher.flush():
             self._push(batch.close, "dispatch", _Pending(batch))
         self._drain(until=None)
+        if on_progress is not None:
+            end = max((b.finish for b in self._batches
+                       if b.outcome == "served"),
+                      default=requests[-1].arrival if requests else 0.0)
+            on_progress(self.snapshot(end, total, total))
 
         records = [self._records[r.rid] for r in
                    sorted(requests, key=lambda r: r.rid)]

@@ -55,12 +55,30 @@ def _needs_degraded(config: ServeConfig) -> bool:
             and bool(config.failures.transient_chips))
 
 
+def checkpoint_meta(config: ServeConfig, mixes, quick: bool) -> dict:
+    """The identity stamped on a run's JSONL checkpoint journal.
+
+    The CLI and the control plane both stamp exactly this, so a journal
+    written by one is resumable by the other: resume compatibility is
+    decided by what the cost table depends on (batch range, kernel
+    geometry, degraded column, mixes), not by which front end ran it.
+    """
+    return {"tool": "repro.serve", "max_batch": config.max_batch,
+            "quick": quick, "degraded": _needs_degraded(config),
+            "mixes": sorted(mixes)}
+
+
 def run_serve(workload: WorkloadConfig, config: ServeConfig,
               quick: bool = True, max_workers: int | None = None,
               costs: ServiceCostTable | None = None,
               trace: TraceSink = NULL_TRACE,
-              checkpoint=None) -> ServeRun:
-    """Generate the arrival trace, serve it, and roll up the metrics."""
+              checkpoint=None, on_progress=None) -> ServeRun:
+    """Generate the arrival trace, serve it, and roll up the metrics.
+
+    ``on_progress`` (optional) receives live snapshot dicts from
+    :meth:`FleetSimulator.snapshot` as the simulation advances; the
+    callback observes but never influences the run.
+    """
     if costs is None:
         kinds = tuple(k for k in ("bp", "conv", "fc")
                       if k in MIXES[workload.mix])
@@ -69,7 +87,8 @@ def run_serve(workload: WorkloadConfig, config: ServeConfig,
                                  kinds=kinds, max_workers=max_workers,
                                  checkpoint=checkpoint)
     requests = generate_requests(workload)
-    fleet = FleetSimulator(config, costs, trace=trace).run(requests)
+    fleet = FleetSimulator(config, costs, trace=trace).run(
+        requests, on_progress=on_progress)
     metrics = compute_metrics(fleet.records, fleet.batches, fleet.makespan,
                               slo_cycles=config.slo_cycles,
                               clock_ghz=config.clock_ghz)
@@ -80,19 +99,28 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
                mixes=("bp", "bp+vgg"), quick: bool = True,
                max_workers: int | None = None,
                trace: TraceSink = NULL_TRACE,
-               checkpoint=None) -> tuple[dict, list[ServeRun]]:
-    """Serve every mix (shared cost table) and build the JSON payload."""
+               checkpoint=None,
+               on_progress=None) -> tuple[dict, list[ServeRun]]:
+    """Serve every mix (shared cost table) and build the JSON payload.
+
+    ``on_progress`` receives each mix's live snapshots with a ``"mix"``
+    key added, so a multi-mix report streams one interleaved sequence.
+    """
     kinds = tuple(k for k in ("bp", "conv", "fc")
                   if any(k in MIXES[m] for m in mixes))
     costs = build_cost_table(config.max_batch, quick=quick,
                              degraded=_needs_degraded(config),
                              kinds=kinds, max_workers=max_workers,
                              checkpoint=checkpoint)
-    runs = [
-        run_serve(replace(workload, mix=mix), config, quick=quick,
-                  costs=costs, trace=trace)
-        for mix in mixes
-    ]
+    runs = []
+    for mix in mixes:
+        mix_progress = None
+        if on_progress is not None:
+            def mix_progress(snap, _mix=mix):
+                on_progress({"mix": _mix, **snap})
+        runs.append(run_serve(replace(workload, mix=mix), config,
+                              quick=quick, costs=costs, trace=trace,
+                              on_progress=mix_progress))
     if config.failures_enabled:
         resilience = (config.resilience or DEFAULT_RESILIENCE).as_dict()
     else:
