@@ -15,6 +15,14 @@ hardware only ever sees integers.  This module provides:
 
 All integer math here is done in numpy ``int64`` so intermediate products of
 16-bit operands never overflow before saturation.
+
+Every helper is shape-agnostic: saturation and the fractional shift are
+elementwise, so an operand may be a scalar, a vector, a matrix, or a
+stacked ``(N, ...)`` block of independent operands.  The vectorized PE
+stepping path (:mod:`repro.pe.batch`) relies on this to push a whole
+queue of same-shape vector ops through one ufunc call — the per-element
+results are bit-identical to N separate calls by construction, because
+no helper's behavior depends on array rank.
 """
 
 from __future__ import annotations
@@ -115,6 +123,26 @@ def saturate(values, bits: int):
     if arr.ndim == 0:
         return np.clip(arr, lo, hi)
     return _clamp_inplace(arr, lo, hi)
+
+
+def saturate_inplace(arr: np.ndarray, bits: int) -> np.ndarray:
+    """Clamp an integer array the caller owns to the signed range of
+    ``bits``, in place — the no-copy building block behind
+    :func:`saturate` for hot paths that already hold a fresh int64
+    intermediate."""
+    lo, hi = _bounds_or_raise(bits)
+    return _clamp_inplace(arr, lo, hi)
+
+
+def sat_reduce_add(rows: np.ndarray, bits: int) -> np.ndarray:
+    """Row-wise 64-bit accumulate then saturate (the horizontal adder).
+
+    The sum is a freshly allocated array this function owns, so the clamp
+    runs in place — same results as ``saturate(rows.sum(...), bits)``
+    without its defensive copy.
+    """
+    lo, hi = _bounds_or_raise(bits)
+    return _clamp_inplace(rows.sum(axis=1, dtype=np.int64), lo, hi)
 
 
 def saturate_cast(values, bits: int):

@@ -111,6 +111,37 @@ class AddressMapper:
             cursor = min(boundary, end)
         return pieces
 
+    def run_of(self, addr: int, nbytes: int) -> tuple[int, int, int, int] | None:
+        """``(burst_count, vault, bank, row)`` when the whole byte range
+        maps into one (vault, bank, row); ``None`` otherwise.
+
+        The global column index determines (vault, bank, row) bijectively
+        and walks monotonically with the address, so the range is a single
+        run exactly when its first and last bursts share ``ci // cpr`` —
+        one compare instead of materializing the per-burst split.  Empty
+        and out-of-range requests return ``None`` so callers keep the
+        reference path (and its canonical errors).
+        """
+        if nbytes <= 0:
+            return None
+        end = addr + nbytes
+        if addr < 0 or end > self._total:
+            return None
+        cb = self._cb
+        first = addr // cb
+        last = (end - 1) // cb
+        cpr = self._cpr
+        q = first // cpr
+        if q != last // cpr:
+            return None
+        if self._vault_high:
+            q, bank = divmod(q, self._bpv)
+            vault, row = divmod(q, self._rpb)
+        else:
+            q, vault = divmod(q, self._vaults)
+            row, bank = divmod(q, self._bpv)
+        return last - first + 1, vault, bank, row
+
     def split_decoded(self, addr: int, nbytes: int) -> list[tuple[int, int, int, int, int]]:
         """Batched address generation: one ``(addr, len, vault, bank, row)``
         tuple per 32 B burst of the range.

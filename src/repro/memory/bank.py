@@ -118,54 +118,68 @@ class Bank:
         when the bank can take its next command.
         """
         traced = self.trace.enabled
-        t = max(time, self.t_next_cmd)
-        adjusted = self.refresh.adjust(t)
-        if traced and adjusted > t:
-            self.trace.dram(self.vault_id, self.bank_id, "dram.refresh",
-                            t, adjusted - t, row, is_write)
-        t = adjusted
+        timing = self.timing
+        t = self.t_next_cmd
+        if time > t:
+            t = time
+        # Inlined ``refresh.adjust`` + ``refresh.epoch``: this runs once
+        # per 32 B burst, and one division covers both (``int()`` is
+        # ``floor`` for the non-negative times used here).
+        tREFI = self.refresh.tREFI
+        epoch = 0
+        if tREFI > 0:
+            epoch = int(t / tREFI)
+            if epoch >= 1:
+                window_end = epoch * tREFI + self.refresh.tRFC
+                if t < window_end:
+                    if traced:
+                        self.trace.dram(self.vault_id, self.bank_id,
+                                        "dram.refresh", t, window_end - t,
+                                        row, is_write)
+                    t = window_end
+                    epoch = int(t / tREFI)
 
+        stats = self.stats
         if is_write and self.write_buffering:
             # Buffered write: acknowledged at CAS timing; the row impact is
             # absorbed by the controller's write queue.
-            self.stats.accesses += 1
-            self.stats.row_hits += 1
-            t_data = t + self.timing.tCL
-            self.t_next_cmd = t + self.timing.tCCD
+            stats.accesses += 1
+            stats.row_hits += 1
+            t_data = t + timing.tCL
+            self.t_next_cmd = next_cmd = t + timing.tCCD
             if traced:
                 self.trace.dram(self.vault_id, self.bank_id, "dram.hit",
                                 t, t_data - t, row, is_write)
-            return t_data, self.t_next_cmd
+            return t_data, next_cmd
 
         # Refresh closes any open row.
-        epoch = self.refresh.epoch(t)
         if epoch != self._last_epoch:
             self.open_row = None
             self._last_epoch = epoch
 
-        self.stats.accesses += 1
+        stats.accesses += 1
         hit = self.policy is RowPolicy.OPEN_PAGE and self.open_row == row
-        conflict = not hit and self.open_row is not None
         if hit:
-            self.stats.row_hits += 1
+            stats.row_hits += 1
             t_cas = t
         else:
             if self.open_row is not None:
                 # Row miss under open-page: precharge first (respect tRAS).
-                t_pre = max(t, self.t_last_act + self.timing.tRAS)
-                t_act = self.refresh.adjust(t_pre + self.timing.tRP)
+                t_pre = max(t, self.t_last_act + timing.tRAS)
+                t_act = self.refresh.adjust(t_pre + timing.tRP)
             else:
                 t_act = t
-            self.stats.activations += 1
+            stats.activations += 1
             self.t_last_act = t_act
-            t_cas = t_act + self.timing.tRCD
+            t_cas = t_act + timing.tRCD
 
-        t_data = t_cas + self.timing.tCL
+        t_data = t_cas + timing.tCL
         if traced:
+            conflict = not hit and self.open_row is not None
             kind = "dram.hit" if hit else ("dram.conflict" if conflict else "dram.act")
             self.trace.dram(self.vault_id, self.bank_id, kind, t, t_data - t,
                             row, is_write)
-        self.t_next_cmd = t_cas + self.timing.tCCD
+        self.t_next_cmd = t_cas + timing.tCCD
 
         if self.policy is RowPolicy.CLOSED_PAGE:
             # Auto-precharge after the access (plus write recovery).

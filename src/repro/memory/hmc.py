@@ -16,11 +16,43 @@ import numpy as np
 
 from repro.faults.config import NO_FAULTS
 from repro.memory.address import AddressMapper
-from repro.memory.bank import TimingCycles
+from repro.memory.bank import RefreshSchedule, TimingCycles
 from repro.memory.store import DramStore
 from repro.memory.timing import MemoryConfig
 from repro.memory.vault import VaultController
 from repro.trace.collector import NULL_TRACE, TraceSink
+
+
+class _LazyVaults:
+    """Vault controllers materialized on first touch.
+
+    Eagerly constructing 32 controllers (each with 16 banks) dominates
+    the cost of building an HMC, yet a single-PE measurement run touches
+    only the one or two vaults its addresses map to.  Indexing creates
+    the controller on demand; iteration and ``len`` still present all 32,
+    so statistics paths see the full (possibly untouched) vault set.
+    """
+
+    __slots__ = ("_make", "_items")
+
+    def __init__(self, make, count: int):
+        self._make = make
+        self._items: list = [None] * count
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int):
+        vault = self._items[index]
+        if vault is None:
+            if index < 0:
+                index += len(self._items)
+            vault = self._items[index] = self._make(index)
+        return vault
+
+    def __iter__(self):
+        for index in range(len(self._items)):
+            yield self[index]
 
 
 class HMC:
@@ -31,10 +63,15 @@ class HMC:
         self.config = config or MemoryConfig()
         self.store = store or DramStore(self.config.total_bytes)
         self.mapper = AddressMapper(self.config)
-        self.vaults = [
-            VaultController(self.config, vault_id=v, trace=trace)
-            for v in range(self.config.vaults)
-        ]
+        # One timing table and (stateless) refresh schedule shared by all
+        # vaults; the controllers themselves materialize lazily.
+        timing = TimingCycles.from_config(self.config)
+        refresh = RefreshSchedule(timing)
+        self.vaults = _LazyVaults(
+            lambda v: VaultController(self.config, vault_id=v, trace=trace,
+                                      timing=timing, refresh=refresh),
+            self.config.vaults,
+        )
         self.faults = faults
         if faults.enabled:
             # The retention model decays bits per refresh interval; hand

@@ -38,6 +38,11 @@ class DramStore:
     def read(self, addr: int, nbytes: int) -> np.ndarray:
         """Read ``nbytes`` starting at ``addr`` as a uint8 array."""
         self._check(addr, nbytes)
+        page_index, offset = divmod(addr, PAGE_BYTES)
+        if offset + nbytes <= PAGE_BYTES:
+            # Single-page read (every aligned burst-sized request): slice
+            # and copy without the spill loop's cursor bookkeeping.
+            return self._page(page_index)[offset : offset + nbytes].copy()
         out = np.empty(nbytes, dtype=np.uint8)
         done = 0
         while done < nbytes:

@@ -125,6 +125,9 @@ class LocalVaultMemory:
                  faults=NO_FAULTS):
         self.hmc = hmc if hmc is not None else HMC(trace=trace, faults=faults)
         self.vault = vault
+        # Bind the home controller once: every legal access lands on it,
+        # so the per-burst loop never pays a vault lookup.
+        self._home_ctl = self.hmc.vaults[vault]
         self.star_cycles = star_cycles
         self.allow_remote = allow_remote
         self.fe = FullEmptyState()
@@ -144,18 +147,42 @@ class LocalVaultMemory:
         done = time
         star = self.star_cycles
         vaults = self.hmc.vaults
+        home = self.vault
+        home_ctl = self._home_ctl
         request_time = time + star  # 1 request/cycle pacing
+        run = self.hmc.mapper.run_of(addr, nbytes)
+        if run is not None and run[1] == home:
+            # The whole range lives in one (bank, row) of the home vault
+            # — the common case for streamed rows, whose bursts walk the
+            # columns of one open row — so the controller services the
+            # run in one call with the same one-request-per-cycle pacing.
+            count, _, bank, row = run
+            if count > 1:
+                served = home_ctl.access_run(request_time, bank, row,
+                                             count, nbytes, is_write)
+            else:
+                served = home_ctl.access(request_time, bank, row,
+                                         nbytes, is_write)
+            return self._finish(pe_id, time, addr, nbytes, is_write,
+                                served + star)
         for _, piece_len, vault_id, bank, row in self.hmc.mapper.split_decoded(addr, nbytes):
-            if vault_id != self.vault and not self.allow_remote:
-                raise SimulationError(
-                    f"PE {pe_id} accessed vault {vault_id} but is wired "
-                    f"to vault {self.vault} only"
-                )
-            served = vaults[vault_id].access(request_time, bank, row, piece_len, is_write)
+            if vault_id != home:
+                if not self.allow_remote:
+                    raise SimulationError(
+                        f"PE {pe_id} accessed vault {vault_id} but is wired "
+                        f"to vault {self.vault} only"
+                    )
+                ctl = vaults[vault_id]
+            else:
+                ctl = home_ctl
+            served = ctl.access(request_time, bank, row, piece_len, is_write)
             served += star
             if served > done:
                 done = served
             request_time += 1
+        return self._finish(pe_id, time, addr, nbytes, is_write, done)
+
+    def _finish(self, pe_id, time, addr, nbytes, is_write, done):
         out = None
         if not is_write:
             out = self.hmc.store.read(addr, nbytes)

@@ -33,6 +33,7 @@ from repro.errors import SimulationError, TimingHazardError
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
 from repro.pe.arc import ArrayRangeCheck
+from repro.pe.batch import VectorOpQueue
 from repro.pe.config import HazardMode, PEConfig
 from repro.pe.decode import (
     SHAPE_LDST_SRAM,
@@ -175,6 +176,15 @@ class PE:
         if self._fl is not None:
             self._fl.sp_power_on(self)
         self._hazard_on = cfg.hazard_mode is not HazardMode.IGNORE
+        self._dpb = cfg.datapath_bytes
+        # Vector-op batch queue for the "vector" fast path: defers only the
+        # functional scratchpad effect of vector instructions.  Traced or
+        # fault-injected runs keep eager execution so per-instruction event
+        # attribution and fault hooks are unchanged.
+        self._vq = (VectorOpQueue()
+                    if (cfg.fast_path == "vector" and self._tr is None
+                        and self._fl is None)
+                    else None)
         self.arc = ArrayRangeCheck(cfg.arc_entries, pe_id=self.pe_id,
                                    trace=cfg.trace)
         self.counters = PECounters()
@@ -193,6 +203,8 @@ class PE:
                 f"program of {len(program)} instructions exceeds the "
                 f"{self.config.instruction_buffer_entries}-entry buffer"
             )
+        if self._vq is not None and self._vq.ops:
+            self._vq.flush(self)
         self.program = program
         self.pc = 0
         self.status = PEStatus.RUNNING
@@ -556,8 +568,19 @@ class PE:
         if done > self._vec_last_done:
             self._vec_last_done = done
 
-        # Functional execution.
-        if instr.opcode is Opcode.MV:
+        # Functional execution.  The "vector" fast path defers the
+        # scratchpad effect into the batch queue (flushed before anything
+        # can observe the bytes — see repro.pe.batch); timing, stalls and
+        # counters above are always computed eagerly, per instruction.
+        vq = self._vq
+        if vq is not None:
+            vq.push(self, instr.opcode, vop, instr.hop, instr.width,
+                    rows, cols, src1, src2, dst, reads, writes)
+            if instr.opcode is Opcode.MV:
+                self.counters.vector_alu_ops += rows * cols * (1 if vop == "nop" else 2)
+            else:
+                self.counters.vector_alu_ops += cols
+        elif instr.opcode is Opcode.MV:
             matrix = self.sp.read_vector(src1, rows * cols, instr.width).reshape(rows, cols)
             vector = self.sp.read_vector(src2, cols, instr.width)
             vert = apply_vertical(vop, matrix, vector[None, :], instr.width, self.fx)
@@ -670,6 +693,8 @@ class PE:
     # -- load-store instructions -----------------------------------------
 
     def _exec_ld_sram(self, instr: Instruction) -> None:
+        if self._vq is not None and self._vq.ops:
+            self._vq.flush(self)
         esz = instr.width // 8
         t = self._reg_ready(self.clock, instr.rd, instr.rs1, instr.rs2)
         sp_dst = self._read_reg(instr.rd)
@@ -691,8 +716,9 @@ class PE:
             t = free_at
 
         done, data = self.memory.access(self.pe_id, t, dram_src, nbytes, False, None)
+        dpb = self._dpb
         port_start = max(done, self._lsu_port_free)
-        done = port_start + math.ceil(nbytes / self.config.datapath_bytes)
+        done = port_start + (nbytes + dpb - 1) // dpb
         self._lsu_port_free = done
 
         if nbytes:
@@ -702,15 +728,18 @@ class PE:
             self._sp_wtime.record(sp_dst, sp_dst + nbytes, done, t)
             self.arc.insert(sp_dst, nbytes, done, t)
         heapq.heappush(self._outstanding, done)
-        self.counters.loadstore_instructions += 1
-        self.counters.dram_bytes_read += nbytes
-        self.counters.dram_requests += max(1, math.ceil(nbytes / 32))
+        counters = self.counters
+        counters.loadstore_instructions += 1
+        counters.dram_bytes_read += nbytes
+        counters.dram_requests += (nbytes + 31) // 32 or 1
         if self._tr is not None:
             self._tr.lsu(self.pe_id, "ld.sram", t, done - t, dram_src, nbytes, False)
         self._track_end(done)
         self._retire(t)
 
     def _exec_st_sram(self, instr: Instruction) -> None:
+        if self._vq is not None and self._vq.ops:
+            self._vq.flush(self)
         esz = instr.width // 8
         t = self._reg_ready(self.clock, instr.rd, instr.rs1, instr.rs2)
         sp_src = self._read_reg(instr.rd)
@@ -725,17 +754,19 @@ class PE:
         t = self._hazard_stall(t, [(sp_src, nbytes)], war=False)
         t = self._lsu_slot(t)
 
+        dpb = self._dpb
         port_start = max(t, self._lsu_port_free)
-        drained = port_start + math.ceil(nbytes / self.config.datapath_bytes)
+        drained = port_start + (nbytes + dpb - 1) // dpb
         self._lsu_port_free = drained
         if nbytes:
             self._sp_rtime.record(sp_src, sp_src + nbytes, drained, t)
         data = self.scratchpad[sp_src : sp_src + nbytes].copy()
         done, _ = self.memory.access(self.pe_id, drained, dram_dst, nbytes, True, data)
         heapq.heappush(self._outstanding, done)
-        self.counters.loadstore_instructions += 1
-        self.counters.dram_bytes_written += nbytes
-        self.counters.dram_requests += max(1, math.ceil(nbytes / 32))
+        counters = self.counters
+        counters.loadstore_instructions += 1
+        counters.dram_bytes_written += nbytes
+        counters.dram_requests += (nbytes + 31) // 32 or 1
         if self._tr is not None:
             self._tr.lsu(self.pe_id, "st.sram", t, done - t, dram_dst, nbytes, True)
         self._track_end(done)
@@ -936,6 +967,8 @@ class PE:
         self._retire(t)
 
     def _exec_halt(self, instr: Instruction) -> None:
+        if self._vq is not None and self._vq.ops:
+            self._vq.flush(self)
         t = max(self.clock, self._vec_last_done, self._lsu_port_free)
         if self._outstanding:
             t = max(t, max(self._outstanding))

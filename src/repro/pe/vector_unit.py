@@ -32,8 +32,8 @@ from repro.fixedpoint import (
     DTYPES,
     sat_add,
     sat_mul,
+    sat_reduce_add,
     sat_sub,
-    saturate,
     saturate_cast,
 )
 from repro.pe.config import PEConfig
@@ -59,7 +59,7 @@ def apply_vertical(op: str, a: np.ndarray, b: np.ndarray, bits: int, fx: int) ->
 def apply_horizontal(op: str, rows: np.ndarray, bits: int) -> np.ndarray:
     """Reduce each row of ``rows`` (2-D int64) to a scalar."""
     if op == "add":
-        return saturate(rows.sum(axis=1, dtype=np.int64), bits)
+        return sat_reduce_add(rows, bits)
     if op == "min":
         return rows.min(axis=1)
     if op == "max":

@@ -63,6 +63,29 @@ class RooflinePoint:
         return "memory" if self.arithmetic_intensity < roofline.knee else "compute"
 
 
+def validate_point(point: RooflinePoint, roofline: Roofline,
+                   slack: float = 1.01) -> dict:
+    """Check a measured point against the physical roof.
+
+    A *simulated* kernel's sustained throughput can never legitimately
+    exceed what the modeled hardware attains at its arithmetic
+    intensity — a point above the roof means the timing model dropped
+    cycles (or the counters double-counted ops), not that the kernel is
+    fast.  Returns a JSON-able verdict; ``within_roof`` is the gate
+    (``slack`` absorbs counter rounding at the boundary).
+    """
+    roof = roofline.attainable_gops(point.arithmetic_intensity)
+    return {
+        "name": point.name,
+        "arithmetic_intensity": point.arithmetic_intensity,
+        "gops": point.gops,
+        "attainable_gops": roof,
+        "efficiency": point.efficiency(roofline),
+        "bound": point.bound(roofline),
+        "within_roof": point.gops <= roof * slack,
+    }
+
+
 def point_from_counters(
     name: str,
     counters: PECounters,

@@ -33,11 +33,13 @@ from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
 from repro.serve.queueing import SHED_POLICIES
 from repro.serve.report import (
+    COST_MODELS,
     checkpoint_meta,
     run_report,
     write_csv,
     write_json,
 )
+from repro.serve.surrogate import DEFAULT_TOLERANCE
 from repro.serve.resilience import DEFAULT_RESILIENCE, ResilienceConfig
 from repro.serve.scenario import CLOCK_GHZ, list_scenarios, load_scenario
 from repro.serve.workload import ARRIVALS, MIXES, WorkloadConfig
@@ -164,6 +166,16 @@ def build_parser() -> argparse.ArgumentParser:
     run = parser.add_argument_group("run")
     run.add_argument("--slo-ms", type=_positive_float, default=0.25,
                      help="latency SLO in simulated milliseconds")
+    run.add_argument("--cost-model", choices=COST_MODELS, default="measured",
+                     help="how the service-time table is built: 'measured' "
+                          "simulates every launch shape; 'surrogate' "
+                          "simulates anchors and cross-validates a "
+                          "piecewise-linear fit (repro.serve.surrogate)")
+    run.add_argument("--surrogate-tolerance", type=_positive_float,
+                     default=DEFAULT_TOLERANCE,
+                     help="relative cycle tolerance of the surrogate's "
+                          "held-out validation (fallback to exact "
+                          "measurement beyond it)")
     run.add_argument("--full", action="store_true",
                      help="paper-scale kernel geometry (default: quick)")
     run.add_argument("--workers", type=_positive_int, default=None,
@@ -227,9 +239,13 @@ def _run(args) -> int:
         scenario = load_scenario(args.scenario)
         mixes, quick = scenario.mixes, scenario.quick
         config, workload = scenario.serve, scenario.workload
+        cost_model = scenario.cost_model
+        surrogate_tolerance = scenario.surrogate_tolerance
         print(f"scenario {scenario.name}: "
               f"{scenario.description or '(no description)'}")
     else:
+        cost_model = args.cost_model
+        surrogate_tolerance = args.surrogate_tolerance
         mixes = tuple(args.mix) if args.mix else ("bp", "bp+vgg")
         quick = not args.full
         failures = _failure_config(args)
@@ -259,13 +275,16 @@ def _run(args) -> int:
     checkpoint = None
     if args.checkpoint:
         checkpoint = TaskCheckpoint(
-            args.checkpoint, meta=checkpoint_meta(config, mixes, quick),
+            args.checkpoint,
+            meta=checkpoint_meta(config, mixes, quick, cost_model),
             resume=args.resume)
     try:
         payload, runs = run_report(workload, config, mixes=mixes,
                                    quick=quick,
                                    max_workers=args.workers,
-                                   checkpoint=checkpoint)
+                                   checkpoint=checkpoint,
+                                   cost_model=cost_model,
+                                   surrogate_tolerance=surrogate_tolerance)
     finally:
         if checkpoint is not None:
             checkpoint.close()

@@ -300,7 +300,7 @@ class JobManager:
 
     def _execute(self, job: Job, scenario: Scenario) -> dict:
         meta = checkpoint_meta(scenario.serve, scenario.mixes,
-                               scenario.quick)
+                               scenario.quick, scenario.cost_model)
         journal = os.path.join(job.directory, "checkpoint.jsonl")
         checkpoint = TaskCheckpoint(journal, meta=meta, resume=True)
 
@@ -315,7 +315,9 @@ class JobManager:
                 scenario.workload, scenario.serve, mixes=scenario.mixes,
                 quick=scenario.quick, max_workers=self.max_workers,
                 checkpoint=_ObservedCheckpoint(checkpoint, job),
-                on_progress=on_progress)
+                on_progress=on_progress,
+                cost_model=scenario.cost_model,
+                surrogate_tolerance=scenario.surrogate_tolerance)
         finally:
             checkpoint.close()
         return payload

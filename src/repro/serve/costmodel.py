@@ -170,6 +170,30 @@ def _measure_conv(g: dict, faults) -> tuple[float, int, int]:
     return result.cycles, layout.weights_bytes + layout.bias_bytes, 0
 
 
+#: Deterministic FC test tensors by shape.  ``(W, X)`` is a pure function
+#: of ``(rows, chunk, batch)`` (fixed seed, fixed draw order) and is only
+#: ever read by ``FCTileLayout.stage``, so repeated measurements of the
+#: same shape — table rebuilds, interleaved benchmarks, surrogate
+#: cross-validation — share one generation instead of re-rolling the rng.
+_FC_DATA: dict = {}
+
+#: Assembled FC programs by shape, for the same reason: the program (and
+#: the predecoded dispatch table cached on it) is a pure function of the
+#: tile layout and fx, and programs are immutable after assembly.
+_FC_PROGRAMS: dict = {}
+
+
+def _fc_test_data(rows: int, chunk: int, batch: int):
+    key = (rows, chunk, batch)
+    data = _FC_DATA.get(key)
+    if data is None:
+        rng = np.random.default_rng(7)
+        W = rng.integers(-40, 40, (rows, chunk)).astype(np.int16)
+        X = rng.integers(-40, 40, (batch, chunk)).astype(np.int16)
+        data = _FC_DATA[key] = (W, X)
+    return data
+
+
 def _measure_fc(g: dict, batch: int, faults) -> tuple[float, int, int]:
     from repro.faults.config import NO_FAULTS
     from repro.kernels.fc_kernel import FCTileLayout, build_fc_partial_program
@@ -179,15 +203,17 @@ def _measure_fc(g: dict, batch: int, faults) -> tuple[float, int, int]:
     from repro.pe.pe import PE
 
     rows, chunk = g["rows"], g["chunk"]
-    rng = np.random.default_rng(7)
-    W = rng.integers(-40, 40, (rows, chunk)).astype(np.int16)
-    X = rng.integers(-40, 40, (batch, chunk)).astype(np.int16)
+    W, X = _fc_test_data(rows, chunk, batch)
     layout = FCTileLayout(base=8192, rows=rows, chunk=chunk, batch=batch)
     hmc = HMC(faults=faults if faults is not None else NO_FAULTS)
     layout.stage(hmc.store, W, X)
     pe = PE(PEConfig(faults=faults if faults is not None else NO_FAULTS),
             memory=LocalVaultMemory(hmc, vault=0))
-    result = pe.run(build_fc_partial_program(layout, fx=6))
+    key = (rows, chunk, batch)
+    program = _FC_PROGRAMS.get(key)
+    if program is None:
+        program = _FC_PROGRAMS[key] = build_fc_partial_program(layout, fx=6)
+    result = pe.run(program)
     return result.cycles, layout.weights_bytes, 0
 
 
@@ -207,27 +233,57 @@ class ServiceCostTable:
     tile_bytes: dict
     quick: bool
     max_batch: int
+    #: Largest FC batch held resident in the table (0 when the table has
+    #: no FC column).  FC launches above it stream through the scratchpad
+    #: in ``fc_cap``-sized waves, so their cost derives from capped shapes.
+    fc_cap: int = 0
 
-    def launch_cycles(self, kind: str, batch: int, degraded: bool) -> float:
-        """Service cycles of one launch of ``batch`` ``kind`` requests."""
-        if kind == "fc":
-            return self.cycles[(kind, batch, degraded)]
-        return batch * self.cycles[(kind, 1, degraded)]
+    def launch_cycles(self, kind: str, batch: int,
+                      degraded: bool = False) -> float:
+        """Service cycles of one launch of ``batch`` ``kind`` requests.
+
+        FC batches above :attr:`fc_cap` cost ``floor(batch / fc_cap)``
+        full waves plus one remainder wave — the kernel re-runs with a
+        fresh resident input set per wave.  Unknown kinds, batches outside
+        the table, and a missing degraded column raise :class:`ConfigError`
+        naming the offending shape.
+        """
+        if batch < 1:
+            raise ConfigError(f"launch batch must be >= 1, got {batch}")
+        try:
+            if kind == "fc":
+                cap = self.fc_cap
+                if cap and batch > cap:
+                    waves, rem = divmod(batch, cap)
+                    total = waves * self.cycles[("fc", cap, degraded)]
+                    if rem:
+                        total += self.cycles[("fc", rem, degraded)]
+                    return total
+                return self.cycles[(kind, batch, degraded)]
+            return batch * self.cycles[(kind, 1, degraded)]
+        except KeyError:
+            column = "degraded" if degraded else "healthy"
+            kinds = sorted({k for k, _, _ in self.cycles})
+            raise ConfigError(
+                f"cost table has no {column} entry for kind={kind!r} "
+                f"batch={batch} (kinds={kinds}, max_batch={self.max_batch})"
+            ) from None
 
 
 def required_shapes(max_batch: int, quick: bool,
                     kinds=KINDS) -> list[tuple[str, int]]:
     """Every (kind, batch) the table must hold for batches up to
-    ``max_batch``: per-pass shapes for conv/bp, every B for fc."""
+    ``max_batch``: per-pass shapes for conv/bp, every B for fc up to the
+    scratchpad-resident cap (larger serving batches stream through in
+    cap-sized waves, so their cost derives from the capped shapes — see
+    :meth:`ServiceCostTable.launch_cycles`)."""
+    if max_batch < 1:
+        raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
     cap = fc_max_batch(quick)
-    if max_batch > cap and "fc" in kinds:
-        raise ConfigError(
-            f"max_batch {max_batch} exceeds the FC scratchpad-resident "
-            f"limit {cap} for this geometry; lower --max-batch")
     shapes: list[tuple[str, int]] = []
     for kind in kinds:
         if kind == "fc":
-            shapes.extend(("fc", b) for b in range(1, max_batch + 1))
+            shapes.extend(("fc", b) for b in range(1, min(max_batch, cap) + 1))
         else:
             shapes.append((kind, 1))
     return shapes
@@ -261,6 +317,7 @@ def build_cost_table(max_batch: int, quick: bool = True,
               for r in rows}
     model = {r["kind"]: r["model_bytes"] for r in rows}
     tile = {r["kind"]: r["tile_bytes"] for r in rows}
+    fc_cap = min(max_batch, fc_max_batch(quick)) if "fc" in kinds else 0
     return ServiceCostTable(cycles=cycles, model_bytes=model,
                             tile_bytes=tile, quick=quick,
-                            max_batch=max_batch)
+                            max_batch=max_batch, fc_cap=fc_cap)

@@ -252,6 +252,13 @@ class FleetSimulator:
 
     ``timeline`` injects an explicit (e.g. scripted) failure timeline;
     by default one is drawn from ``config.failures`` when enabled.
+
+    Every service time comes from ``costs.launch_cycles``, so the table
+    covers batches up to ``config.max_batch`` by construction: FC
+    batches above the table's resident cap (``costs.fc_cap``) price as
+    back-to-back waves, and the table may itself be surrogate-built
+    (anchors + cross-validated interpolation) — the simulator is
+    agnostic to how a cycle count was obtained.
     """
 
     def __init__(self, config: ServeConfig, costs: ServiceCostTable,

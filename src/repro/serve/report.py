@@ -15,6 +15,9 @@ resilience metrics (availability, goodput, expired, retry/hedge waste,
 p999) and the ``failures``/``resilience`` config sections.  With
 failures disabled the *simulation outcomes* — every record, batch, and
 cycle count — are identical to v1; only the new metric keys differ.
+``repro.serve/v3`` adds the ``cost_model`` section (the selected mode
+plus the surrogate's cross-validation report).  With ``--cost-model
+measured`` every simulation outcome and metric is byte-identical to v2.
 """
 
 from __future__ import annotations
@@ -22,14 +25,18 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, replace
 
+from repro.errors import ConfigError
 from repro.serve.costmodel import ServiceCostTable, build_cost_table
+from repro.serve.surrogate import DEFAULT_TOLERANCE, build_surrogate_cost_table
 from repro.serve.fleet import FleetResult, FleetSimulator, ServeConfig
 from repro.serve.metrics import ServeMetrics, chip_utilization, compute_metrics
 from repro.serve.resilience import DEFAULT_RESILIENCE
 from repro.serve.workload import MIXES, WorkloadConfig, generate_requests
 from repro.trace.collector import NULL_TRACE, TraceSink
 
-SCHEMA = "repro.serve/v2"
+SCHEMA = "repro.serve/v3"
+
+COST_MODELS = ("measured", "surrogate")
 
 CSV_COLUMNS = (
     "mix", "rid", "kind", "tile", "arrival", "shed", "outcome", "retries",
@@ -55,17 +62,19 @@ def _needs_degraded(config: ServeConfig) -> bool:
             and bool(config.failures.transient_chips))
 
 
-def checkpoint_meta(config: ServeConfig, mixes, quick: bool) -> dict:
+def checkpoint_meta(config: ServeConfig, mixes, quick: bool,
+                    cost_model: str = "measured") -> dict:
     """The identity stamped on a run's JSONL checkpoint journal.
 
     The CLI and the control plane both stamp exactly this, so a journal
     written by one is resumable by the other: resume compatibility is
     decided by what the cost table depends on (batch range, kernel
-    geometry, degraded column, mixes), not by which front end ran it.
+    geometry, degraded column, mixes, cost model), not by which front
+    end ran it.
     """
     return {"tool": "repro.serve", "max_batch": config.max_batch,
             "quick": quick, "degraded": _needs_degraded(config),
-            "mixes": sorted(mixes)}
+            "mixes": sorted(mixes), "cost_model": cost_model}
 
 
 def run_serve(workload: WorkloadConfig, config: ServeConfig,
@@ -100,18 +109,36 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
                max_workers: int | None = None,
                trace: TraceSink = NULL_TRACE,
                checkpoint=None,
-               on_progress=None) -> tuple[dict, list[ServeRun]]:
+               on_progress=None,
+               cost_model: str = "measured",
+               surrogate_tolerance: float = DEFAULT_TOLERANCE,
+               ) -> tuple[dict, list[ServeRun]]:
     """Serve every mix (shared cost table) and build the JSON payload.
 
     ``on_progress`` receives each mix's live snapshots with a ``"mix"``
     key added, so a multi-mix report streams one interleaved sequence.
+    ``cost_model`` selects how the cost table is built: ``"measured"``
+    simulates every shape; ``"surrogate"`` simulates anchors and
+    cross-validates interpolation (``repro.serve.surrogate``), recording
+    its validation report under the payload's ``cost_model`` section.
     """
+    if cost_model not in COST_MODELS:
+        raise ConfigError(
+            f"cost_model must be one of {COST_MODELS}, not {cost_model!r}")
     kinds = tuple(k for k in ("bp", "conv", "fc")
                   if any(k in MIXES[m] for m in mixes))
-    costs = build_cost_table(config.max_batch, quick=quick,
-                             degraded=_needs_degraded(config),
-                             kinds=kinds, max_workers=max_workers,
-                             checkpoint=checkpoint)
+    if cost_model == "surrogate":
+        costs, validation = build_surrogate_cost_table(
+            config.max_batch, quick=quick,
+            degraded=_needs_degraded(config), kinds=kinds,
+            max_workers=max_workers, checkpoint=checkpoint,
+            tolerance=surrogate_tolerance)
+    else:
+        costs = build_cost_table(config.max_batch, quick=quick,
+                                 degraded=_needs_degraded(config),
+                                 kinds=kinds, max_workers=max_workers,
+                                 checkpoint=checkpoint)
+        validation = None
     runs = []
     for mix in mixes:
         mix_progress = None
@@ -128,6 +155,10 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
     payload = {
         "schema": SCHEMA,
         "quick": quick,
+        "cost_model": {
+            "mode": cost_model,
+            "validation": validation,
+        },
         "config": {
             "chips": config.chips,
             "policy": config.policy,

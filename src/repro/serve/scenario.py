@@ -257,6 +257,10 @@ SCENARIO_SCHEMA = {
     "run": {
         "slo_ms": _Field("float", default=0.25, min=0, min_exclusive=True),
         "quick": _Field("bool", default=True),
+        "cost_model": _Field("str", default="measured",
+                             choices=("measured", "surrogate")),
+        "surrogate_tolerance": _Field("float", default=0.01, min=0,
+                                      min_exclusive=True),
     },
 }
 
@@ -410,6 +414,11 @@ class Scenario:
     serve: ServeConfig
     mixes: tuple
     quick: bool
+    #: How the service-time table is built (``run.cost_model``):
+    #: ``"measured"`` simulates every shape, ``"surrogate"`` simulates
+    #: anchors and cross-validates interpolation (repro.serve.surrogate).
+    cost_model: str = "measured"
+    surrogate_tolerance: float = 0.01
     #: The validated document this scenario compiled from (used to
     #: persist and re-compile jobs across control-plane restarts).
     document: dict = field(default_factory=dict, compare=False)
@@ -503,6 +512,8 @@ def scenario_from_document(doc: dict, name: str | None = None,
         serve=serve,
         mixes=mixes,
         quick=run["quick"],
+        cost_model=run["cost_model"],
+        surrogate_tolerance=run["surrogate_tolerance"],
         document=doc,
         source=source,
     )

@@ -1,0 +1,230 @@
+"""Calibrated cost surface over the measured cycle table.
+
+:func:`repro.serve.costmodel.build_cost_table` simulates **every**
+reachable ``(kind, batch)`` launch shape, which dominates serving
+cold-start time at large ``max_batch`` — FC alone needs one full kernel
+simulation per batch size.  But the FC cycle curve is smooth in ``B``
+(AIDA's batching analysis: a convex knee while the weight-row stream
+amortizes, then a linear tail), so most shapes are *predictable* from a
+few measured anchors.
+
+This module builds the same :class:`~repro.serve.costmodel.ServiceCostTable`
+from anchors plus a monotone piecewise-linear fit, **cross-validated
+against full simulation** before the surrogate is allowed to answer:
+
+1. Measure seed anchors per FC column — the convex knee (``B <= 5``)
+   plus the endpoint; ``conv``/``bp`` have one shape each and are always
+   measured exactly.
+2. Pick one *held-out* batch — the midpoint of the widest refinable gap
+   adjacent to the highest-curvature anchor — and measure it by full
+   simulation.
+3. Compare the fit's prediction with the measurement.  Within tolerance:
+   the fit is validated and interpolation fills the remaining shapes.
+   Out of tolerance: the held-out shape **falls back to exact
+   measurement** (it becomes an anchor) and validation repeats with the
+   refined fit.
+
+Every simulated cycle count — anchors and holdouts, passing or failing —
+enters the table exactly; only never-simulated shapes are interpolated.
+The returned validation report records each holdout comparison so
+callers (the serve report JSON, CI smoke) can assert the gate held.
+
+Measurements run through the same :func:`repro.perf.run_tasks` pool with
+the same task keys as the measured builder, so checkpoint journals are
+shared and the table stays a pure function of
+``(max_batch, quick, degraded, kinds, seed, tolerance)`` — worker count
+never changes a byte.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import ConfigError
+from repro.perf.runner import Task, run_tasks
+from repro.serve.costmodel import (
+    ServiceCostTable,
+    fc_max_batch,
+    measure_shape,
+)
+from repro.serve.workload import KINDS
+
+#: Default holdout gate: a held-out shape's predicted cycles must be
+#: within 1% of its fully-simulated cycles.
+DEFAULT_TOLERANCE = 0.01
+
+#: Seed anchors covering the convex knee of the FC batching curve.
+KNEE_ANCHORS = (1, 2, 3, 5)
+
+
+def anchor_batches(max_batch: int) -> list[int]:
+    """Seed anchor batches: the knee plus the endpoint."""
+    if max_batch < 1:
+        raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+    return sorted({b for b in KNEE_ANCHORS if b < max_batch} | {max_batch})
+
+
+def interpolate(measured: dict[int, float], batch: int) -> float:
+    """Piecewise-linear prediction from measured batches (exact at them).
+
+    Monotone by construction when the measurements are: each prediction
+    is a convex combination of its two bracketing measurements.
+    """
+    value = measured.get(batch)
+    if value is not None:
+        return value
+    xs = sorted(measured)
+    if not xs or batch < xs[0] or batch > xs[-1]:
+        raise ConfigError(
+            f"batch {batch} outside the measured range "
+            f"[{xs[0] if xs else '-'}, {xs[-1] if xs else '-'}]")
+    i = bisect.bisect_left(xs, batch)
+    lo, hi = xs[i - 1], xs[i]
+    frac = (batch - lo) / (hi - lo)
+    return measured[lo] + frac * (measured[hi] - measured[lo])
+
+
+def select_holdout(measured: dict[int, float]) -> int | None:
+    """The next batch to validate: the midpoint of the refinable gap
+    adjacent to the highest-curvature measured point.
+
+    Curvature at an interior point is the absolute slope change across
+    it — where the piecewise-linear fit is most likely to be wrong.
+    Ties prefer the wider gap, then the lower batch (determinism).
+    Returns ``None`` when no gap can hold an unmeasured batch.
+    """
+    xs = sorted(measured)
+    gaps = [(xs[i], xs[i + 1]) for i in range(len(xs) - 1)
+            if xs[i + 1] - xs[i] >= 2]
+    if not gaps:
+        return None
+
+    def slope(a: int, b: int) -> float:
+        return (measured[b] - measured[a]) / (b - a)
+
+    def curvature(j: int) -> float:
+        if j <= 0 or j >= len(xs) - 1:
+            return 0.0
+        return abs(slope(xs[j], xs[j + 1]) - slope(xs[j - 1], xs[j]))
+
+    best = None
+    for lo, hi in gaps:
+        i = xs.index(lo)
+        score = (-max(curvature(i), curvature(i + 1)), -(hi - lo), lo)
+        if best is None or score < best[0]:
+            best = (score, lo, hi)
+    _, lo, hi = best
+    return (lo + hi) // 2
+
+
+def build_surrogate_cost_table(
+    max_batch: int,
+    quick: bool = True,
+    degraded: bool = False,
+    kinds=KINDS,
+    max_workers: int | None = None,
+    seed: int = 0,
+    checkpoint=None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[ServiceCostTable, dict]:
+    """Build a cost table from anchors + validated interpolation.
+
+    Returns ``(table, report)``: a table interchangeable with
+    :func:`~repro.serve.costmodel.build_cost_table`'s (same shape
+    coverage via ``fc_cap`` wave semantics) and a JSON-ready validation
+    report describing every holdout comparison and which batches were
+    interpolated versus simulated.
+    """
+    if tolerance <= 0:
+        raise ConfigError(f"surrogate tolerance must be positive, got {tolerance}")
+    health = [False, True] if degraded else [False]
+    fc_cap = min(max_batch, fc_max_batch(quick)) if "fc" in kinds else 0
+
+    def _task(kind: str, batch: int, deg: bool) -> Task:
+        # Identical key format to build_cost_table, so checkpoint journals
+        # are shared between cost models.
+        return Task(key=f"measure:{kind}:{batch}:{'deg' if deg else 'ok'}",
+                    fn=measure_shape,
+                    kwargs=dict(kind=kind, batch=batch, quick=quick,
+                                degraded=deg, seed=seed))
+
+    cycles: dict = {}
+    model: dict = {}
+    tile: dict = {}
+
+    def _absorb(row: dict) -> None:
+        cycles[(row["kind"], row["batch"], row["degraded"])] = row["cycles"]
+        model[row["kind"]] = row["model_bytes"]
+        tile[row["kind"]] = row["tile_bytes"]
+
+    initial: list[tuple[str, int, bool]] = []
+    for deg in health:
+        for kind in kinds:
+            if kind == "fc":
+                initial.extend(("fc", b, deg) for b in anchor_batches(fc_cap))
+            else:
+                initial.append((kind, 1, deg))
+    for row in run_tasks([_task(*shape) for shape in initial],
+                         max_workers=max_workers, reseed_kwarg=None,
+                         checkpoint=checkpoint):
+        _absorb(row)
+    measured_shapes = len(cycles)
+
+    columns: list[dict] = []
+    if "fc" in kinds:
+        for deg in health:
+            col = {b: cycles[("fc", b, deg)] for b in anchor_batches(fc_cap)}
+            seed_anchors = sorted(col)
+            holdouts: list[dict] = []
+            fallbacks: list[int] = []
+            while True:
+                held = select_holdout(col)
+                if held is None:
+                    break
+                predicted = interpolate(col, held)
+                row = run_tasks([_task("fc", held, deg)],
+                                max_workers=max_workers, reseed_kwarg=None,
+                                checkpoint=checkpoint)[0]
+                _absorb(row)
+                measured_shapes += 1
+                actual = row["cycles"]
+                rel_error = abs(predicted - actual) / actual
+                within = rel_error <= tolerance
+                holdouts.append({
+                    "batch": held, "predicted": predicted, "measured": actual,
+                    "rel_error": rel_error, "within_tolerance": within,
+                })
+                # The holdout was simulated either way; exact data is free.
+                col[held] = actual
+                if within:
+                    break
+                fallbacks.append(held)
+            interpolated = [b for b in range(1, fc_cap + 1) if b not in col]
+            for b in interpolated:
+                cycles[("fc", b, deg)] = interpolate(col, b)
+            columns.append({
+                "kind": "fc",
+                "column": "degraded" if deg else "healthy",
+                "seed_anchors": seed_anchors,
+                "measured_batches": sorted(col),
+                "interpolated_batches": interpolated,
+                "holdouts": holdouts,
+                "fallback_batches": fallbacks,
+                "max_holdout_rel_error": max(
+                    (h["rel_error"] for h in holdouts), default=0.0),
+                "converged": (not interpolated) or holdouts[-1]["within_tolerance"],
+            })
+
+    report = {
+        "mode": "surrogate",
+        "tolerance": tolerance,
+        "fc_cap": fc_cap,
+        "measured_shapes": measured_shapes,
+        "total_shapes": len(cycles),
+        "all_within_tolerance": all(c["converged"] for c in columns),
+        "columns": columns,
+    }
+    table = ServiceCostTable(cycles=cycles, model_bytes=model,
+                             tile_bytes=tile, quick=quick,
+                             max_batch=max_batch, fc_cap=fc_cap)
+    return table, report

@@ -45,6 +45,10 @@ MIXES = {
     "bp": {"bp": 1.0},
     "bp+vgg": {"bp": 0.5, "conv": 0.3, "fc": 0.2},
     "vgg": {"conv": 0.6, "fc": 0.4},
+    # Pure FC traffic: the batch-sensitive kind whose cost curve the
+    # surrogate cost model calibrates; also the worst cold-start case
+    # (one kernel simulation per batch size under --cost-model measured).
+    "fc": {"fc": 1.0},
 }
 
 ARRIVALS = ("poisson", "bursty")

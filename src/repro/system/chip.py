@@ -26,6 +26,7 @@ from repro.errors import DeadlockError, SimulationError
 from repro.isa.program import Program
 from repro.memory.hmc import HMC
 from repro.noc.torus import TorusNetwork
+from repro.pe.batch import local_steps
 from repro.pe.counters import PECounters
 from repro.pe.pe import PE, PEStatus
 from repro.system.config import VIPConfig
@@ -92,7 +93,8 @@ class _ChipPort:
     ``chip.*`` attribute chains per request.
     """
 
-    __slots__ = ("chip", "vault", "hmc", "noc", "star", "_tr", "_fl")
+    __slots__ = ("chip", "vault", "hmc", "noc", "star", "_tr", "_fl",
+                 "_home_ctl")
 
     def __init__(self, chip: "Chip", vault: int):
         self.chip = chip
@@ -102,6 +104,8 @@ class _ChipPort:
         self.star = chip.config.noc.star_cycles
         self._tr = chip.trace if chip.trace.enabled else None
         self._fl = chip.faults if chip.faults.enabled else None
+        # Local-vault bursts dominate; bind that controller once.
+        self._home_ctl = chip.hmc.vaults[vault]
 
     def access(self, pe_id, time, addr, nbytes, is_write, data=None):
         hmc = self.hmc
@@ -127,7 +131,7 @@ class _ChipPort:
                     served, vault_id, home, _HEADER_BYTES + payload_back
                 )
             else:
-                served = vaults[vault_id].access(
+                served = self._home_ctl.access(
                     request_time, bank, row, piece_len, is_write
                 )
             served += star
@@ -262,6 +266,13 @@ class Chip:
         blocked: set[int] = set()
         steps = 0
         pes = self.pes
+        # "vector" fast path: per-program flags marking PE-local
+        # instructions, for the span run-ahead below.
+        run_ahead = self.config.pe.fast_path == "vector"
+        local_flags: dict[int, list[bool]] = {}
+        if run_ahead:
+            for pe_id, program in programs.items():
+                local_flags[pe_id] = local_steps(program)
         # next_issue_lower_bound reads only PE-local state, so a parked
         # PE's bound cannot change until it steps (or is resumed): cache it
         # keyed by the PE's state version instead of recomputing per poll.
@@ -288,6 +299,28 @@ class Chip:
                         continue
                 pe.step()
                 steps += 1
+                if run_ahead and pe.status is PEStatus.RUNNING:
+                    # Span run-ahead: step straight through PE-local
+                    # instructions, but only while this PE would provably
+                    # be the next heap pop AND pass the conservative bound
+                    # check — a mechanical shortcut over the requeue/pop
+                    # cycle that replays the reference pop sequence
+                    # exactly (local instructions touch no shared state,
+                    # and no other PE could have run in between).
+                    flags = local_flags[pe_id]
+                    n = len(flags)
+                    while 0 <= pe.pc < n and flags[pe.pc]:
+                        if active:
+                            if (pe.clock, pe_id) > active[0]:
+                                break
+                            bound = pe.next_issue_lower_bound()
+                            bound_cache[pe_id] = (pe._version, bound)
+                            if bound > active[0][0]:
+                                break
+                        pe.step()
+                        steps += 1
+                        if steps > max_steps or pe.status is not PEStatus.RUNNING:
+                            break
                 if steps > max_steps:
                     report = self.blocked_report(
                         sorted({pe_id for _, pe_id in active} | blocked | {pe_id})

@@ -1,0 +1,75 @@
+"""The committed-snapshot history view (``repro.perf.bench --history``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.bench import load_history, main, render_history
+
+
+def _snapshot(tag, benches):
+    return {"schema": "repro.perf.bench/v1", "tag": tag, "quick": False,
+            "repeat": 3, "benches": benches}
+
+
+def _write(directory, tag, benches):
+    path = os.path.join(directory, f"BENCH_{tag}.json")
+    with open(path, "w") as f:
+        json.dump(_snapshot(tag, benches), f)
+    return path
+
+
+@pytest.fixture
+def history_dir(tmp_path):
+    _write(tmp_path, "2", [{"name": "fc-chunk", "wall_s": 0.010}])
+    _write(tmp_path, "10", [{"name": "fc-chunk", "wall_s": 0.005,
+                             "speedup_vs_baseline": 2.0},
+                            {"name": "pe-vector", "wall_s": 0.020}])
+    return str(tmp_path)
+
+
+def test_load_history_sorts_tags_numerically(history_dir):
+    snapshots = load_history(history_dir)
+    assert [s["tag"] for s in snapshots] == ["2", "10"]  # not lexical
+
+
+def test_load_history_empty_directory_raises(tmp_path):
+    with pytest.raises(ConfigError, match="no BENCH_"):
+        load_history(str(tmp_path))
+
+
+def test_render_markdown_table(history_dir):
+    text = render_history(load_history(history_dir), "md")
+    lines = text.splitlines()
+    assert lines[0] == "| bench | 2 | 10 |"
+    assert "| fc-chunk | 10.0 ms | 5.0 ms (2.00x) |" in lines
+    # A bench absent from an older snapshot renders as a placeholder.
+    assert "| pe-vector | — | 20.0 ms |" in lines
+
+
+def test_render_csv(history_dir):
+    text = render_history(load_history(history_dir), "csv")
+    lines = text.splitlines()
+    assert lines[0] == "bench,tag,wall_s,speedup_vs_baseline"
+    assert "fc-chunk,2,0.010000," in lines
+    assert "fc-chunk,10,0.005000,2.000" in lines
+
+
+def test_render_unknown_format_raises(history_dir):
+    with pytest.raises(ConfigError, match="unknown history format"):
+        render_history(load_history(history_dir), "yaml")
+
+
+def test_cli_history_flag(history_dir, capsys, monkeypatch):
+    monkeypatch.chdir(history_dir)
+    assert main(["--history"]) == 0
+    out = capsys.readouterr().out
+    assert "| bench | 2 | 10 |" in out
+
+
+def test_cli_history_no_snapshots_exits_2(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["--history"]) == 2
+    assert "error: config:" in capsys.readouterr().err

@@ -17,7 +17,7 @@ def test_cli_writes_report_and_csv(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "bp+vgg" in printed
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro.serve/v2"
+    assert payload["schema"] == "repro.serve/v3"
     assert set(payload["mixes"]) == {"bp", "bp+vgg"}
     for mix in payload["mixes"].values():
         assert mix["latency_cycles"]["p99"] >= mix["latency_cycles"]["p50"] > 0

@@ -75,7 +75,7 @@ def test_submit_poll_complete_matches_cli_bytes(client, server, tmp_path):
     assert final["progress"]["served"] + final["progress"]["shed"] > 0
     code, payload = client.metrics(job["job_id"])
     assert code == 200
-    assert payload["schema"] == "repro.serve/v2"
+    assert payload["schema"] == "repro.serve/v3"
     assert client.metrics_bytes(job["job_id"]) == _cli_reference(tmp_path)
 
 

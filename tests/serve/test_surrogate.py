@@ -1,0 +1,238 @@
+"""The calibrated cost surface and the hardened launch-cycle math.
+
+Covers the pure fitting pieces on synthetic curves (no simulation), the
+``launch_cycles`` edge cases the surrogate's wave semantics rely on, and
+one real quick-geometry build: the holdout gate must converge, every
+simulated shape must be byte-exact against the exhaustive builder, and a
+near-zero tolerance must drive the fallback path until the surrogate
+degenerates into the measured table.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.costmodel import ServiceCostTable, build_cost_table
+from repro.serve.fleet import ServeConfig
+from repro.serve.report import run_report
+from repro.serve.surrogate import (
+    anchor_batches,
+    build_surrogate_cost_table,
+    interpolate,
+    select_holdout,
+)
+from repro.serve.workload import WorkloadConfig
+
+
+# ---------------------------------------------------------------------------
+# launch_cycles edges
+
+
+def _table(max_batch=4, fc_cap=4, degraded=False):
+    cycles = {}
+    for b in range(1, fc_cap + 1):
+        cycles[("fc", b, False)] = 1000.0 + 100.0 * b
+        if degraded:
+            cycles[("fc", b, True)] = 1500.0 + 100.0 * b
+    cycles[("bp", 1, False)] = 500.0
+    if degraded:
+        cycles[("bp", 1, True)] = 700.0
+    return ServiceCostTable(cycles=cycles, model_bytes={"fc": 1, "bp": 1},
+                            tile_bytes={"fc": 0, "bp": 4}, quick=True,
+                            max_batch=max_batch, fc_cap=fc_cap)
+
+
+def test_fc_batch_above_cap_prices_as_waves():
+    t = _table(max_batch=11, fc_cap=4)
+    # 11 = 2 full waves of 4 + a remainder wave of 3.
+    expected = 2 * t.cycles[("fc", 4, False)] + t.cycles[("fc", 3, False)]
+    assert t.launch_cycles("fc", 11) == expected
+    # An exact multiple has no remainder wave.
+    assert t.launch_cycles("fc", 8) == 2 * t.cycles[("fc", 4, False)]
+
+
+def test_fc_batch_within_cap_is_direct_lookup():
+    t = _table()
+    assert t.launch_cycles("fc", 3) == t.cycles[("fc", 3, False)]
+
+
+def test_unknown_kind_raises_config_error():
+    t = _table()
+    with pytest.raises(ConfigError, match="no healthy entry"):
+        t.launch_cycles("conv", 1)
+
+
+def test_missing_degraded_column_raises_config_error():
+    t = _table(degraded=False)
+    with pytest.raises(ConfigError, match="no degraded entry"):
+        t.launch_cycles("fc", 2, degraded=True)
+
+
+def test_degraded_column_used_when_present():
+    t = _table(degraded=True)
+    assert t.launch_cycles("fc", 2, degraded=True) == 1700.0
+    assert t.launch_cycles("bp", 3, degraded=True) == 3 * 700.0
+
+
+def test_batch_below_one_raises():
+    with pytest.raises(ConfigError, match="must be >= 1"):
+        _table().launch_cycles("fc", 0)
+
+
+# ---------------------------------------------------------------------------
+# fitting pieces on synthetic curves
+
+
+def test_anchor_batches_knee_plus_endpoint():
+    assert anchor_batches(16) == [1, 2, 3, 5, 16]
+    assert anchor_batches(4) == [1, 2, 3, 4]
+    assert anchor_batches(1) == [1]
+    with pytest.raises(ConfigError):
+        anchor_batches(0)
+
+
+def test_interpolate_exact_at_measured_points():
+    measured = {1: 100.0, 4: 400.0, 8: 1000.0}
+    for b, v in measured.items():
+        assert interpolate(measured, b) == v
+
+
+def test_interpolate_linear_between_brackets():
+    measured = {1: 100.0, 5: 500.0}
+    assert interpolate(measured, 3) == 300.0
+    assert interpolate(measured, 2) == 200.0
+
+
+def test_interpolate_outside_range_raises():
+    with pytest.raises(ConfigError, match="outside the measured range"):
+        interpolate({2: 100.0, 5: 200.0}, 6)
+
+
+def test_select_holdout_none_when_no_gaps():
+    assert select_holdout({1: 1.0, 2: 2.0, 3: 3.0}) is None
+    assert select_holdout({4: 1.0}) is None
+
+
+def test_select_holdout_prefers_high_curvature_gap():
+    # Sharp knee at 5 (slope 100 -> 10); flat beyond.  The gap adjacent
+    # to the knee should win over the equally wide flat gap.
+    measured = {1: 100.0, 5: 500.0, 9: 540.0, 13: 580.0, 17: 620.0}
+    held = select_holdout(measured)
+    assert held in (3, 7)  # a gap touching the knee at 5
+    # Deterministic: same input, same answer.
+    assert select_holdout(dict(measured)) == held
+
+
+def test_select_holdout_is_gap_midpoint():
+    measured = {1: 10.0, 9: 90.0}
+    assert select_holdout(measured) == 5
+
+
+# ---------------------------------------------------------------------------
+# real quick-geometry builds
+
+
+MAX_BATCH = 8
+
+
+@pytest.fixture(scope="module")
+def measured_table():
+    return build_cost_table(MAX_BATCH, quick=True, kinds=("fc", "bp"))
+
+
+@pytest.fixture(scope="module")
+def surrogate_build():
+    return build_surrogate_cost_table(MAX_BATCH, quick=True,
+                                      kinds=("fc", "bp"))
+
+
+def test_surrogate_holdout_gate_converges(surrogate_build):
+    table, report = surrogate_build
+    assert report["all_within_tolerance"]
+    assert report["measured_shapes"] < report["total_shapes"]
+    for column in report["columns"]:
+        assert column["holdouts"]  # at least one cross-validation round
+        assert column["holdouts"][-1]["within_tolerance"]
+
+
+def test_surrogate_simulated_subset_is_exact(surrogate_build,
+                                             measured_table):
+    table, report = surrogate_build
+    for column in report["columns"]:
+        for b in column["measured_batches"]:
+            assert (table.cycles[("fc", b, False)]
+                    == measured_table.cycles[("fc", b, False)])
+    # Single-shape kinds are always measured exactly.
+    assert (table.cycles[("bp", 1, False)]
+            == measured_table.cycles[("bp", 1, False)])
+
+
+def test_surrogate_table_interchangeable(surrogate_build, measured_table):
+    table, _ = surrogate_build
+    assert table.max_batch == measured_table.max_batch
+    assert table.fc_cap == measured_table.fc_cap
+    assert set(table.cycles) == set(measured_table.cycles)
+    assert table.model_bytes == measured_table.model_bytes
+    assert table.tile_bytes == measured_table.tile_bytes
+
+
+def test_interpolated_shapes_near_truth(surrogate_build, measured_table):
+    # The gate certifies holdouts; the whole quick surface should still
+    # land within a loose envelope of the exhaustive builder (the quick
+    # FC curve is noisy between holdouts, so this is 5x the gate).
+    table, report = surrogate_build
+    for shape, cycles in table.cycles.items():
+        true = measured_table.cycles[shape]
+        assert abs(cycles - true) / true <= 5 * report["tolerance"]
+
+
+def test_tiny_tolerance_falls_back_to_exact_everywhere(measured_table):
+    # Interpolation can essentially never satisfy a 1e-12 gate, so every
+    # holdout fails, becomes an anchor, and the refinement loop runs the
+    # curve dry: the "surrogate" degenerates into the measured table.
+    table, report = build_surrogate_cost_table(MAX_BATCH, quick=True,
+                                               kinds=("fc", "bp"),
+                                               tolerance=1e-12)
+    assert table.cycles == measured_table.cycles
+    assert report["measured_shapes"] == report["total_shapes"]
+    column = report["columns"][0]
+    assert column["fallback_batches"]  # the fallback path actually ran
+    assert not column["interpolated_batches"]
+    assert column["converged"]
+
+
+def test_invalid_tolerance_raises():
+    with pytest.raises(ConfigError, match="tolerance must be positive"):
+        build_surrogate_cost_table(4, quick=True, tolerance=0.0)
+
+
+def test_run_report_surrogate_payload_records_validation(surrogate_build):
+    workload = WorkloadConfig(mix="fc", rate=150_000.0, requests=20)
+    config = ServeConfig(chips=2, max_batch=MAX_BATCH,
+                         max_wait_cycles=10_000.0)
+    payload, _ = run_report(workload, config, mixes=("fc",), quick=True,
+                            cost_model="surrogate")
+    cm = payload["cost_model"]
+    assert cm["mode"] == "surrogate"
+    assert cm["validation"]["all_within_tolerance"]
+    json.dumps(payload)  # the validation report must be JSON-able
+
+
+def test_run_report_rejects_unknown_cost_model():
+    workload = WorkloadConfig(mix="fc", rate=150_000.0, requests=5)
+    config = ServeConfig(chips=1, max_batch=2)
+    with pytest.raises(ConfigError, match="cost_model"):
+        run_report(workload, config, mixes=("fc",), quick=True,
+                   cost_model="oracle")
+
+
+def test_measured_mode_identical_to_default(measured_table):
+    workload = WorkloadConfig(mix="fc", rate=150_000.0, requests=20)
+    config = ServeConfig(chips=2, max_batch=MAX_BATCH,
+                         max_wait_cycles=10_000.0)
+    default, _ = run_report(workload, config, mixes=("fc",), quick=True)
+    explicit, _ = run_report(workload, config, mixes=("fc",), quick=True,
+                             cost_model="measured")
+    assert (json.dumps(default, sort_keys=True)
+            == json.dumps(explicit, sort_keys=True))
