@@ -23,6 +23,10 @@ Benches:
   failure lifecycle (one fail-stop chip, one straggler, hedging on):
   health checks, retries, hedges, and breakers all exercised; records
   availability, goodput, and wasted cycles alongside wall time.
+* ``serve-autoscale`` (macro) — the fleet under a bursty flash crowd
+  with the simulated autoscaler on (2 boot chips, ceiling 6): scale
+  decisions, warm-up, and drain/retire cycles all on the hot path;
+  records scale events, elastic chip-cycles, and tail latency.
 * ``serve-cold-start`` (macro) — the FC cost-table build at a deep
   batch ceiling, measured twice: the exhaustive builder versus the
   cross-validated surrogate (:mod:`repro.serve.surrogate`); records the
@@ -68,7 +72,8 @@ SCHEMA = "repro.perf.bench/v1"
 
 MICRO_BENCHES = ("fixedpoint-sat", "pe-vector")
 MACRO_BENCHES = ("vault-bp-tile", "conv-pass", "fc-chunk", "serve-fleet",
-                 "serve-resilience", "serve-cold-start", "vectorized-step")
+                 "serve-resilience", "serve-autoscale", "serve-cold-start",
+                 "vectorized-step")
 ALL_BENCHES = MICRO_BENCHES + MACRO_BENCHES
 
 #: Single-kernel simulator benches with a reference (fast_path=False)
@@ -449,6 +454,72 @@ def _bench_serve_resilience(repeat: int, quick: bool, compare: bool) -> dict:
     return record
 
 
+def _bench_serve_autoscale(repeat: int, quick: bool, compare: bool) -> dict:
+    from repro.serve.autoscale import AutoscaleConfig
+    from repro.serve.fleet import ServeConfig
+    from repro.serve.report import run_report
+    from repro.serve.workload import WorkloadConfig
+
+    workload = WorkloadConfig(mix="bp+vgg", arrival="bursty",
+                              rate=150_000.0,
+                              requests=60 if quick else 200, seed=7,
+                              burst_factor=12.0, burst_len=30.0)
+    config = ServeConfig(
+        chips=2,
+        queue_capacity=32,
+        autoscale=AutoscaleConfig(
+            min_chips=2, max_chips=6,
+            evaluate_interval_cycles=50_000.0,
+            up_backlog_cycles=75_000.0,
+            idle_cycles=100_000.0,
+            warmup_cycles=50_000.0,
+            cooldown_cycles=200_000.0,
+        ),
+    )
+
+    def work(workers: int = 1) -> dict:
+        return run_report(workload, config, mixes=("bp+vgg",),
+                          quick=quick, max_workers=workers)[0]
+
+    payload = work()  # warmup (also builds/caches the kernel programs)
+    wall = _best_wall(work, repeat)
+    m = payload["mixes"]["bp+vgg"]
+    a = m["autoscale"]
+    if a["chips_added"] < 1:
+        raise AssertionError(
+            "serve-autoscale: the flash crowd never triggered a scale-up "
+            "— the bench is not exercising the autoscaler")
+    draining = set()
+    for e in a["events"]:
+        if e["action"] == "drain":
+            draining.add(e["chip"])
+        elif e["action"] == "remove" and e["chip"] not in draining:
+            raise AssertionError(
+                f"serve-autoscale: chip {e['chip']} removed without a "
+                f"preceding drain")
+    record = {
+        "name": "serve-autoscale",
+        "kind": "macro",
+        "wall_s": wall,
+        "sim_cycles": m["makespan_cycles"],
+        "cycles_per_wall_second": m["makespan_cycles"] / wall,
+        "requests_served": m["served"],
+        "scale_events": len(a["events"]),
+        "chips_added": a["chips_added"],
+        "chips_removed": a["chips_removed"],
+        "peak_chips": a["peak_chips"],
+        "chip_cycles_active": a["chip_cycles_active"],
+        "latency_p99_ms": m["latency_ms"]["p99"],
+    }
+    if compare:
+        if work(workers=2) != payload:
+            raise AssertionError(
+                "serve-autoscale: parallel cost-table run diverged "
+                "from serial")
+        record["parallel_equal"] = True
+    return record
+
+
 def _bench_serve_cold_start(repeat: int, quick: bool, compare: bool) -> dict:
     from repro.serve.costmodel import build_cost_table
     from repro.serve.surrogate import (
@@ -559,6 +630,8 @@ def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
             records.append(_bench_serve(repeat, quick, compare))
         elif name == "serve-resilience":
             records.append(_bench_serve_resilience(repeat, quick, compare))
+        elif name == "serve-autoscale":
+            records.append(_bench_serve_autoscale(repeat, quick, compare))
         elif name == "serve-cold-start":
             records.append(_bench_serve_cold_start(repeat, quick, compare))
         elif name == "vectorized-step":

@@ -13,9 +13,16 @@ Robustness: a seeded chip failure lifecycle
 (:mod:`~repro.serve.failures`) can be injected into the fleet, and the
 scheduler defends with health checks, circuit breakers, bounded
 retries, hedging, and load-shedding tiers
-(:mod:`~repro.serve.resilience`).
+(:mod:`~repro.serve.resilience`).  Serving *behavior* is pluggable:
+decision-tree policies (:mod:`~repro.serve.policy`) override the
+schedule/shed/retry/hedge slots declaratively, a deterministic
+simulated autoscaler (:mod:`~repro.serve.autoscale`) grows and drains
+the fleet under load and failures, and the chaos harness
+(:mod:`~repro.serve.chaos`) sweeps the failure × policy × autoscaler
+matrix asserting structural invariants on every run.
 """
 
+from repro.serve.autoscale import Autoscaler, AutoscaleConfig, ScaleEvent
 from repro.serve.batcher import Batch, DynamicBatcher
 from repro.serve.failures import (
     FAILURE_KINDS,
@@ -32,6 +39,7 @@ from repro.serve.costmodel import (
     required_shapes,
 )
 from repro.serve.fleet import (
+    OUTCOMES,
     POLICIES,
     BatchRecord,
     ChipState,
@@ -39,6 +47,16 @@ from repro.serve.fleet import (
     FleetSimulator,
     RequestRecord,
     ServeConfig,
+)
+from repro.serve.policy import (
+    SCHEDULE_PRIMITIVES,
+    PolicyEngine,
+    PolicySet,
+    builtin_tree,
+    compile_tree,
+    list_policies,
+    load_policy,
+    policy_from_document,
 )
 from repro.serve.metrics import (
     ServeMetrics,
@@ -73,6 +91,8 @@ __all__ = [
     "ARRIVALS",
     "Admission",
     "AdmissionQueue",
+    "AutoscaleConfig",
+    "Autoscaler",
     "Batch",
     "BatchRecord",
     "ChipFailureTimeline",
@@ -88,23 +108,33 @@ __all__ = [
     "HealthMonitor",
     "KINDS",
     "MIXES",
+    "OUTCOMES",
     "POLICIES",
+    "PolicyEngine",
+    "PolicySet",
     "Request",
     "RequestRecord",
     "ResilienceConfig",
+    "SCHEDULE_PRIMITIVES",
     "SHED_POLICIES",
+    "ScaleEvent",
     "ServeConfig",
     "ServeMetrics",
     "ServeRun",
     "ServiceCostTable",
     "WorkloadConfig",
     "build_cost_table",
+    "builtin_tree",
     "chip_utilization",
+    "compile_tree",
     "compute_metrics",
     "fc_max_batch",
     "generate_requests",
+    "list_policies",
+    "load_policy",
     "measure_shape",
     "percentile",
+    "policy_from_document",
     "required_shapes",
     "run_report",
     "run_serve",

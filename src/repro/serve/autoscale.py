@@ -1,0 +1,292 @@
+"""Deterministic simulated autoscaling for the serving fleet.
+
+The autoscaler grows and shrinks the chip fleet *inside the simulation*,
+reacting to the same observables a production autoscaler would watch —
+admission-queue pressure and the health monitor's believed-alive count —
+while modeling the costs real autoscalers pay:
+
+* **Warm-up**: a provisioned chip serves nothing until
+  ``warmup_cycles`` after the scale decision (program staging, model
+  residency, link bring-up).
+* **Drain-before-remove**: scale-down marks a chip *draining* (no new
+  launches) and retires it at a later evaluation tick once idle — work
+  in flight is never abandoned by a scale decision.
+* **Cooldown hysteresis**: after any scale decision the autoscaler
+  holds for ``cooldown_cycles`` before the next one, so a flash crowd
+  produces a measured ramp instead of thrash.
+* **Bounds**: the active fleet stays within ``[min_chips, max_chips]``.
+
+Determinism: decisions are evaluated lazily on a fixed tick grid
+(``evaluate_interval_cycles``), the same pattern as
+:class:`~repro.serve.resilience.HealthMonitor` — every tick at or before
+the current event time is processed, in order, when the simulator next
+observes the clock.  A decision is a pure function of (tick time, queue
+depth, chip states, breaker beliefs), no randomness anywhere, so
+autoscaled runs are bit-reproducible and two identical configs scale at
+identical instants.
+
+Failure reactivity comes in two ways: an open breaker removes a chip
+from the believed-alive count, which raises queue pressure per believed
+chip (faster scale-up), and a believed-alive count below ``min_chips``
+triggers a replacement add outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+#: Scale-event actions, in lifecycle order.
+SCALE_ACTIONS = ("add", "drain", "remove")
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Autoscaler knobs (all times in PE clock cycles).
+
+    Validation messages carry the dotted ``autoscale.<field>`` path, the
+    same convention the scenario DSL uses, so a bad knob surfaces as
+    ``error: config: autoscale.max_step: must be >= 1`` from every
+    front end.
+    """
+
+    #: The active fleet never shrinks below / grows above these.
+    min_chips: int = 1
+    max_chips: int = 8
+    #: Decision tick period (see the determinism note above).
+    evaluate_interval_cycles: float = 50_000.0
+    #: Scale up when queued requests per believed-alive active chip
+    #: reach this.
+    up_queue_per_chip: float = 8.0
+    #: ... or when the mean committed-work backlog per believed-alive
+    #: chip reaches this many cycles.  Chips take batches the moment
+    #: they are dispatched, so sustained overload shows up as
+    #: ``free_at`` running ahead of the clock, not as queued requests.
+    up_backlog_cycles: float = 100_000.0
+    #: Scale down only while total queue depth is at or below this.
+    down_queue_max: float = 1.0
+    #: A chip must have been idle this long before it may drain.
+    idle_cycles: float = 100_000.0
+    #: Provisioned chips serve nothing for this long after the decision.
+    warmup_cycles: float = 50_000.0
+    #: Hold-off between consecutive scale decisions (hysteresis).
+    cooldown_cycles: float = 200_000.0
+    #: Chips added per scale-up decision.
+    max_step: int = 1
+
+    def __post_init__(self):
+        if self.min_chips < 1:
+            raise ConfigError("autoscale.min_chips: must be >= 1")
+        if self.max_chips < self.min_chips:
+            raise ConfigError(
+                f"autoscale.max_chips: must be >= min_chips "
+                f"({self.min_chips}), got {self.max_chips}")
+        if self.evaluate_interval_cycles <= 0:
+            raise ConfigError(
+                "autoscale.evaluate_interval_cycles: must be positive")
+        if self.up_queue_per_chip <= 0:
+            raise ConfigError("autoscale.up_queue_per_chip: must be positive")
+        if self.up_backlog_cycles <= 0:
+            raise ConfigError(
+                "autoscale.up_backlog_cycles: must be positive")
+        if self.down_queue_max < 0:
+            raise ConfigError("autoscale.down_queue_max: must be nonnegative")
+        if self.idle_cycles < 0:
+            raise ConfigError("autoscale.idle_cycles: must be nonnegative")
+        if self.warmup_cycles < 0:
+            raise ConfigError("autoscale.warmup_cycles: must be nonnegative")
+        if self.cooldown_cycles < 0:
+            raise ConfigError("autoscale.cooldown_cycles: must be nonnegative")
+        if self.max_step < 1:
+            raise ConfigError("autoscale.max_step: must be >= 1")
+
+    def validate_fleet(self, chips: int) -> None:
+        """Cross-check against the boot-time fleet size."""
+        if chips < self.min_chips:
+            raise ConfigError(
+                f"autoscale.min_chips: boot fleet has {chips} chips, "
+                f"below min_chips {self.min_chips}")
+        if chips > self.max_chips:
+            raise ConfigError(
+                f"autoscale.max_chips: boot fleet has {chips} chips, "
+                f"above max_chips {self.max_chips}")
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler decision (or drain completion)."""
+
+    time: float
+    #: "add" (provision), "drain" (stop feeding), "remove" (retire).
+    action: str
+    chip: int
+    #: "load" (queue pressure), "failure" (believed-alive below the
+    #: floor), "idle" (scale-down), "drained" (removal after drain).
+    reason: str
+    #: Active (non-draining, non-retired) chips after this event.
+    active_after: int
+
+    def as_dict(self) -> dict:
+        return {"time": self.time, "action": self.action,
+                "chip": self.chip, "reason": self.reason,
+                "active_after": self.active_after}
+
+
+class Autoscaler:
+    """Tick-evaluated scale decisions over a live fleet simulation.
+
+    Owned by :class:`~repro.serve.fleet.core.FleetSimulator`, which
+    calls :meth:`advance` wherever it advances the health monitor.  The
+    autoscaler mutates fleet state only through the simulator's
+    ``provision_chip`` hook and the per-chip ``draining``/``retired_at``
+    lifecycle fields; everything else is observation.
+    """
+
+    def __init__(self, config: AutoscaleConfig, fleet):
+        self.config = config
+        self.fleet = fleet
+        self.events: list[ScaleEvent] = []
+        self._next_tick = 1
+        self._last_decision: float | None = None
+
+    # -- observation ---------------------------------------------------
+
+    def active_chips(self) -> list:
+        return [c for c in self.fleet.chips
+                if c.retired_at is None and not c.draining]
+
+    def _believed_alive(self, chips: list) -> int:
+        monitor = self.fleet.monitor
+        if monitor is None:
+            return len(chips)
+        # Read breaker state directly: allow() would advance an expired
+        # open breaker as a side effect.
+        return sum(1 for c in chips
+                   if monitor.breakers[c.chip_id].state != "open")
+
+    def _queue_depth(self) -> int:
+        queue = self.fleet._queue
+        return queue.waiting if queue is not None else 0
+
+    def _backlog_per_chip(self, at: float, chips: list) -> float:
+        """Mean committed-work backlog (cycles) per active chip.
+
+        A warming chip's backlog is measured past its warm-up point, so
+        freshly added capacity never reads as load itself.
+        """
+        if not chips:
+            return 0.0
+        backlog = sum(max(0.0, c.free_at - max(at, c.warm_at))
+                      for c in chips)
+        return backlog / len(chips)
+
+    # -- the decision loop ---------------------------------------------
+
+    def advance(self, t: float) -> None:
+        """Process every evaluation tick at or before ``t``, in order."""
+        interval = self.config.evaluate_interval_cycles
+        while self._next_tick * interval <= t:
+            at = self._next_tick * interval
+            self._next_tick += 1
+            self._evaluate(at)
+
+    def _evaluate(self, at: float) -> None:
+        self._finish_drains(at)
+        cfg = self.config
+        if self._last_decision is not None \
+                and at - self._last_decision < cfg.cooldown_cycles:
+            return
+        active = self.active_chips()
+        believed = self._believed_alive(active)
+        depth = self._queue_depth()
+        if len(active) < cfg.max_chips:
+            if believed < cfg.min_chips:
+                self._scale_up(at, "failure")
+                return
+            backlog = self._backlog_per_chip(at, active)
+            if depth >= cfg.up_queue_per_chip * max(believed, 1) \
+                    or backlog >= cfg.up_backlog_cycles:
+                self._scale_up(at, "load")
+                return
+        if depth <= cfg.down_queue_max and len(active) > cfg.min_chips:
+            self._scale_down(at, active)
+
+    def _finish_drains(self, at: float) -> None:
+        """Retire draining chips that have gone idle (drain completes
+        one tick or more after the drain decision, never instantly)."""
+        for chip in self.fleet.chips:
+            if chip.draining and chip.retired_at is None \
+                    and chip.free_at <= at:
+                chip.retired_at = at
+                self.events.append(ScaleEvent(
+                    time=at, action="remove", chip=chip.chip_id,
+                    reason="drained",
+                    active_after=len(self.active_chips())))
+
+    def _scale_up(self, at: float, reason: str) -> None:
+        cfg = self.config
+        room = cfg.max_chips - len(self.active_chips())
+        for _ in range(min(cfg.max_step, room)):
+            chip = self.fleet.provision_chip(at, at + cfg.warmup_cycles)
+            self.events.append(ScaleEvent(
+                time=at, action="add", chip=chip.chip_id, reason=reason,
+                active_after=len(self.active_chips())))
+        self._last_decision = at
+
+    def _scale_down(self, at: float, active: list) -> None:
+        cfg = self.config
+        # LIFO: drain the youngest (highest-id) idle chip, so the boot
+        # fleet is the last to go and chip ids stay compact.
+        for chip in sorted(active, key=lambda c: -c.chip_id):
+            if chip.free_at <= at and at - chip.free_at >= cfg.idle_cycles \
+                    and at >= chip.warm_at:
+                chip.draining = True
+                self.events.append(ScaleEvent(
+                    time=at, action="drain", chip=chip.chip_id,
+                    reason="idle",
+                    active_after=len(self.active_chips())))
+                self._last_decision = at
+                return
+
+    # -- rollup --------------------------------------------------------
+
+    def result(self, records: list, end: float) -> dict:
+        """The run's autoscale rollup for reports and metrics."""
+        cfg = self.config
+        chips = self.fleet.chips
+        chip_cycles = sum(
+            max(0.0, (c.retired_at if c.retired_at is not None else end)
+                - c.added_at)
+            for c in chips)
+        scale_times = [e.time for e in self.events
+                       if e.action in ("add", "drain")]
+        during = [r for r in records
+                  if r.outcome == "served" and any(
+                      t <= r.finish <= t + cfg.cooldown_cycles
+                      for t in scale_times)]
+        violations = sum(1 for r in during
+                         if r.latency > self.fleet.config.slo_cycles)
+        return {
+            "config": cfg.as_dict(),
+            "events": [e.as_dict() for e in self.events],
+            "chips_added": sum(1 for e in self.events
+                               if e.action == "add"),
+            "chips_removed": sum(1 for e in self.events
+                                 if e.action == "remove"),
+            "final_active": len(self.active_chips()),
+            "peak_chips": max([self.fleet.config.chips]
+                              + [e.active_after for e in self.events
+                                 if e.action == "add"]),
+            "total_chips": len(chips),
+            "chip_cycles_active": chip_cycles,
+            "slo_during_scale": {
+                "served": len(during),
+                "violations": violations,
+                "violation_rate": (violations / len(during)
+                                   if during else 0.0),
+            },
+        }

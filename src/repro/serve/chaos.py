@@ -1,0 +1,464 @@
+"""Chaos-invariant harness: sweep failures × policies × autoscaling.
+
+``python -m repro.serve.chaos`` runs the serving simulator across a
+matrix of seeded failure schedules, decision-tree policy sets, and
+autoscaler configurations, and asserts *structural invariants* on every
+run — properties that must hold for any correct execution regardless of
+the numbers it produces:
+
+* **Conservation** — every generated request is accounted for exactly
+  once, with exactly one terminal outcome (served / shed / expired),
+  and a served request's timestamps are causally ordered
+  (arrival ≤ batch close ≤ start ≤ finish).
+* **No post-fail-stop completions** — no served launch overlaps a
+  fail-stop window on its chip: work the timeline killed must never be
+  reported as completed.
+* **Queue bound** — an event-sweep reconstruction of the admission
+  queue's occupancy from the run's records never exceeds the configured
+  capacity (shed tiers only shrink it).
+* **Replay identity** — a fresh simulator fed the same inputs
+  reproduces the run record-for-record (the determinism contract under
+  chaos, not just in the happy path).
+* **Autoscale lifecycle** (when the autoscaler is on) — the active
+  fleet stays within bounds, every removal follows a drain of the same
+  chip, and no chip completes work after it retired.
+
+One **checkpoint/resume** check per invocation truncates a cost-table
+journal mid-stream and verifies the resumed report is byte-identical to
+the uninterrupted one — recovery under chaos is exercised, not assumed.
+
+The harness writes a ``repro.serve.chaos/v1`` JSON report and exits
+nonzero naming the offending (seed, mode, policy, autoscale) cell on
+the first violated invariant, so CI failures point at a reproducible
+command line, not a flake.
+
+Every run is a pure function of its cell coordinates: the sweep is
+deterministic end to end, and each checker is an importable function
+unit-tested against hand-built violations in ``tests/serve``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.errors import ConfigError
+from repro.perf.checkpoint import TaskCheckpoint
+from repro.serve.autoscale import SCALE_ACTIONS, AutoscaleConfig
+from repro.serve.costmodel import build_cost_table
+from repro.serve.failures import FailureConfig
+from repro.serve.fleet import OUTCOMES, FleetSimulator, ServeConfig
+from repro.serve.policy import PolicySet, policy_from_document
+from repro.serve.report import checkpoint_meta, run_report
+from repro.serve.resilience import ResilienceConfig
+from repro.serve.workload import WorkloadConfig, generate_requests
+
+SCHEMA = "repro.serve.chaos/v1"
+
+#: Failure modes the matrix sweeps (over a 3-chip fleet).
+MODES = ("fail-stop", "fail-slow", "compound")
+
+#: Policy sets the matrix sweeps: the built-in trees plus two
+#: structurally different overrides, so invariants are checked under
+#: decisions the legacy string knobs could never express.
+POLICY_DOCS = {
+    "builtin": None,
+    "pressure-shed": {
+        "name": "pressure-shed",
+        "description": "locality until the queue fills; tile-split shed",
+        "schedule": {"if": {"field": "queue.depth", "op": ">=", "value": 8},
+                     "then": {"pick": "least-loaded"},
+                     "else": {"pick": "locality"}},
+        "shed": {"if": {"field": "request.tile", "op": ">=", "value": 4},
+                 "then": {"shed": "drop-oldest"},
+                 "else": {"shed": "drop-newest"}},
+    },
+    "conservative-retry": {
+        "name": "conservative-retry",
+        "description": "one retry, no hedging",
+        "retry": {"if": {"field": "attempt", "op": "<=", "value": 1},
+                  "then": {"do": "retry"},
+                  "else": {"do": "expire"}},
+        "hedge": {"do": "no-hedge"},
+    },
+}
+
+_CHIPS = 3
+
+
+class InvariantViolation(AssertionError):
+    """One structural invariant failed for one run."""
+
+
+def _fail(invariant: str, message: str):
+    raise InvariantViolation(f"{invariant}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# The invariant checkers (pure functions over a finished run)
+
+
+def check_conservation(records, requests) -> None:
+    """Every request exactly once, one terminal outcome, causal times."""
+    want = sorted(r.rid for r in requests)
+    got = sorted(r.rid for r in records)
+    if want != got:
+        missing = sorted(set(want) - set(got))
+        extra = sorted(set(got) - set(want))
+        _fail("conservation", f"rid mismatch: missing {missing[:5]}, "
+                              f"unexpected {extra[:5]}")
+    seen = set()
+    for r in records:
+        if r.rid in seen:
+            _fail("conservation", f"rid {r.rid} recorded twice")
+        seen.add(r.rid)
+        if r.outcome not in OUTCOMES:
+            _fail("conservation", f"rid {r.rid}: unknown outcome "
+                                  f"{r.outcome!r}")
+        if r.shed != (r.outcome == "shed"):
+            _fail("conservation", f"rid {r.rid}: shed flag disagrees "
+                                  f"with outcome {r.outcome!r}")
+        if r.outcome == "served":
+            if not (r.arrival <= r.dispatch <= r.start <= r.finish):
+                _fail("conservation",
+                      f"rid {r.rid}: non-causal timestamps "
+                      f"arrival={r.arrival:g} dispatch={r.dispatch:g} "
+                      f"start={r.start:g} finish={r.finish:g}")
+
+
+def check_post_failstop(batches, timeline) -> None:
+    """No served launch overlaps a fail-stop window on its chip."""
+    if timeline is None:
+        return
+    for b in batches:
+        if b.outcome != "served":
+            continue
+        window = timeline.fail_stop_in(b.chip, b.start, b.finish)
+        if window is not None:
+            _fail("post-failstop",
+                  f"batch {b.batch_id} (attempt {b.attempt}) served on "
+                  f"chip {b.chip} over [{b.start:g}, {b.finish:g}) "
+                  f"despite fail-stop at {window.start:g}")
+
+
+def check_queue_bound(records, capacity: int) -> None:
+    """Sweep-reconstruct admission-queue occupancy; bound by capacity.
+
+    A request occupies the queue from arrival until its batch closes
+    (``dispatch``) or it is shed (shed records carry the shed time in
+    ``dispatch``).  Exits sort before entries at equal times, matching
+    the simulator's process-due-batches-then-admit order.
+    """
+    events = []
+    for r in records:
+        exit_t = r.dispatch
+        if exit_t < r.arrival:
+            _fail("queue-bound", f"rid {r.rid}: exits the queue at "
+                                 f"{exit_t:g}, before arrival "
+                                 f"{r.arrival:g}")
+        events.append((r.arrival, 1, r.rid))
+        events.append((exit_t, 0, r.rid))
+    waiting = 0
+    for t, kind, rid in sorted(events):
+        waiting += 1 if kind == 1 else -1
+        if waiting > capacity:
+            _fail("queue-bound",
+                  f"reconstructed occupancy {waiting} exceeds capacity "
+                  f"{capacity} at t={t:g} (rid {rid})")
+
+
+def check_replay_identity(result, config, costs, requests) -> None:
+    """A fresh simulator over the same inputs reproduces the run."""
+    replay = FleetSimulator(config, costs).run(list(requests))
+    a = _canonical(result)
+    b = _canonical(replay)
+    if a != b:
+        for i, (x, y) in enumerate(zip(a["records"], b["records"])):
+            if x != y:
+                _fail("replay-identity", f"record {i} diverged: {x} != {y}")
+        _fail("replay-identity", "runs diverged outside records")
+
+
+def check_autoscale_lifecycle(result, config) -> None:
+    """Scale events respect bounds and the drain-before-remove order."""
+    rollup = result.autoscale
+    if rollup is None:
+        return
+    limit = config.autoscale.max_chips
+    draining = set()
+    for e in rollup["events"]:
+        if e["action"] not in SCALE_ACTIONS:
+            _fail("autoscale-lifecycle",
+                  f"unknown scale action {e['action']!r}")
+        if e["active_after"] > limit:
+            _fail("autoscale-lifecycle",
+                  f"{e['active_after']} active chips at t={e['time']:g} "
+                  f"exceeds max_chips {limit}")
+        if e["action"] == "drain":
+            draining.add(e["chip"])
+        elif e["action"] == "remove" and e["chip"] not in draining:
+            _fail("autoscale-lifecycle",
+                  f"chip {e['chip']} removed at t={e['time']:g} without "
+                  f"a preceding drain")
+    retired = {c.chip_id: c.retired_at for c in result.chips
+               if c.retired_at is not None}
+    for b in result.batches:
+        if b.outcome == "served" and b.chip in retired \
+                and b.finish > retired[b.chip]:
+            _fail("autoscale-lifecycle",
+                  f"batch {b.batch_id} finished at {b.finish:g} on chip "
+                  f"{b.chip}, after its retirement at "
+                  f"{retired[b.chip]:g}")
+
+
+def _canonical(result) -> dict:
+    """A run reduced to comparable plain data (replay identity)."""
+    return json.loads(json.dumps({
+        "records": [[r.rid, r.outcome, r.dispatch, r.start, r.finish,
+                     r.chip, r.retries, r.hedged] for r in result.records],
+        "batches": [[b.batch_id, b.outcome, b.chip, b.close, b.start,
+                     b.finish, b.attempt] for b in result.batches],
+        "makespan": result.makespan,
+        "autoscale_events": (result.autoscale["events"]
+                             if result.autoscale else None),
+    }))
+
+
+# ---------------------------------------------------------------------------
+# The matrix
+
+
+def _failure_config(mode: str, seed: int) -> FailureConfig:
+    if mode == "fail-stop":
+        return FailureConfig(seed=seed, fail_stop_chips=(0, 1),
+                             fail_stop_mtbf_cycles=400_000.0,
+                             repair_mean_cycles=150_000.0)
+    if mode == "fail-slow":
+        return FailureConfig(seed=seed, fail_slow_chips=(0, 1),
+                             fail_slow_mtbf_cycles=300_000.0,
+                             fail_slow_duration_cycles=120_000.0)
+    if mode == "compound":
+        return FailureConfig(seed=seed, fail_stop_chips=(0,),
+                             fail_stop_mtbf_cycles=500_000.0,
+                             repair_mean_cycles=150_000.0,
+                             fail_slow_chips=(1,),
+                             transient_chips=(2,))
+    raise ConfigError(f"chaos: unknown failure mode {mode!r}; choose "
+                      f"from {', '.join(MODES)}")
+
+
+def _policy_set(name: str) -> PolicySet | None:
+    if name not in POLICY_DOCS:
+        raise ConfigError(f"chaos: unknown policy {name!r}; choose from "
+                          f"{', '.join(POLICY_DOCS)}")
+    doc = POLICY_DOCS[name]
+    if doc is None:
+        return None
+    return policy_from_document(doc, name=name, source="chaos-builtin")
+
+
+def _cell_config(mode: str, policy: str, seed: int,
+                 autoscale: bool) -> ServeConfig:
+    return ServeConfig(
+        chips=_CHIPS,
+        max_batch=4,
+        queue_capacity=16,
+        failures=_failure_config(mode, seed),
+        resilience=ResilienceConfig(hedge_delay_cycles=30_000.0),
+        policy_set=_policy_set(policy),
+        autoscale=(AutoscaleConfig(min_chips=1, max_chips=_CHIPS + 2)
+                   if autoscale else None),
+    )
+
+
+def run_cell(seed: int, mode: str, policy: str, autoscale: bool,
+             costs, requests_per_cell: int = 80) -> dict:
+    """Run one matrix cell and check every invariant.
+
+    Returns the cell's summary dict; raises :class:`InvariantViolation`
+    (annotated with the cell coordinates) on the first violation.
+    """
+    config = _cell_config(mode, policy, seed, autoscale)
+    workload = WorkloadConfig(mix="bp", arrival="bursty", rate=250_000.0,
+                              requests=requests_per_cell, seed=seed)
+    requests = generate_requests(workload)
+    sim = FleetSimulator(config, costs)
+    result = sim.run(list(requests))
+
+    check_conservation(result.records, requests)
+    check_post_failstop(result.batches, sim.timeline)
+    check_queue_bound(result.records, config.queue_capacity)
+    check_autoscale_lifecycle(result, config)
+    check_replay_identity(result, config, costs, requests)
+
+    outcomes = {name: 0 for name in OUTCOMES}
+    for r in result.records:
+        outcomes[r.outcome] += 1
+    cell = {
+        "seed": seed, "mode": mode, "policy": policy,
+        "autoscale": autoscale, "requests": len(requests),
+        "outcomes": outcomes,
+        "retries": sim.retry_count, "hedges": sim.hedge_count,
+        "invariants": ["conservation", "post-failstop", "queue-bound",
+                       "autoscale-lifecycle", "replay-identity"],
+    }
+    if result.autoscale is not None:
+        cell["scale_events"] = len(result.autoscale["events"])
+    return cell
+
+
+def check_checkpoint_resume(seed: int = 0) -> None:
+    """A journal truncated mid-stream resumes to an identical payload.
+
+    Runs one failure-mode report twice: once journaling every
+    cost-table measurement, then again resuming from that journal with
+    its tail cut off — the resumed payload must match byte for byte.
+    """
+    config = _cell_config("fail-stop", "builtin", seed, autoscale=False)
+    workload = WorkloadConfig(mix="bp", arrival="bursty", rate=250_000.0,
+                              requests=40, seed=seed)
+    meta = checkpoint_meta(config, ("bp",), True)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        journal = os.path.join(tmp, "chaos.jsonl")
+        checkpoint = TaskCheckpoint(journal, meta=meta)
+        try:
+            baseline, _ = run_report(workload, config, mixes=("bp",),
+                                     checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+        with open(journal, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        keep = max(2, len(lines) // 2)
+        with open(journal, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:keep])
+        checkpoint = TaskCheckpoint(journal, meta=meta, resume=True)
+        try:
+            resumed, _ = run_report(workload, config, mixes=("bp",),
+                                    checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+    a = json.dumps(baseline, sort_keys=True)
+    b = json.dumps(resumed, sort_keys=True)
+    if a != b:
+        _fail("checkpoint-resume",
+              "resumed payload differs from the uninterrupted one")
+
+
+def run_matrix(seeds, modes, policies, autoscale_states,
+               requests_per_cell: int = 80) -> dict:
+    """Run the full sweep; returns the report payload.
+
+    The payload's ``failures`` list is empty iff every invariant held
+    in every cell.
+    """
+    costs = build_cost_table(4, quick=True, degraded=True, kinds=("bp",))
+    cells, failures = [], []
+    for seed in seeds:
+        for mode in modes:
+            for policy in policies:
+                for autoscale in autoscale_states:
+                    coord = (f"seed={seed} mode={mode} policy={policy} "
+                             f"autoscale={'on' if autoscale else 'off'}")
+                    try:
+                        cells.append(run_cell(seed, mode, policy,
+                                              autoscale, costs,
+                                              requests_per_cell))
+                    except InvariantViolation as exc:
+                        failures.append({"cell": coord,
+                                         "violation": str(exc)})
+    try:
+        check_checkpoint_resume(seed=min(seeds) if seeds else 0)
+        resume_ok = True
+    except InvariantViolation as exc:
+        resume_ok = False
+        failures.append({"cell": "checkpoint-resume",
+                         "violation": str(exc)})
+    return {
+        "schema": SCHEMA,
+        "matrix": {
+            "seeds": list(seeds), "modes": list(modes),
+            "policies": list(policies),
+            "autoscale": ["on" if a else "off"
+                          for a in autoscale_states],
+            "requests_per_cell": requests_per_cell,
+        },
+        "cells": cells,
+        "checkpoint_resume": "ok" if resume_ok else "failed",
+        "failures": failures,
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.chaos",
+        description="Sweep failure schedules × policies × autoscaling, "
+                    "asserting structural invariants on every run.")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of seeds (0..N-1) per cell")
+    parser.add_argument("--modes", nargs="+", default=list(MODES),
+                        choices=MODES, metavar="MODE",
+                        help=f"failure modes to sweep (default: all of "
+                             f"{', '.join(MODES)})")
+    parser.add_argument("--policies", nargs="+",
+                        default=list(POLICY_DOCS),
+                        choices=sorted(POLICY_DOCS), metavar="POLICY",
+                        help=f"policy sets to sweep (default: all of "
+                             f"{', '.join(POLICY_DOCS)})")
+    parser.add_argument("--autoscale", choices=("off", "on", "both"),
+                        default="both",
+                        help="autoscaler states to sweep")
+    parser.add_argument("--requests", type=int, default=80,
+                        help="requests per cell")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.seeds < 1:
+        print("error: config: chaos.seeds: must be >= 1", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("error: config: chaos.requests: must be >= 1",
+              file=sys.stderr)
+        return 2
+    states = {"off": (False,), "on": (True,),
+              "both": (False, True)}[args.autoscale]
+    try:
+        report = run_matrix(tuple(range(args.seeds)), tuple(args.modes),
+                            tuple(args.policies), states,
+                            requests_per_cell=args.requests)
+    except ConfigError as exc:
+        print(f"error: config: {exc}", file=sys.stderr)
+        return 2
+    total = len(report["cells"]) + len(report["failures"])
+    print(f"chaos: {total} cells "
+          f"({len(report['matrix']['seeds'])} seeds x "
+          f"{len(report['matrix']['modes'])} modes x "
+          f"{len(report['matrix']['policies'])} policies x "
+          f"{len(report['matrix']['autoscale'])} autoscale states), "
+          f"checkpoint-resume {report['checkpoint_resume']}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"INVARIANT VIOLATED [{failure['cell']}]: "
+                  f"{failure['violation']}", file=sys.stderr)
+        return 1
+    print("all invariants held")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -12,6 +12,12 @@ likewise for stragglers and transient degradation); the scheduler
 defends with health checks, bounded retries, optional hedging
 (``--hedge-delay-ms``), circuit breakers, and load-shedding tiers.
 
+Serving behavior is pluggable: ``--policy-file`` loads a decision-tree
+policy set (``repro.serve.policy``) overriding the schedule/shed/retry/
+hedge decisions, and ``--autoscale`` turns on the deterministic
+simulated autoscaler (``repro.serve.autoscale``).  Both compose with
+``--scenario``, overriding the file's own sections.
+
 Two runs of the same command write byte-identical JSON, and
 ``--workers N`` (parallel cost-table measurement) matches a serial run
 exactly; CI asserts both.  ``--checkpoint PATH`` journals cost-table
@@ -26,11 +32,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.errors import ConfigError
 from repro.perf.checkpoint import TaskCheckpoint
+from repro.serve.autoscale import AutoscaleConfig
 from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
+from repro.serve.policy import list_policies, load_policy
 from repro.serve.queueing import SHED_POLICIES
 from repro.serve.report import (
     COST_MODELS,
@@ -152,6 +161,34 @@ def build_parser() -> argparse.ArgumentParser:
                             default=None,
                             help="hedge a launch overrunning its healthy "
                                  "estimate by this much (default: off)")
+    policy = parser.add_argument_group("policy")
+    policy.add_argument("--policy-file", default=None,
+                        metavar="NAME_OR_PATH",
+                        help="decision-tree policy set overriding the "
+                             "schedule/shed/retry/hedge decisions "
+                             "(library name or path); composes with "
+                             "--scenario, overriding its policy section")
+    policy.add_argument("--list-policies", action="store_true",
+                        help="list the named policies on the search "
+                             "path and exit")
+    autoscale = parser.add_argument_group("autoscale")
+    autoscale.add_argument("--autoscale", action="store_true",
+                           help="enable the simulated autoscaler "
+                                "(composes with --scenario)")
+    autoscale.add_argument("--autoscale-min", type=_positive_int, default=1,
+                           help="active-fleet floor")
+    autoscale.add_argument("--autoscale-max", type=_positive_int, default=8,
+                           help="active-fleet ceiling")
+    autoscale.add_argument("--autoscale-interval-ms", type=_positive_float,
+                           default=0.04,
+                           help="decision tick period (simulated ms)")
+    autoscale.add_argument("--autoscale-warmup-ms", type=_nonneg_float,
+                           default=0.04,
+                           help="provisioned chips serve nothing for "
+                                "this long")
+    autoscale.add_argument("--autoscale-cooldown-ms", type=_nonneg_float,
+                           default=0.16,
+                           help="hold-off between scale decisions")
     scenario = parser.add_argument_group("scenario")
     scenario.add_argument("--scenario", default=None, metavar="NAME_OR_PATH",
                           help="run a declarative scenario file (library "
@@ -225,12 +262,31 @@ def _resilience_config(args) -> ResilienceConfig:
     )
 
 
+def _autoscale_config(args) -> AutoscaleConfig | None:
+    if not args.autoscale:
+        return None
+    return AutoscaleConfig(
+        min_chips=args.autoscale_min,
+        max_chips=args.autoscale_max,
+        evaluate_interval_cycles=_ms(args.autoscale_interval_ms),
+        warmup_cycles=_ms(args.autoscale_warmup_ms),
+        cooldown_cycles=_ms(args.autoscale_cooldown_ms),
+    )
+
+
 def _run(args) -> int:
     if args.list_scenarios:
         scenarios = list_scenarios()
         if not scenarios:
             print("no scenarios found on the search path")
         for entry in scenarios:
+            print(f"{entry['name']:<20} {entry['description']}")
+        return 0
+    if args.list_policies:
+        policies = list_policies()
+        if not policies:
+            print("no policies found on the search path")
+        for entry in policies:
             print(f"{entry['name']:<20} {entry['description']}")
         return 0
     if args.resume and not args.checkpoint:
@@ -241,6 +297,11 @@ def _run(args) -> int:
         config, workload = scenario.serve, scenario.workload
         cost_model = scenario.cost_model
         surrogate_tolerance = scenario.surrogate_tolerance
+        if args.policy_file:
+            config = replace(config,
+                             policy_set=load_policy(args.policy_file))
+        if args.autoscale:
+            config = replace(config, autoscale=_autoscale_config(args))
         print(f"scenario {scenario.name}: "
               f"{scenario.description or '(no description)'}")
     else:
@@ -261,6 +322,9 @@ def _run(args) -> int:
             failures=failures,
             resilience=(_resilience_config(args)
                         if failures is not None else None),
+            policy_set=(load_policy(args.policy_file)
+                        if args.policy_file else None),
+            autoscale=_autoscale_config(args),
         )
         workload = WorkloadConfig(
             mix=mixes[0],

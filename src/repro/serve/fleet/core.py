@@ -1,0 +1,336 @@
+"""The fleet event loop: admission → batching → scheduling over N
+simulated chips, with an optional chip-failure lifecycle and autoscaler.
+
+:class:`FleetSimulator` drives the whole serving pipeline as a
+deterministic discrete-event loop in simulated time (PE clock cycles):
+requests arrive open-loop, pass admission control
+(:class:`~repro.serve.queueing.AdmissionQueue`), pack into launches
+(:class:`~repro.serve.batcher.DynamicBatcher`), and dispatch onto the
+chip the scheduling decision prefers.  Service times come from the
+measured :class:`~repro.serve.costmodel.ServiceCostTable`; the only
+modeled additions are the per-launch dispatch overhead (program staging
+into the 1,024-entry instruction buffer plus launch handshake) and the
+model-reload penalty when a chip switches resident kind or BP tile
+(staged bytes over the chip's external link bandwidth).
+
+Scheduling policies (the built-in leaves of the ``schedule`` decision
+slot — see :mod:`repro.serve.policy` for the decision-tree engine):
+
+``round-robin``
+    Rotate through chips regardless of load — the baseline.
+``least-loaded``
+    The chip that frees up earliest.  Naturally routes around degraded
+    (slower) chips, whose queues drain late.
+``locality``
+    The chip that would *finish* the batch earliest, counting the reload
+    penalty it would pay — so same-model batches stick to warm chips
+    until queueing outweighs the reload saving.
+
+Every tie breaks on (free time, chip id), so a schedule is a pure
+function of the arrival trace, the config, the cost table, and the
+compiled policy.
+
+Cycle accounting per request: ``batch_wait`` (arrival → batch close),
+``queue_wait`` (batch close → launch start, i.e. waiting for a chip —
+including any failed attempts and retry backoff), ``service`` (launch
+start → finish of the *successful* launch, shared by the whole batch),
+and ``latency`` — their sum.  The accounting invariant ``latency ==
+batch_wait + queue_wait + service`` therefore holds through re-dispatch
+and hedging by construction.  Shed requests record only the shed time.
+
+Failure handling (``config.failures`` enabled) — see
+:mod:`repro.serve.failures` for the physical lifecycle and
+:mod:`repro.serve.resilience` for the scheduler-side defense:
+
+* The scheduler has **no oracle**: it keeps routing to a failed chip
+  until a health check detects the failure; launches killed by a
+  fail-stop are re-dispatched (bounded retries, deadline-aware backoff)
+  after the detection time, never at the physical failure instant.
+* Every admitted request is **exactly-once accounted** with an
+  ``outcome``: ``served``, ``shed`` (admission control), or ``expired``
+  (deadline passed while retrying, or the retry budget ran out) —
+  asserted at the end of every run, so nothing is silently lost.
+* Hedged launches and killed attempts append their own
+  :class:`~repro.serve.fleet.records.BatchRecord` rows (``outcome``
+  ``hedge-loser`` / ``killed``) with the cycles they burned, so wasted
+  work is first-class.
+* With ``config.failures`` ``None`` (or disabled) the simulator runs
+  the exact pre-failure code path: reports are byte-identical to a
+  build without the failure plumbing.
+
+Autoscaling (``config.autoscale`` set — see
+:mod:`repro.serve.autoscale`): the chip list grows and shrinks at
+evaluation ticks; draining/retired chips take no new launches, and
+provisioned chips serve nothing until warm.  With ``config.autoscale``
+``None`` the simulator never consults the autoscaler and the static
+fleet runs the exact legacy path.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import ConfigError
+from repro.serve.autoscale import Autoscaler
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.costmodel import ServiceCostTable
+from repro.serve.failures import ChipFailureTimeline
+from repro.serve.fleet.dispatch import DispatchMixin, _Pending
+from repro.serve.fleet.records import (
+    OUTCOMES,
+    POLICIES,
+    BatchRecord,
+    ChipState,
+    FleetResult,
+    RequestRecord,
+    ServeConfig,
+)
+from repro.serve.metrics import percentile
+from repro.serve.policy import PolicyEngine
+from repro.serve.queueing import AdmissionQueue
+from repro.serve.resilience import (
+    DEFAULT_RESILIENCE,
+    HealthMonitor,
+    ResilienceConfig,
+)
+from repro.serve.workload import Request
+from repro.trace.collector import NULL_TRACE, TraceSink
+
+__all__ = [
+    "OUTCOMES", "POLICIES", "BatchRecord", "ChipState", "FleetResult",
+    "FleetSimulator", "RequestRecord", "ServeConfig",
+]
+
+
+class FleetSimulator(DispatchMixin):
+    """Deterministic serving simulation over ``config.chips`` chips.
+
+    ``timeline`` injects an explicit (e.g. scripted) failure timeline;
+    by default one is drawn from ``config.failures`` when enabled.
+
+    Every service time comes from ``costs.launch_cycles``, so the table
+    covers batches up to ``config.max_batch`` by construction: FC
+    batches above the table's resident cap (``costs.fc_cap``) price as
+    back-to-back waves, and the table may itself be surrogate-built
+    (anchors + cross-validated interpolation) — the simulator is
+    agnostic to how a cycle count was obtained.
+    """
+
+    def __init__(self, config: ServeConfig, costs: ServiceCostTable,
+                 trace: TraceSink = NULL_TRACE,
+                 timeline: ChipFailureTimeline | None = None):
+        if config.max_batch > costs.max_batch:
+            raise ConfigError(
+                f"config.max_batch {config.max_batch} exceeds the cost "
+                f"table's measured range {costs.max_batch}")
+        self.config = config
+        self.costs = costs
+        self.trace = trace if trace.enabled else None
+        self.chips = [
+            ChipState(chip_id=i, degraded=(i in config.degraded_chips))
+            for i in range(config.chips)
+        ]
+        if timeline is None and config.failures_enabled:
+            timeline = ChipFailureTimeline(config.failures, config.chips)
+        self.timeline = timeline
+        self.resilience = config.resilience or DEFAULT_RESILIENCE
+        if timeline is not None:
+            seed = config.failures.seed if config.failures is not None else 0
+            self.monitor: HealthMonitor | None = HealthMonitor(
+                self.resilience, timeline, config.chips, seed=seed,
+                trace=trace)
+        else:
+            self.monitor = None
+        # Every decision slot compiles once here; a built-in (leaf)
+        # schedule binds its primitive directly — the "callable resolved
+        # at config time" default path.
+        self.engine = PolicyEngine(
+            policy=config.policy, shed_policy=config.shed_policy,
+            max_retries=self.resilience.max_retries,
+            hedge_enabled=self.resilience.hedge_delay_cycles is not None,
+            policy_set=config.policy_set)
+        if self.engine.schedule.leaf is not None:
+            self._schedule_fn = self._schedule_primitive(
+                self.engine.schedule.leaf)
+        else:
+            self._schedule_fn = None
+        self.autoscaler = (Autoscaler(config.autoscale, self)
+                           if config.autoscale is not None else None)
+        self._queue: AdmissionQueue | None = None
+        self._rr = 0
+        self._seq = 0
+        self._events: list = []  # (time, seq, kind, payload) min-heap
+        self._batches: list[BatchRecord] = []
+        self._records: dict[int, RequestRecord] = {}
+        self.retry_count = 0
+        self.hedge_count = 0
+
+    # -- event plumbing ------------------------------------------------
+
+    def _push(self, time: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def _drain(self, until: float | None) -> None:
+        """Execute every queued event at or before ``until`` (all of
+        them when ``until`` is None), advancing health and scale state
+        first."""
+        while self._events and (until is None
+                                or self._events[0][0] <= until):
+            time, _, kind, payload = heapq.heappop(self._events)
+            if self.monitor is not None:
+                self.monitor.advance(time)
+            if self.autoscaler is not None:
+                self.autoscaler.advance(time)
+            if kind == "dispatch":
+                self._execute_dispatch(payload, time)
+            elif kind == "hedge":
+                self._execute_hedge(payload, time)
+            elif kind == "breaker-fail":
+                self.monitor.breakers[payload].record_failure(time)
+            else:  # breaker-ok
+                self.monitor.breakers[payload].record_success(time)
+
+    # -- fleet membership ----------------------------------------------
+
+    def _dispatchable(self) -> list:
+        """Chips that may take new launches.  The static fleet returns
+        the chip list itself — the exact legacy candidate set."""
+        if self.autoscaler is None:
+            return self.chips
+        return [c for c in self.chips
+                if c.retired_at is None and not c.draining]
+
+    def provision_chip(self, now: float, warm_at: float) -> ChipState:
+        """Add one chip (autoscaler scale-up): idle once warm, healthy
+        cost column, breaker starts closed, no scripted failures."""
+        chip = ChipState(chip_id=len(self.chips), added_at=now,
+                         warm_at=warm_at, free_at=warm_at)
+        self.chips.append(chip)
+        if self.monitor is not None:
+            self.monitor.add_chip()
+        return chip
+
+    # -- observation ---------------------------------------------------
+
+    def snapshot(self, now: float, arrived: int, total: int) -> dict:
+        """A live progress snapshot: pure observation of simulator state.
+
+        Reads records, counters, and breaker states without touching
+        them — callers (the control plane's progress stream) can take
+        snapshots at any cadence without perturbing the simulation, so
+        observed runs stay byte-identical to unobserved ones.
+        """
+        served = shed = expired = 0
+        latencies = []
+        for rec in self._records.values():
+            if rec.outcome == "served":
+                served += 1
+                latencies.append(rec.finish - rec.arrival)
+            elif rec.outcome == "shed":
+                shed += 1
+            else:
+                expired += 1
+        elapsed_s = now / (self.config.clock_ghz * 1e9)
+        snap = {
+            "sim_time_cycles": now,
+            "requests_arrived": arrived,
+            "requests_total": total,
+            "served": served,
+            "shed": shed,
+            "expired": expired,
+            "retries": self.retry_count,
+            "hedges": self.hedge_count,
+            "throughput_rps": (served / elapsed_s) if elapsed_s > 0 else 0.0,
+            "latency_p50": (percentile(latencies, 50.0)
+                            if latencies else None),
+            "latency_p99": (percentile(latencies, 99.0)
+                            if latencies else None),
+        }
+        if self.monitor is not None:
+            # Read breaker states directly; allow() would advance an
+            # expired open breaker to half-open as a side effect.
+            snap["breakers"] = {
+                str(b.chip_id): b.state for b in self.monitor.breakers
+            }
+        if self.autoscaler is not None:
+            events = self.autoscaler.events
+            snap["autoscale"] = {
+                "active_chips": len(self.autoscaler.active_chips()),
+                "total_chips": len(self.chips),
+                "draining": sum(1 for c in self.chips
+                                if c.draining and c.retired_at is None),
+                "scale_events": len(events),
+                "last_action": events[-1].action if events else None,
+            }
+        return snap
+
+    # -- the event loop ------------------------------------------------
+
+    def run(self, requests: list[Request],
+            on_progress=None, progress_every: int | None = None
+            ) -> FleetResult:
+        requests = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        batcher = DynamicBatcher(self.config.max_batch,
+                                 self.config.max_wait_cycles)
+        # A leaf shed slot (every built-in) runs the legacy string
+        # policy; a shed *tree* decides per overflow via its context.
+        if self.engine.shed.leaf is not None:
+            queue = AdmissionQueue(batcher, self.config.queue_capacity,
+                                   self.engine.shed.leaf)
+        else:
+            queue = AdmissionQueue(
+                batcher, self.config.queue_capacity,
+                decider=lambda req: self.engine.shed.fn(
+                    self._shed_ctx(req)))
+        self._queue = queue
+        total = len(requests)
+        if on_progress is not None and progress_every is None:
+            progress_every = max(1, total // 20)
+        arrived = 0
+        for req in requests:
+            for batch in batcher.due(req.arrival):
+                self._push(batch.close, "dispatch", _Pending(batch))
+            self._drain(until=req.arrival)
+            if self.monitor is not None:
+                self.monitor.advance(req.arrival)
+                multiplier = self.resilience.tier_multiplier(
+                    self.monitor.alive_fraction(req.arrival))
+                queue.capacity = max(
+                    1, int(self.config.queue_capacity * multiplier))
+            if self.autoscaler is not None:
+                self.autoscaler.advance(req.arrival)
+            admission = queue.offer(req)
+            if admission.shed is not None:
+                self._shed(admission.shed, req.arrival)
+            if admission.filled is not None:
+                self._push(admission.filled.close, "dispatch",
+                           _Pending(admission.filled))
+                self._drain(until=req.arrival)
+            arrived += 1
+            if on_progress is not None and arrived % progress_every == 0:
+                on_progress(self.snapshot(req.arrival, arrived, total))
+        for batch in batcher.flush():
+            self._push(batch.close, "dispatch", _Pending(batch))
+        self._drain(until=None)
+        if on_progress is not None:
+            end = max((b.finish for b in self._batches
+                       if b.outcome == "served"),
+                      default=requests[-1].arrival if requests else 0.0)
+            on_progress(self.snapshot(end, total, total))
+
+        records = [self._records[r.rid] for r in
+                   sorted(requests, key=lambda r: r.rid)]
+        missing = [r.rid for r in requests if r.rid not in self._records]
+        assert not missing, f"requests lost without accounting: {missing}"
+        first = requests[0].arrival if requests else 0.0
+        last = max((b.finish for b in self._batches
+                    if b.outcome == "served"),
+                   default=requests[-1].arrival if requests else 0.0)
+        autoscale = None
+        if self.autoscaler is not None:
+            autoscale = self.autoscaler.result(records, last)
+        return FleetResult(records=records, batches=self._batches,
+                           chips=self.chips,
+                           makespan=max(last - first, 0.0),
+                           autoscale=autoscale)

@@ -1,0 +1,437 @@
+"""The dispatch/policy half of the fleet simulator.
+
+Everything that decides *where work goes and what happens to a launch* —
+scheduling-policy primitives and their decision-tree contexts, chip
+picking, launch math, kill/retry/hedge resolution, and the exact legacy
+dispatch path used when failures are disabled.  The event loop that
+drives these methods lives in :mod:`repro.serve.fleet.core`;
+:class:`DispatchMixin` is mixed into
+:class:`~repro.serve.fleet.core.FleetSimulator`.
+
+Scheduling decisions flow through one callable resolved at construction
+time: a built-in (leaf) policy binds its primitive method directly, a
+decision tree (see :mod:`repro.serve.policy`) is compiled once and
+evaluated against a small observable context per decision.  The default
+configuration therefore runs the pre-engine string policies with zero
+added indirection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.batcher import Batch
+from repro.serve.fleet.records import BatchRecord, RequestRecord
+from repro.serve.resilience import OPEN
+from repro.serve.workload import Request
+
+
+@dataclass
+class _Pending:
+    """A batch awaiting (re-)dispatch."""
+
+    batch: Batch
+    attempt: int = 0
+    excluded: frozenset = field(default_factory=frozenset)
+
+
+@dataclass
+class _InFlight:
+    """A launched batch whose hedge timer is armed (resolution deferred)."""
+
+    batch: Batch
+    attempt: int
+    chip: object  # ChipState
+    start: float
+    finish: float
+    reload: float
+    degraded: bool
+
+
+class DispatchMixin:
+    """Scheduling, launch, and failure-resolution methods of the fleet."""
+
+    # -- scheduling primitives -----------------------------------------
+
+    def _pick_round_robin(self, batch: Batch, candidates: list):
+        chip = candidates[self._rr % len(candidates)]
+        self._rr += 1
+        return chip
+
+    def _pick_least_loaded(self, batch: Batch, candidates: list):
+        return min(candidates, key=lambda c: (c.free_at, c.chip_id))
+
+    def _pick_locality(self, batch: Batch, candidates: list):
+        # Earliest *finish*, reload penalty included.  The estimate uses
+        # the chip's *known* (static-degraded) column — the scheduler
+        # has no oracle for transient/slow windows.
+        def finish_key(c):
+            start = max(batch.close, c.free_at)
+            service = (self._reload_cycles(c, batch)
+                       + self.config.dispatch_overhead_cycles
+                       + self.costs.launch_cycles(batch.kind, batch.size,
+                                                  c.degraded))
+            return (start + service, c.free_at, c.chip_id)
+        return min(candidates, key=finish_key)
+
+    def _schedule_primitive(self, name: str):
+        return {"round-robin": self._pick_round_robin,
+                "least-loaded": self._pick_least_loaded,
+                "locality": self._pick_locality}[name]
+
+    # -- decision-tree contexts ----------------------------------------
+
+    def _alive_fraction_belief(self) -> float:
+        """Believed-alive fleet fraction from breaker state, read-only
+        (``allow`` would advance expired open breakers)."""
+        if self.monitor is None:
+            return 1.0
+        breakers = self.monitor.breakers
+        alive = sum(1 for b in breakers if b.state != OPEN)
+        return alive / len(breakers) if breakers else 1.0
+
+    def _decision_ctx(self, batch: Batch, now: float, attempt: int) -> dict:
+        """Observables for a schedule/retry/hedge tree evaluation."""
+        queue = self._queue
+        return {
+            "now": now,
+            "attempt": attempt,
+            "batch.kind": batch.kind,
+            "batch.size": batch.size,
+            "batch.tile": batch.tile if batch.tile is not None else -1,
+            "batch.age": now - batch.close,
+            "queue.depth": queue.waiting if queue is not None else 0,
+            "queue.capacity": (queue.capacity if queue is not None
+                               else self.config.queue_capacity),
+            "fleet.chips": len(self._dispatchable()),
+            "fleet.alive_fraction": self._alive_fraction_belief(),
+        }
+
+    def _shed_ctx(self, request: Request) -> dict:
+        """Observables for an admission-overflow shed-tree evaluation."""
+        queue = self._queue
+        return {
+            "now": request.arrival,
+            "request.kind": request.kind,
+            "request.tile": request.tile if request.tile is not None else -1,
+            "queue.depth": queue.waiting if queue is not None else 0,
+            "queue.capacity": (queue.capacity if queue is not None
+                               else self.config.queue_capacity),
+            "fleet.chips": len(self._dispatchable()),
+            "fleet.alive_fraction": self._alive_fraction_belief(),
+        }
+
+    # -- scheduling ----------------------------------------------------
+
+    def _reload_cycles(self, chip, batch: Batch) -> float:
+        if chip.resident_kind != batch.kind:
+            bytes_ = self.costs.model_bytes[batch.kind]
+        elif batch.kind == "bp" and chip.resident_tile != batch.tile:
+            bytes_ = self.costs.tile_bytes[batch.kind]
+        else:
+            return 0.0
+        return bytes_ / self.config.reload_bytes_per_cycle
+
+    def _policy_pick(self, batch: Batch, candidates: list,
+                     now: float | None = None, attempt: int = 0):
+        """Route ``batch`` to one of ``candidates``.
+
+        ``self._schedule_fn`` was resolved once at construction: bound
+        primitive for a leaf policy, None for a decision tree (which is
+        evaluated here against the observable context).
+        """
+        fn = self._schedule_fn
+        if fn is None:
+            ctx = self._decision_ctx(
+                batch, now if now is not None else batch.close, attempt)
+            fn = self._schedule_primitive(self.engine.schedule.fn(ctx))
+        return fn(batch, candidates)
+
+    def _pick_chip(self, batch: Batch, now: float,
+                   excluded: frozenset = frozenset(), attempt: int = 0):
+        if self.monitor is None:
+            return self._policy_pick(batch, self._dispatchable(),
+                                     now, attempt)
+        candidates = [c for c in self._dispatchable()
+                      if c.chip_id not in excluded
+                      and self.monitor.allow(c.chip_id, now)]
+        if not candidates:
+            return None
+        return self._policy_pick(batch, candidates, now, attempt)
+
+    # -- launch math ---------------------------------------------------
+
+    def _healthy_estimate(self, chip, batch: Batch, reload: float) -> float:
+        """The scheduler's service expectation (its hedging baseline)."""
+        return (reload + self.config.dispatch_overhead_cycles
+                + self.costs.launch_cycles(batch.kind, batch.size,
+                                           chip.degraded))
+
+    def _launch(self, chip, batch: Batch,
+                t: float) -> tuple[float, float, float, bool]:
+        """Compute one launch on ``chip`` starting no earlier than ``t``:
+        returns (start, finish, reload, effective_degraded)."""
+        start = max(batch.close, chip.free_at, t)
+        reload = self._reload_cycles(chip, batch)
+        degraded = chip.degraded
+        service = self._healthy_estimate(chip, batch, reload)
+        if self.timeline is not None:
+            if not degraded and self.timeline.transient_at(chip.chip_id,
+                                                           start):
+                degraded = True
+                service = (reload + self.config.dispatch_overhead_cycles
+                           + self.costs.launch_cycles(batch.kind, batch.size,
+                                                      True))
+            service *= self.timeline.slow_factor_at(chip.chip_id, start)
+        return start, start + service, reload, degraded
+
+    # -- resolution ----------------------------------------------------
+
+    def _finalize(self, batch: Batch, attempt: int, chip,
+                  start: float, finish: float, reload: float,
+                  hedge: bool = False, hedged: bool = False) -> None:
+        """Commit a successful launch: records, accounting, traces."""
+        bid = len(self._batches)
+        service = finish - start
+        chip.busy_cycles += service
+        chip.reload_cycles += reload
+        chip.batches += 1
+        chip.requests += batch.size
+        self._batches.append(BatchRecord(
+            batch_id=bid, kind=batch.kind, size=batch.size,
+            chip=chip.chip_id, close=batch.close, start=start,
+            finish=finish, reload=reload, attempt=attempt,
+            outcome="served", hedge=hedge))
+        for req in batch.requests:
+            self._records[req.rid] = RequestRecord(
+                rid=req.rid, kind=req.kind, tile=req.tile,
+                arrival=req.arrival, shed=False, batch_id=bid,
+                chip=chip.chip_id, batch_size=batch.size,
+                dispatch=batch.close, start=start, finish=finish,
+                outcome="served", retries=attempt, hedged=hedged)
+        if self.monitor is not None:
+            self._push(finish, "breaker-ok", chip.chip_id)
+        if self.trace is not None:
+            self.trace.serve("serve.batch", f"{batch.kind}x{batch.size}",
+                             start, service, chip.chip_id,
+                             {"kind": batch.kind, "size": batch.size,
+                              "batch_id": bid, "reload": reload})
+            for req in batch.requests:
+                self.trace.serve("serve.request", req.kind, req.arrival,
+                                 finish - req.arrival, chip.chip_id,
+                                 {"rid": req.rid, "tile": req.tile,
+                                  "batch_id": bid})
+
+    def _record_waste(self, batch: Batch, attempt: int, chip,
+                      start: float, cancel: float, reload: float,
+                      outcome: str, hedge: bool,
+                      finish: float | None = None) -> float:
+        """Account a killed or cancelled launch; returns the waste.
+
+        ``finish`` is the launch's originally committed finish: the chip
+        is released back to the cancel point only when this launch was
+        still its tail.  Launches queued behind it kept their committed
+        schedule, so rolling ``free_at`` past them would let the chip
+        appear idle while work is outstanding (and run launches
+        concurrently with itself).
+        """
+        waste = max(cancel - start, 0.0)
+        if finish is None or chip.free_at == finish:
+            chip.free_at = max(min(chip.free_at, cancel), start)
+        chip.busy_cycles += waste
+        if outcome == "hedge-loser":
+            chip.reload_cycles += reload
+        else:
+            chip.kills += 1
+        self._batches.append(BatchRecord(
+            batch_id=len(self._batches), kind=batch.kind, size=batch.size,
+            chip=chip.chip_id, close=batch.close, start=start,
+            finish=cancel, reload=reload, attempt=attempt,
+            outcome=outcome, waste=waste, hedge=hedge))
+        return waste
+
+    def _expire(self, requests, close: float, attempt: int,
+                now: float) -> None:
+        for req in requests:
+            self._records[req.rid] = RequestRecord(
+                rid=req.rid, kind=req.kind, tile=req.tile,
+                arrival=req.arrival, shed=False, dispatch=close,
+                outcome="expired", retries=attempt)
+            if self.trace is not None:
+                self.trace.serve("serve.expired", req.kind, now, 0.0, -1,
+                                 {"rid": req.rid, "tile": req.tile,
+                                  "attempt": attempt})
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_plain(self, pending: _Pending) -> None:
+        """The exact pre-failure dispatch path (failures disabled)."""
+        batch = pending.batch
+        chip = self._policy_pick(batch, self._dispatchable(), batch.close)
+        start = max(batch.close, chip.free_at)
+        reload = self._reload_cycles(chip, batch)
+        finish = start + (reload + self.config.dispatch_overhead_cycles
+                          + self.costs.launch_cycles(batch.kind, batch.size,
+                                                     chip.degraded))
+        chip.free_at = finish
+        chip.resident_kind = batch.kind
+        chip.resident_tile = batch.tile
+        self._finalize(batch, 0, chip, start, finish, reload)
+
+    def _execute_dispatch(self, pending: _Pending, t: float) -> None:
+        if self.monitor is None:
+            self._dispatch_plain(pending)
+            return
+        res = self.resilience
+        batch = pending.batch
+        # Deadline-aware: drop requests too old to be worth retrying.
+        alive = [r for r in batch.requests
+                 if r.arrival + res.retry_deadline_cycles > t]
+        if len(alive) < len(batch.requests):
+            gone = [r for r in batch.requests if r not in alive]
+            self._expire(gone, batch.close, pending.attempt, t)
+            if not alive:
+                return
+            batch = Batch(kind=batch.kind, requests=alive, close=batch.close)
+        if pending.attempt > 0 and self.trace is not None:
+            self.trace.serve("serve.retry", batch.kind, t, 0.0, -1,
+                             {"kind": batch.kind, "size": batch.size,
+                              "attempt": pending.attempt})
+        chip = self._pick_chip(batch, t, pending.excluded, pending.attempt)
+        if chip is None and pending.excluded:
+            # Every non-excluded chip is breaker-blocked; retrying the
+            # observed-failing chip beats waiting out the whole fleet.
+            chip = self._pick_chip(batch, t, attempt=pending.attempt)
+        if chip is None:
+            # Whole fleet believed down: wait one health interval and
+            # re-check (requests age out via the deadline above).
+            self._push(t + res.health_check_interval_cycles, "dispatch",
+                       _Pending(batch, pending.attempt, frozenset()))
+            return
+        start, finish, reload, _ = self._launch(chip, batch, t)
+        chip.free_at = finish
+        chip.resident_kind = batch.kind
+        chip.resident_tile = batch.tile
+        kill = self.timeline.fail_stop_in(chip.chip_id, start, finish)
+        if kill is not None:
+            self._kill(batch, pending, chip, start, finish, reload, kill)
+            return
+        if res.hedge_delay_cycles is not None \
+                and self._hedge_wanted(batch, t, pending.attempt):
+            expected = self._healthy_estimate(chip, batch, reload)
+            hedge_at = start + expected + res.hedge_delay_cycles
+            if hedge_at < finish:
+                self._push(hedge_at, "hedge",
+                           _InFlight(batch=batch, attempt=pending.attempt,
+                                     chip=chip, start=start, finish=finish,
+                                     reload=reload, degraded=chip.degraded))
+                return
+        self._finalize(batch, pending.attempt, chip, start, finish, reload)
+
+    def _hedge_wanted(self, batch: Batch, now: float, attempt: int) -> bool:
+        """The hedge slot's decision (built-in: always hedge when the
+        delay knob is set — the exact legacy behavior)."""
+        decision = self.engine.hedge
+        if decision.leaf is not None:
+            return decision.leaf == "hedge"
+        ctx = self._decision_ctx(batch, now, attempt)
+        return decision.fn(ctx) == "hedge"
+
+    def _retry_wanted(self, batch: Batch, now: float, attempt: int) -> bool:
+        """The retry slot's decision for re-dispatch ``attempt``
+        (built-in: ``attempt <= max_retries`` — the legacy budget)."""
+        decision = self.engine.retry
+        if decision.leaf is not None:
+            return decision.leaf == "retry"
+        ctx = self._decision_ctx(batch, now, attempt)
+        return decision.fn(ctx) == "retry"
+
+    def _kill(self, batch: Batch, pending: _Pending, chip,
+              start: float, finish: float, reload: float, kill) -> None:
+        """A fail-stop caught this launch: account, detect, retry."""
+        res = self.resilience
+        kill_t = max(start, kill.start)
+        waste = self._record_waste(batch, pending.attempt, chip, start,
+                                   kill_t, reload, "killed", hedge=False,
+                                   finish=finish)
+        detect = self.monitor.detect_time(kill_t)
+        self._push(detect, "breaker-fail", chip.chip_id)
+        if self.trace is not None:
+            self.trace.serve("serve.failure", batch.kind, kill_t, 0.0,
+                             chip.chip_id,
+                             {"kind": batch.kind, "size": batch.size,
+                              "attempt": pending.attempt, "waste": waste,
+                              "detect": detect})
+        attempt = pending.attempt + 1
+        if not self._retry_wanted(batch, kill_t, attempt):
+            self._expire(batch.requests, batch.close, pending.attempt,
+                         kill_t)
+            return
+        self.retry_count += 1
+        retry_t = detect + res.backoff_cycles(attempt)
+        self._push(retry_t, "dispatch",
+                   _Pending(batch, attempt,
+                            pending.excluded | {chip.chip_id}))
+
+    def _execute_hedge(self, flight: _InFlight, t: float) -> None:
+        """The hedge timer fired: race a duplicate launch if one helps."""
+        batch, primary = flight.batch, flight.chip
+        hchip = self._pick_chip(batch, t, frozenset({primary.chip_id}),
+                                flight.attempt)
+        if hchip is None:
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload)
+            return
+        h_start, h_finish, h_reload, _ = self._launch(hchip, batch, t)
+        if h_start >= flight.finish:
+            # The hedge could not even start before the primary finishes.
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload)
+            return
+        self.hedge_count += 1
+        hchip.free_at = h_finish
+        hchip.resident_kind = batch.kind
+        hchip.resident_tile = batch.tile
+        if self.trace is not None:
+            self.trace.serve("serve.hedge", batch.kind, h_start, 0.0,
+                             hchip.chip_id,
+                             {"kind": batch.kind, "size": batch.size,
+                              "primary": primary.chip_id})
+        h_kill = self.timeline.fail_stop_in(hchip.chip_id, h_start, h_finish)
+        if h_kill is not None:
+            # The hedge died; the primary (which we know completes)
+            # carries the batch.  The dead hedge chip is detected as any
+            # other fail-stop.
+            kill_t = max(h_start, h_kill.start)
+            self._record_waste(batch, flight.attempt, hchip, h_start,
+                               kill_t, h_reload, "killed", hedge=True,
+                               finish=h_finish)
+            self._push(self.monitor.detect_time(kill_t), "breaker-fail",
+                       hchip.chip_id)
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload, hedged=True)
+            return
+        if h_finish < flight.finish:
+            # Hedge wins; cancel the primary at the winner's finish.
+            self._record_waste(batch, flight.attempt, primary, flight.start,
+                               h_finish, flight.reload, "hedge-loser",
+                               hedge=False, finish=flight.finish)
+            self._finalize(batch, flight.attempt, hchip, h_start, h_finish,
+                           h_reload, hedge=True, hedged=True)
+        else:
+            # Primary wins; cancel the hedge when the primary finishes.
+            cancel = min(h_finish, flight.finish)
+            self._record_waste(batch, flight.attempt, hchip, h_start,
+                               cancel, h_reload, "hedge-loser", hedge=True,
+                               finish=h_finish)
+            self._finalize(batch, flight.attempt, primary, flight.start,
+                           flight.finish, flight.reload, hedged=True)
+
+    def _shed(self, request: Request, now: float) -> None:
+        self._records[request.rid] = RequestRecord(
+            rid=request.rid, kind=request.kind, tile=request.tile,
+            arrival=request.arrival, shed=True, dispatch=now,
+            outcome="shed")
+        if self.trace is not None:
+            self.trace.serve("serve.shed", request.kind, now, 0.0, -1,
+                             {"rid": request.rid, "tile": request.tile})

@@ -1,0 +1,190 @@
+"""Fleet data definitions: config, per-chip state, and run records.
+
+Shared by the event-loop core (:mod:`repro.serve.fleet.core`) and the
+dispatch/policy half (:mod:`repro.serve.fleet.dispatch`); importing this
+module pulls in no simulation machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serve.failures import FailureConfig
+from repro.serve.policy import SCHEDULE_PRIMITIVES, PolicySet
+from repro.serve.queueing import SHED_POLICIES
+from repro.serve.resilience import ResilienceConfig
+
+#: The built-in scheduling policies (leaves of the ``schedule`` slot).
+POLICIES = SCHEDULE_PRIMITIVES
+
+#: Request outcomes (the conservation invariant's exhaustive set).
+OUTCOMES = ("served", "shed", "expired")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The serving-layer knobs (all times in PE clock cycles)."""
+
+    chips: int = 4
+    policy: str = "least-loaded"
+    max_batch: int = 8
+    max_wait_cycles: float = 20_000.0
+    queue_capacity: int = 64
+    shed_policy: str = "drop-newest"
+    #: Per-launch fixed cost: program staging + launch handshake.
+    dispatch_overhead_cycles: float = 2_000.0
+    #: External-link staging bandwidth for model/tile reloads
+    #: (8 B/cycle = 10 GB/s at 1.25 GHz, one vault's share of the
+    #: chip-level 320 GB/s).
+    reload_bytes_per_cycle: float = 8.0
+    #: Chips running the degraded (fault-injected, ECC-correcting)
+    #: service-time column of the cost table.
+    degraded_chips: tuple = ()
+    #: Latency SLO; a served request violates it when latency exceeds
+    #: this.  Default 0.25 ms at 1.25 GHz.
+    slo_cycles: float = 312_500.0
+    clock_ghz: float = 1.25
+    #: The chip failure lifecycle (None or disabled = the exact
+    #: pre-failure code path; see repro.serve.failures).
+    failures: FailureConfig | None = None
+    #: Scheduler-side resilience knobs; None uses DEFAULT_RESILIENCE
+    #: when failures are enabled.
+    resilience: ResilienceConfig | None = None
+    #: Decision-tree overrides for the schedule/shed/retry/hedge slots
+    #: (see repro.serve.policy).  None runs the built-in trees, which
+    #: reproduce the string knobs above exactly.
+    policy_set: PolicySet | None = None
+    #: Simulated autoscaling (see repro.serve.autoscale).  None keeps
+    #: the fleet static — the exact pre-autoscaler code path.
+    autoscale: "AutoscaleConfig | None" = None
+
+    def __post_init__(self):
+        if self.chips <= 0:
+            raise ConfigError("chips must be positive")
+        if self.policy not in POLICIES:
+            raise ConfigError(f"unknown policy {self.policy!r}; "
+                              f"choose from {POLICIES}")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(f"unknown shed policy {self.shed_policy!r}")
+        if self.dispatch_overhead_cycles < 0:
+            raise ConfigError("dispatch_overhead_cycles must be nonnegative")
+        if self.reload_bytes_per_cycle <= 0:
+            raise ConfigError("reload_bytes_per_cycle must be positive")
+        if self.slo_cycles <= 0:
+            raise ConfigError("slo_cycles must be positive")
+        bad = [c for c in self.degraded_chips
+               if not 0 <= c < self.chips]
+        if bad:
+            raise ConfigError(f"degraded chip ids out of range: {bad}")
+        if self.failures is not None:
+            self.failures.validate_chips(self.chips)
+        if self.policy_set is not None \
+                and not isinstance(self.policy_set, PolicySet):
+            raise ConfigError("policy_set must be a PolicySet "
+                              "(see repro.serve.policy.load_policy)")
+        if self.autoscale is not None:
+            self.autoscale.validate_fleet(self.chips)
+
+    @property
+    def failures_enabled(self) -> bool:
+        return self.failures is not None and self.failures.enabled
+
+
+@dataclass
+class ChipState:
+    """One chip's scheduling state and accumulated accounting."""
+
+    chip_id: int
+    degraded: bool = False
+    free_at: float = 0.0
+    resident_kind: str | None = None
+    resident_tile: int | None = None
+    busy_cycles: float = 0.0
+    reload_cycles: float = 0.0
+    batches: int = 0
+    requests: int = 0
+    #: Launches killed under this chip by a fail-stop (incl. hedges).
+    kills: int = 0
+    #: Autoscaler lifecycle (defaults describe a boot-time chip; the
+    #: static fleet never changes them).
+    added_at: float = 0.0
+    #: A provisioned chip serves no work before this (warm-up cost).
+    warm_at: float = 0.0
+    #: Draining chips take no new launches and retire once idle.
+    draining: bool = False
+    retired_at: float | None = None
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Final accounting for one request (served, shed, or expired)."""
+
+    rid: int
+    kind: str
+    tile: int
+    arrival: float
+    shed: bool
+    batch_id: int = -1
+    chip: int = -1
+    batch_size: int = 0
+    dispatch: float = 0.0  # batch close time
+    start: float = 0.0     # launch start on the chip
+    finish: float = 0.0
+    #: Exactly-once accounting: "served", "shed", or "expired".
+    outcome: str = "served"
+    #: Re-dispatch attempts the serving (or expiring) launch had behind it.
+    retries: int = 0
+    #: True when a hedge launch raced the primary for this request.
+    hedged: bool = False
+
+    @property
+    def batch_wait(self) -> float:
+        return self.dispatch - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.dispatch
+
+    @property
+    def service(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One kernel launch (or launch attempt)."""
+
+    batch_id: int
+    kind: str
+    size: int
+    chip: int
+    close: float
+    start: float
+    finish: float
+    reload: float
+    #: Which re-dispatch attempt this launch was (0 = first).
+    attempt: int = 0
+    #: "served", "killed" (fail-stop), or "hedge-loser" (cancelled).
+    outcome: str = "served"
+    #: Cycles the chip burned on a killed / cancelled launch.
+    waste: float = 0.0
+    #: True for hedge launches (winner or loser).
+    hedge: bool = False
+
+
+@dataclass
+class FleetResult:
+    """Everything the serving simulation observed."""
+
+    records: list  # RequestRecord, rid order
+    batches: list  # BatchRecord, resolution order
+    chips: list    # final ChipState per chip
+    makespan: float  # first arrival -> last finish (or last arrival)
+    #: Autoscaler rollup (events, chip-cycles, SLO-during-scale); None
+    #: for a static fleet.
+    autoscale: dict | None = None

@@ -41,10 +41,17 @@ class Admission:
 
 
 class AdmissionQueue:
-    """Capacity-bounded admission in front of a :class:`DynamicBatcher`."""
+    """Capacity-bounded admission in front of a :class:`DynamicBatcher`.
+
+    ``decider`` (optional) chooses the shed policy *per overflow*: a
+    callable mapping the arriving request to a :data:`SHED_POLICIES`
+    name.  The policy engine installs one when a shed decision tree is
+    configured; without it the fixed ``shed_policy`` string applies —
+    the exact legacy behavior.
+    """
 
     def __init__(self, batcher: DynamicBatcher, capacity: int,
-                 shed_policy: str = "drop-newest"):
+                 shed_policy: str = "drop-newest", decider=None):
         if capacity <= 0:
             raise ConfigError("queue capacity must be positive")
         if shed_policy not in SHED_POLICIES:
@@ -53,6 +60,7 @@ class AdmissionQueue:
         self.batcher = batcher
         self.capacity = capacity
         self.shed_policy = shed_policy
+        self.decider = decider
 
     @property
     def waiting(self) -> int:
@@ -61,7 +69,9 @@ class AdmissionQueue:
     def offer(self, request: Request) -> Admission:
         """Admit ``request`` if there is room, shedding per policy if not."""
         if self.batcher.waiting >= self.capacity:
-            if self.shed_policy == "drop-newest":
+            policy = (self.decider(request) if self.decider is not None
+                      else self.shed_policy)
+            if policy == "drop-newest":
                 return Admission(shed=request)
             evicted = self.batcher.oldest()
             assert evicted is not None  # capacity > 0 => someone is waiting

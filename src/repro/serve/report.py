@@ -18,6 +18,12 @@ cycle count — are identical to v1; only the new metric keys differ.
 ``repro.serve/v3`` adds the ``cost_model`` section (the selected mode
 plus the surrogate's cross-validation report).  With ``--cost-model
 measured`` every simulation outcome and metric is byte-identical to v2.
+``repro.serve/v4`` is emitted **only** when a policy set or autoscaler
+is configured: it adds ``config.policy_tree`` / ``config.autoscale``
+and a per-mix ``autoscale`` rollup (scale events, chip-cycles,
+SLO-during-scale).  A run without either stays on v3 and is
+byte-identical to pre-v4 builds — the version bump itself is
+conditional so default artifacts never change.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from repro.serve.workload import MIXES, WorkloadConfig, generate_requests
 from repro.trace.collector import NULL_TRACE, TraceSink
 
 SCHEMA = "repro.serve/v3"
+#: Emitted only when a policy set or autoscaler is configured.
+SCHEMA_V4 = "repro.serve/v4"
 
 COST_MODELS = ("measured", "surrogate")
 
@@ -152,8 +160,10 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
         resilience = (config.resilience or DEFAULT_RESILIENCE).as_dict()
     else:
         resilience = None
+    extended = (config.policy_set is not None
+                or config.autoscale is not None)
     payload = {
-        "schema": SCHEMA,
+        "schema": SCHEMA_V4 if extended else SCHEMA,
         "quick": quick,
         "cost_model": {
             "mode": cost_model,
@@ -198,10 +208,24 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
                 **run.metrics.as_dict(),
                 "chips": chip_utilization(run.fleet.chips,
                                           run.fleet.makespan),
+                **({"autoscale": run.fleet.autoscale}
+                   if run.fleet.autoscale is not None else {}),
             }
             for run in runs
         },
     }
+    if config.policy_set is not None:
+        ps = config.policy_set
+        payload["config"]["policy_tree"] = {
+            "name": ps.name,
+            "description": ps.description,
+            "source": ps.source,
+            "slots": {slot: getattr(ps, slot)
+                      for slot in ("schedule", "shed", "retry", "hedge")
+                      if getattr(ps, slot) is not None},
+        }
+    if config.autoscale is not None:
+        payload["config"]["autoscale"] = config.autoscale.as_dict()
     return payload, runs
 
 

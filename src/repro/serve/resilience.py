@@ -81,32 +81,61 @@ class ResilienceConfig:
     shed_tiers: tuple = ((0.75, 1.0), (0.5, 0.5), (0.25, 0.25), (0.0, 0.125))
 
     def __post_init__(self):
+        # Dotted resilience.<field> paths, matching the scenario DSL's
+        # error convention, so every front end reports
+        # ``error: config: resilience.max_retries: ...``.
         if self.health_check_interval_cycles <= 0:
-            raise ConfigError("health_check_interval_cycles must be positive")
+            raise ConfigError(
+                "resilience.health_check_interval_cycles: must be positive")
         if self.detection_latency_cycles < 0:
-            raise ConfigError("detection_latency_cycles must be nonnegative")
+            raise ConfigError(
+                "resilience.detection_latency_cycles: must be nonnegative")
         if not 0.0 <= self.health_false_positive_rate <= 1.0:
-            raise ConfigError("health_false_positive_rate must be in [0, 1]")
+            raise ConfigError(
+                "resilience.health_false_positive_rate: must be in [0, 1]")
         if self.breaker_failure_threshold < 1:
-            raise ConfigError("breaker_failure_threshold must be >= 1")
+            raise ConfigError(
+                "resilience.breaker_failure_threshold: must be >= 1")
         if self.breaker_open_cycles <= 0:
-            raise ConfigError("breaker_open_cycles must be positive")
+            raise ConfigError(
+                "resilience.breaker_open_cycles: must be positive")
         if self.max_retries < 0:
-            raise ConfigError("max_retries must be nonnegative")
+            raise ConfigError("resilience.max_retries: must be nonnegative")
         if self.retry_backoff_cycles < 0:
-            raise ConfigError("retry_backoff_cycles must be nonnegative")
+            raise ConfigError(
+                "resilience.retry_backoff_cycles: must be nonnegative")
         if self.retry_deadline_cycles <= 0:
-            raise ConfigError("retry_deadline_cycles must be positive")
+            raise ConfigError(
+                "resilience.retry_deadline_cycles: must be positive")
         if (self.hedge_delay_cycles is not None
                 and self.hedge_delay_cycles < 0):
-            raise ConfigError("hedge_delay_cycles must be nonnegative")
+            raise ConfigError(
+                "resilience.hedge_delay_cycles: must be nonnegative")
+        # Cross-field coherence: a retry budget nobody can spend, or a
+        # hedge timer that can never fire before the deadline, is a
+        # configuration mistake, not a degenerate-but-valid setting.
+        if self.retry_deadline_cycles <= self.retry_backoff_cycles:
+            raise ConfigError(
+                f"resilience.retry_deadline_cycles: must exceed "
+                f"retry_backoff_cycles ({self.retry_backoff_cycles:g}); "
+                f"got {self.retry_deadline_cycles:g} — every first retry "
+                f"would already be past its deadline")
+        if (self.hedge_delay_cycles is not None
+                and self.hedge_delay_cycles >= self.retry_deadline_cycles):
+            raise ConfigError(
+                f"resilience.hedge_delay_cycles: must be below "
+                f"retry_deadline_cycles ({self.retry_deadline_cycles:g}); "
+                f"got {self.hedge_delay_cycles:g} — the hedge timer could "
+                f"never fire before the request expires")
         last = 1.1
         for threshold, multiplier in self.shed_tiers:
             if not 0.0 <= threshold < last:
-                raise ConfigError("shed_tiers thresholds must be descending "
-                                  "and in [0, 1]")
+                raise ConfigError(
+                    "resilience.shed_tiers: thresholds must be descending "
+                    "and in [0, 1]")
             if not 0.0 < multiplier <= 1.0:
-                raise ConfigError("shed_tiers multipliers must be in (0, 1]")
+                raise ConfigError(
+                    "resilience.shed_tiers: multipliers must be in (0, 1]")
             last = threshold
 
     def backoff_cycles(self, attempt: int) -> float:
@@ -203,6 +232,7 @@ class HealthMonitor:
         self.timeline = timeline
         self.chips = chips
         self.seed = seed
+        self._trace = trace
         self.breakers = [
             CircuitBreaker(c, config.breaker_failure_threshold,
                            config.breaker_open_cycles, trace)
@@ -211,6 +241,17 @@ class HealthMonitor:
         self._next_tick = 1  # tick 0 is at t=0: nothing has run yet
         self.checks = 0
         self.false_positives = 0
+
+    def add_chip(self) -> int:
+        """Extend monitoring to a newly provisioned chip (autoscaler
+        scale-up): its breaker starts closed and it joins every health
+        tick from the next one on."""
+        chip = self.chips
+        self.chips += 1
+        self.breakers.append(
+            CircuitBreaker(chip, self.config.breaker_failure_threshold,
+                           self.config.breaker_open_cycles, self._trace))
+        return chip
 
     def _false_positive(self, chip: int, tick: int) -> bool:
         rate = self.config.health_false_positive_rate

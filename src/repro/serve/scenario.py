@@ -22,6 +22,14 @@ simulated milliseconds (converted at the 1.25 GHz PE clock), and
 (``fail_stop_chips`` etc.) accept either a count N (the first N chips,
 like ``--fail-chips N``) or an explicit id list (richer than the CLI).
 
+Two optional sections extend a scenario beyond the flag surface: an
+``autoscale`` section (knobs for :class:`~repro.serve.autoscale.
+AutoscaleConfig`, ``*_ms`` fields converted like everything else —
+presence of the section enables the autoscaler) and a ``policy``
+section holding either an inline decision-tree document (validated by
+:mod:`repro.serve.policy` with ``scenario.policy.*`` error paths) or
+``{file: <name-or-path>}`` referencing the named-policy library.
+
 YAML support is a deliberately small built-in subset — nested mappings
 by indentation, ``- item`` lists, inline ``[a, b]`` lists, scalars
 (int/float/bool/null/strings), ``#`` comments — so scenario files need
@@ -39,8 +47,10 @@ import re
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.serve.autoscale import AutoscaleConfig
 from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
+from repro.serve.policy import load_policy, policy_from_document
 from repro.serve.queueing import SHED_POLICIES
 from repro.serve.resilience import ResilienceConfig
 from repro.serve.workload import ARRIVALS, MIXES, WorkloadConfig
@@ -254,6 +264,21 @@ SCENARIO_SCHEMA = {
         "hedge_delay_ms": _Field("float", default=None, min=0,
                                  nullable=True),
     },
+    "autoscale": {
+        "min_chips": _Field("int", default=1, min=1),
+        "max_chips": _Field("int", default=8, min=1),
+        "evaluate_interval_ms": _Field("float", default=0.04, min=0,
+                                       min_exclusive=True),
+        "up_queue_per_chip": _Field("float", default=8.0, min=0,
+                                    min_exclusive=True),
+        "up_backlog_ms": _Field("float", default=0.08, min=0,
+                                min_exclusive=True),
+        "down_queue_max": _Field("float", default=1.0, min=0),
+        "idle_ms": _Field("float", default=0.08, min=0),
+        "warmup_ms": _Field("float", default=0.04, min=0),
+        "cooldown_ms": _Field("float", default=0.16, min=0),
+        "max_step": _Field("int", default=1, min=1),
+    },
     "run": {
         "slo_ms": _Field("float", default=0.25, min=0, min_exclusive=True),
         "quick": _Field("bool", default=True),
@@ -349,7 +374,7 @@ def validate_document(doc: dict) -> dict:
     """
     if not isinstance(doc, dict):
         raise ConfigError("scenario: document must be a mapping")
-    known = set(SCENARIO_SCHEMA) | set(_TOP_FIELDS)
+    known = set(SCENARIO_SCHEMA) | set(_TOP_FIELDS) | {"policy"}
     for key in doc:
         if key not in known:
             raise ConfigError(f"scenario.{key}: unknown key; known keys: "
@@ -383,6 +408,20 @@ def validate_document(doc: dict) -> dict:
         and "failures" in doc
     out["_resilience_given"] = doc.get("resilience") is not None \
         and "resilience" in doc
+    # ``autoscale:`` (even empty) enables the autoscaler with defaults,
+    # the way an empty ``failures:`` would enable the lifecycle.
+    out["_autoscale_given"] = doc.get("autoscale") is not None \
+        and "autoscale" in doc
+    # The policy section is a nested decision-tree document, not flat
+    # scalars: validated/compiled by repro.serve.policy at compile time.
+    policy_doc = doc.get("policy")
+    if "policy" in doc and policy_doc is not None:
+        if not isinstance(policy_doc, dict) or not policy_doc:
+            raise ConfigError(
+                "scenario.policy: expected a mapping holding decision "
+                "slots or {file: <name-or-path>} "
+                "(drop the section to disable)")
+    out["policy"] = policy_doc if "policy" in doc else None
     return out
 
 
@@ -464,6 +503,42 @@ def scenario_from_document(doc: dict, name: str | None = None,
         raise ConfigError(
             "scenario.resilience: requires an enabled failures section")
 
+    policy_set = None
+    if v["policy"] is not None:
+        pol = v["policy"]
+        if "file" in pol:
+            if set(pol) != {"file"}:
+                extra = sorted(k for k in pol if k != "file")
+                raise ConfigError(
+                    f"scenario.policy: a file reference may not be "
+                    f"combined with inline slots {extra}")
+            if not isinstance(pol["file"], str):
+                raise ConfigError(
+                    f"scenario.policy.file: expected a policy name or "
+                    f"path, got {pol['file']!r}")
+            policy_set = load_policy(pol["file"])
+        else:
+            policy_set = policy_from_document(
+                pol, name=v["name"] or name, source=source,
+                path="scenario.policy")
+
+    autoscale = None
+    if v["_autoscale_given"]:
+        a = v["autoscale"]
+        autoscale = AutoscaleConfig(
+            min_chips=a["min_chips"],
+            max_chips=a["max_chips"],
+            evaluate_interval_cycles=ms_to_cycles(
+                a["evaluate_interval_ms"]),
+            up_queue_per_chip=a["up_queue_per_chip"],
+            up_backlog_cycles=ms_to_cycles(a["up_backlog_ms"]),
+            down_queue_max=a["down_queue_max"],
+            idle_cycles=ms_to_cycles(a["idle_ms"]),
+            warmup_cycles=ms_to_cycles(a["warmup_ms"]),
+            cooldown_cycles=ms_to_cycles(a["cooldown_ms"]),
+            max_step=a["max_step"],
+        )
+
     resilience = None
     if failures is not None:
         resilience = ResilienceConfig(
@@ -493,6 +568,8 @@ def scenario_from_document(doc: dict, name: str | None = None,
         slo_cycles=ms_to_cycles(run["slo_ms"]),
         failures=failures,
         resilience=resilience,
+        policy_set=policy_set,
+        autoscale=autoscale,
     )
     mixes = v["workload"]["mix"]
     workload = WorkloadConfig(
