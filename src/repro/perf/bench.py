@@ -12,6 +12,10 @@ Benches:
   against an idealized :class:`~repro.pe.memoryif.FlatMemory`.
 * ``vault-bp-tile`` (macro) — a four-PE vault sweeping a BP-M tile in
   all four directions (the Table IV BP methodology's inner kernel).
+* ``gibbs-sweep`` (macro) — a four-PE vault running checkerboard Gibbs
+  sweeps over a stereo MRF tile (the uncertainty-quantification
+  workload's inner kernel: data-dependent smoothness lookups, LCG
+  draws, and software multiplies on the scalar unit).
 * ``conv-pass`` (macro) — a VGG-geometry convolution pass on one PE
   with faithful DRAM timing.
 * ``fc-chunk`` (macro) — an FC weight-tile partial-product stream on
@@ -71,17 +75,17 @@ from repro.perf.roofline import Roofline, point_from_counters, validate_point
 SCHEMA = "repro.perf.bench/v1"
 
 MICRO_BENCHES = ("fixedpoint-sat", "pe-vector")
-MACRO_BENCHES = ("vault-bp-tile", "conv-pass", "fc-chunk", "serve-fleet",
-                 "serve-resilience", "serve-autoscale", "serve-cold-start",
-                 "vectorized-step")
+MACRO_BENCHES = ("vault-bp-tile", "gibbs-sweep", "conv-pass", "fc-chunk",
+                 "serve-fleet", "serve-resilience", "serve-autoscale",
+                 "serve-cold-start", "vectorized-step")
 ALL_BENCHES = MICRO_BENCHES + MACRO_BENCHES
 
 #: Single-kernel simulator benches with a reference (fast_path=False)
 #: twin — the registry the fast-path equivalence checks drive.  The
 #: serve-fleet macro is excluded: it layers scheduling on top of these
 #: kernels and has its own serial-vs-parallel equality check instead.
-SIM_BENCHES = ("pe-vector", "vault-bp-tile", "conv-pass", "fc-chunk",
-               "fc-batch")
+SIM_BENCHES = ("pe-vector", "vault-bp-tile", "gibbs-sweep", "conv-pass",
+               "fc-chunk", "fc-batch")
 
 
 @dataclass
@@ -182,6 +186,34 @@ def _run_vault_bp_tile(fast_path: bool, quick: bool, faults=NO_FAULTS) -> Kernel
                      tuple(pe.scratchpad.copy() for pe in chip.pes))
 
 
+def _run_gibbs_sweep(fast_path, quick: bool, faults=NO_FAULTS) -> KernelRun:
+    from repro.kernels.gibbs_kernel import (
+        GibbsTileLayout,
+        build_vault_phase_programs,
+    )
+    from repro.system.chip import Chip
+    from repro.system.config import VIPConfig
+    from repro.workloads.bp import stereo_mrf
+
+    rows, cols, labels, sweeps = (8, 8, 8, 2) if quick else (12, 16, 16, 3)
+    config = VIPConfig(pe=PEConfig(fast_path=fast_path), faults=faults)
+    chip = Chip(config, num_pes=config.pes_per_vault)
+    mrf, _ = stereo_mrf(rows, cols, labels=labels, seed=7)
+    layout = GibbsTileLayout(rows=rows, cols=cols, labels=labels,
+                             num_pes=config.pes_per_vault, base=4096)
+    layout.stage(chip.hmc.store, mrf, seed=0)
+    result = None
+    for _ in range(sweeps):
+        for parity in (0, 1):
+            result = chip.run(build_vault_phase_programs(layout, parity))
+    counters = PECounters.sum(pe.counters for pe in chip.pes)
+    # PE clocks accumulate across chip.run barriers, so the final
+    # result's cycle count is the whole run's.
+    return KernelRun(result.cycles, counters,
+                     chip.hmc.store.read(layout.base, layout.end - layout.base),
+                     tuple(pe.scratchpad.copy() for pe in chip.pes))
+
+
 def _run_conv_pass(fast_path: bool, quick: bool, faults=NO_FAULTS) -> KernelRun:
     from repro.kernels.conv_kernel import ConvTileLayout, build_conv_pass_program
     from repro.memory.hmc import HMC
@@ -255,6 +287,7 @@ def _run_fc_batch(fast_path, quick: bool, faults=NO_FAULTS) -> KernelRun:
 _SIM_RUNNERS = {
     "pe-vector": _run_pe_vector,
     "vault-bp-tile": _run_vault_bp_tile,
+    "gibbs-sweep": _run_gibbs_sweep,
     "conv-pass": _run_conv_pass,
     "fc-chunk": _run_fc_chunk,
     "fc-batch": _run_fc_batch,

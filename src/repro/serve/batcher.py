@@ -71,6 +71,12 @@ class DynamicBatcher:
         """Requests admitted but not yet dispatched."""
         return sum(len(b.requests) for b in self._open.values())
 
+    def kind_depth(self, kind: str) -> int:
+        """Open-batch residents of one kind (the per-kind queue depth
+        exposed to policy trees as ``queue.kind_depth.<kind>``)."""
+        b = self._open.get(kind)
+        return len(b.requests) if b is not None else 0
+
     def oldest(self) -> Request | None:
         """The longest-waiting open request (for drop-oldest shedding)."""
         best: Request | None = None

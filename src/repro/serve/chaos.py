@@ -275,14 +275,15 @@ def _cell_config(mode: str, policy: str, seed: int,
 
 
 def run_cell(seed: int, mode: str, policy: str, autoscale: bool,
-             costs, requests_per_cell: int = 80) -> dict:
+             costs, requests_per_cell: int = 80, mix: str = "bp") -> dict:
     """Run one matrix cell and check every invariant.
 
     Returns the cell's summary dict; raises :class:`InvariantViolation`
     (annotated with the cell coordinates) on the first violation.
+    ``costs`` must cover every kind ``mix`` can generate.
     """
     config = _cell_config(mode, policy, seed, autoscale)
-    workload = WorkloadConfig(mix="bp", arrival="bursty", rate=250_000.0,
+    workload = WorkloadConfig(mix=mix, arrival="bursty", rate=250_000.0,
                               requests=requests_per_cell, seed=seed)
     requests = generate_requests(workload)
     sim = FleetSimulator(config, costs)
@@ -299,7 +300,7 @@ def run_cell(seed: int, mode: str, policy: str, autoscale: bool,
         outcomes[r.outcome] += 1
     cell = {
         "seed": seed, "mode": mode, "policy": policy,
-        "autoscale": autoscale, "requests": len(requests),
+        "autoscale": autoscale, "mix": mix, "requests": len(requests),
         "outcomes": outcomes,
         "retries": sim.retry_count, "hedges": sim.hedge_count,
         "invariants": ["conservation", "post-failstop", "queue-bound",
@@ -369,6 +370,23 @@ def run_matrix(seeds, modes, policies, autoscale_states,
                     except InvariantViolation as exc:
                         failures.append({"cell": coord,
                                          "violation": str(exc)})
+    # One gibbs-mix cell rides along: the UQ workload family under
+    # compound chaos, served from a cost table carrying the gibbs
+    # quality columns — the invariants must hold for the new kind too.
+    # It keeps to the requested matrix: restricting modes/policies away
+    # from its coordinates (as the CLI smoke test does) drops it.
+    if (seeds and "compound" in modes and "builtin" in policies
+            and False in autoscale_states):
+        gibbs_costs = build_cost_table(4, quick=True, degraded=True,
+                                       kinds=("bp", "gibbs"))
+        coord = (f"seed={min(seeds)} mode=compound policy=builtin "
+                 f"autoscale=off mix=bp+gibbs")
+        try:
+            cells.append(run_cell(min(seeds), "compound", "builtin",
+                                  False, gibbs_costs, requests_per_cell,
+                                  mix="bp+gibbs"))
+        except InvariantViolation as exc:
+            failures.append({"cell": coord, "violation": str(exc)})
     try:
         check_checkpoint_resume(seed=min(seeds) if seeds else 0)
         resume_ok = True

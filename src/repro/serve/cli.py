@@ -39,7 +39,7 @@ from repro.perf.checkpoint import TaskCheckpoint
 from repro.serve.autoscale import AutoscaleConfig
 from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
-from repro.serve.policy import list_policies, load_policy
+from repro.serve.policy import OBSERVABLES, list_policies, load_policy
 from repro.serve.queueing import SHED_POLICIES
 from repro.serve.report import (
     COST_MODELS,
@@ -288,6 +288,10 @@ def _run(args) -> int:
             print("no policies found on the search path")
         for entry in policies:
             print(f"{entry['name']:<20} {entry['description']}")
+        print()
+        print("condition observables (name / type / slots):")
+        for name, (kind, slots) in sorted(OBSERVABLES.items()):
+            print(f"  {name:<26} {kind:<6} {', '.join(slots)}")
         return 0
     if args.resume and not args.checkpoint:
         raise ConfigError("--resume requires --checkpoint PATH")

@@ -34,7 +34,7 @@ chips rather than an arbitrary slowdown factor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -78,6 +78,10 @@ def _geometry(kind: str, quick: bool) -> dict:
     if kind == "fc":
         rows, chunk = (16, 64) if quick else (48, 128)
         return {"rows": rows, "chunk": chunk}
+    if kind == "gibbs":
+        rows, cols, samples = (8, 8, 2) if quick else (10, 12, 3)
+        return {"rows": rows, "cols": cols, "labels": 8,
+                "burn_in": 1, "samples": samples}
     raise ConfigError(f"unknown request kind {kind!r}")
 
 
@@ -109,14 +113,20 @@ def measure_shape(kind: str, batch: int, quick: bool,
     """
     g = _geometry(kind, quick)
     faults = _fault_injector(seed) if degraded else None
+    quality = None
     if kind == "bp":
         cycles, model, tile = _measure_bp(g, faults)
     elif kind == "conv":
         cycles, model, tile = _measure_conv(g, faults)
+    elif kind == "gibbs":
+        cycles, model, tile, quality = _measure_gibbs(g, faults)
     else:
         cycles, model, tile = _measure_fc(g, batch, faults)
-    return {"kind": kind, "batch": batch, "degraded": degraded,
-            "cycles": cycles, "model_bytes": model, "tile_bytes": tile}
+    row = {"kind": kind, "batch": batch, "degraded": degraded,
+           "cycles": cycles, "model_bytes": model, "tile_bytes": tile}
+    if quality is not None:
+        row["quality"] = quality
+    return row
 
 
 def _measure_bp(g: dict, faults) -> tuple[float, int, int]:
@@ -143,6 +153,62 @@ def _measure_bp(g: dict, faults) -> tuple[float, int, int]:
         cycles += chip.run(
             build_vault_sweep_programs(layout, direction, pes)).cycles
     return cycles, layout.total_bytes, layout.total_bytes
+
+
+def _measure_gibbs(g: dict, faults) -> tuple[float, int, int, dict]:
+    """Simulate one Gibbs service unit and score its output quality.
+
+    A ``gibbs`` request is a full ``burn_in + samples`` checkerboard run
+    on one MRF tile.  Alongside the cycles, the measured marginals are
+    scored against the fault-free reference sampler — so a *degraded*
+    chip's row records not just longer service times but the quality its
+    corrupted draws actually produce (the uncertainty-quantification
+    angle: entropy, confidence, agreement are servable metrics).
+    """
+    from repro.faults.config import NO_FAULTS
+    from repro.kernels.gibbs_kernel import (
+        GibbsTileLayout,
+        build_vault_phase_programs,
+    )
+    from repro.system.chip import Chip
+    from repro.system.config import VIPConfig
+    from repro.workloads.bp import stereo_mrf
+    from repro.workloads.gibbs import (
+        label_agreement,
+        marginal_l1,
+        run_gibbs,
+        summarize_histogram,
+    )
+
+    config = VIPConfig(faults=faults if faults is not None else NO_FAULTS)
+    chip = Chip(config, num_pes=config.pes_per_vault)
+    mrf, _ = stereo_mrf(g["rows"], g["cols"], labels=g["labels"], seed=7)
+    layout = GibbsTileLayout(rows=mrf.rows, cols=mrf.cols, labels=mrf.labels,
+                             num_pes=config.pes_per_vault, base=4096)
+    layout.stage(chip.hmc.store, mrf, seed=0)
+
+    burn_in, samples = g["burn_in"], g["samples"]
+    histogram = np.zeros((mrf.rows, mrf.cols, mrf.labels), dtype=np.int64)
+    ii, jj = np.indices((mrf.rows, mrf.cols))
+    cycles = 0.0
+    for sweep in range(burn_in + samples):
+        for parity in (0, 1):
+            cycles = chip.run(build_vault_phase_programs(layout, parity)).cycles
+        if sweep >= burn_in:
+            histogram[ii, jj, layout.read_labels(chip.hmc.store)] += 1
+
+    measured = summarize_histogram(histogram, samples, burn_in)
+    reference = run_gibbs(mrf, burn_in=burn_in, samples=samples, seed=0)
+    quality = {
+        "mean_entropy": measured.mean_entropy,
+        "mean_confidence": measured.mean_confidence,
+        "agreement_vs_reference": label_agreement(reference.labels,
+                                                  measured.labels),
+        "marginal_l1_vs_reference": marginal_l1(reference.marginals,
+                                                measured.marginals),
+    }
+    footprint = layout.end - layout.base
+    return cycles, footprint, footprint, quality
 
 
 def _measure_conv(g: dict, faults) -> tuple[float, int, int]:
@@ -237,6 +303,12 @@ class ServiceCostTable:
     #: no FC column).  FC launches above it stream through the scratchpad
     #: in ``fc_cap``-sized waves, so their cost derives from capped shapes.
     fc_cap: int = 0
+    #: kind -> {"healthy"|"degraded" -> metrics} for kinds whose
+    #: measurement scores output quality (currently ``gibbs``: posterior
+    #: entropy/confidence plus agreement against the reference sampler).
+    #: Empty for tables without such kinds; feeds the serve report's
+    #: per-kind quality rollups (schema v5).
+    quality: dict = field(default_factory=dict)
 
     def launch_cycles(self, kind: str, batch: int,
                       degraded: bool = False) -> float:
@@ -317,7 +389,13 @@ def build_cost_table(max_batch: int, quick: bool = True,
               for r in rows}
     model = {r["kind"]: r["model_bytes"] for r in rows}
     tile = {r["kind"]: r["tile_bytes"] for r in rows}
+    quality: dict = {}
+    for r in rows:
+        if "quality" in r:
+            health = "degraded" if r["degraded"] else "healthy"
+            quality.setdefault(r["kind"], {})[health] = r["quality"]
     fc_cap = min(max_batch, fc_max_batch(quick)) if "fc" in kinds else 0
     return ServiceCostTable(cycles=cycles, model_bytes=model,
                             tile_bytes=tile, quick=quick,
-                            max_batch=max_batch, fc_cap=fc_cap)
+                            max_batch=max_batch, fc_cap=fc_cap,
+                            quality=quality)

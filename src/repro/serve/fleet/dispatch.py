@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.serve.batcher import Batch
 from repro.serve.fleet.records import BatchRecord, RequestRecord
 from repro.serve.resilience import OPEN
-from repro.serve.workload import Request
+from repro.serve.workload import KINDS, Request
 
 
 @dataclass
@@ -103,6 +103,9 @@ class DispatchMixin:
             "queue.depth": queue.waiting if queue is not None else 0,
             "queue.capacity": (queue.capacity if queue is not None
                                else self.config.queue_capacity),
+            **{f"queue.kind_depth.{k}":
+               (queue.kind_depth(k) if queue is not None else 0)
+               for k in KINDS},
             "fleet.chips": len(self._dispatchable()),
             "fleet.alive_fraction": self._alive_fraction_belief(),
         }
@@ -117,6 +120,9 @@ class DispatchMixin:
             "queue.depth": queue.waiting if queue is not None else 0,
             "queue.capacity": (queue.capacity if queue is not None
                                else self.config.queue_capacity),
+            **{f"queue.kind_depth.{k}":
+               (queue.kind_depth(k) if queue is not None else 0)
+               for k in KINDS},
             "fleet.chips": len(self._dispatchable()),
             "fleet.alive_fraction": self._alive_fraction_belief(),
         }
@@ -126,7 +132,10 @@ class DispatchMixin:
     def _reload_cycles(self, chip, batch: Batch) -> float:
         if chip.resident_kind != batch.kind:
             bytes_ = self.costs.model_bytes[batch.kind]
-        elif batch.kind == "bp" and chip.resident_tile != batch.tile:
+        elif (batch.kind in ("bp", "gibbs")
+                and chip.resident_tile != batch.tile):
+            # Both MRF kinds are tile-stateful: message state (bp) or
+            # sampler state (gibbs) lives with the resident tile.
             bytes_ = self.costs.tile_bytes[batch.kind]
         else:
             return 0.0

@@ -55,6 +55,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.serve.workload import KINDS
 
 #: Leaf primitives of the ``schedule`` slot (the classic fleet policies).
 SCHEDULE_PRIMITIVES = ("round-robin", "least-loaded", "locality")
@@ -97,6 +98,17 @@ OBSERVABLES = {
     "fleet.alive_fraction": ("float", ("schedule", "shed", "retry",
                                        "hedge")),
 }
+
+#: Per-kind admission depth: ``queue.kind_depth.<kind>`` counts the
+#: open-batch residents of that request kind, so a tree can react to
+#: *which* traffic is piling up (e.g. shed batch-insensitive FC first,
+#: or stop hedging when the gibbs queue backs up) rather than only to
+#: the total ``queue.depth``.
+OBSERVABLES.update({
+    f"queue.kind_depth.{kind}": ("int", ("schedule", "shed", "retry",
+                                         "hedge"))
+    for kind in KINDS
+})
 
 #: Documents deeper than this are rejected (runaway nesting, not policy).
 MAX_TREE_DEPTH = 16

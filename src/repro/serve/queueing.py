@@ -66,6 +66,10 @@ class AdmissionQueue:
     def waiting(self) -> int:
         return self.batcher.waiting
 
+    def kind_depth(self, kind: str) -> int:
+        """Admitted-but-undispatched requests of one kind."""
+        return self.batcher.kind_depth(kind)
+
     def offer(self, request: Request) -> Admission:
         """Admit ``request`` if there is room, shedding per policy if not."""
         if self.batcher.waiting >= self.capacity:

@@ -23,7 +23,13 @@ is configured: it adds ``config.policy_tree`` / ``config.autoscale``
 and a per-mix ``autoscale`` rollup (scale events, chip-cycles,
 SLO-during-scale).  A run without either stays on v3 and is
 byte-identical to pre-v4 builds — the version bump itself is
-conditional so default artifacts never change.
+conditional so default artifacts never change.  ``repro.serve/v5``
+follows the same rule for quality-carrying kinds (``gibbs``): when the
+cost table holds per-kind quality metrics the payload adds
+``cost_table.quality`` plus a per-mix ``quality`` rollup (mean
+posterior entropy, agreement-vs-reference, blended over the healthy /
+static-degraded columns by where requests were actually served) and
+bumps the version; mixes without such kinds stay on v3/v4 untouched.
 """
 
 from __future__ import annotations
@@ -37,12 +43,14 @@ from repro.serve.surrogate import DEFAULT_TOLERANCE, build_surrogate_cost_table
 from repro.serve.fleet import FleetResult, FleetSimulator, ServeConfig
 from repro.serve.metrics import ServeMetrics, chip_utilization, compute_metrics
 from repro.serve.resilience import DEFAULT_RESILIENCE
-from repro.serve.workload import MIXES, WorkloadConfig, generate_requests
+from repro.serve.workload import KINDS, MIXES, WorkloadConfig, generate_requests
 from repro.trace.collector import NULL_TRACE, TraceSink
 
 SCHEMA = "repro.serve/v3"
 #: Emitted only when a policy set or autoscaler is configured.
 SCHEMA_V4 = "repro.serve/v4"
+#: Emitted only when the cost table carries per-kind quality metrics.
+SCHEMA_V5 = "repro.serve/v5"
 
 COST_MODELS = ("measured", "surrogate")
 
@@ -97,8 +105,7 @@ def run_serve(workload: WorkloadConfig, config: ServeConfig,
     callback observes but never influences the run.
     """
     if costs is None:
-        kinds = tuple(k for k in ("bp", "conv", "fc")
-                      if k in MIXES[workload.mix])
+        kinds = tuple(k for k in KINDS if k in MIXES[workload.mix])
         costs = build_cost_table(config.max_batch, quick=quick,
                                  degraded=_needs_degraded(config),
                                  kinds=kinds, max_workers=max_workers,
@@ -110,6 +117,36 @@ def run_serve(workload: WorkloadConfig, config: ServeConfig,
                               slo_cycles=config.slo_cycles,
                               clock_ghz=config.clock_ghz)
     return ServeRun(workload=workload, fleet=fleet, metrics=metrics)
+
+
+def _quality_rollup(run: ServeRun, costs: ServiceCostTable,
+                    config: ServeConfig) -> dict | None:
+    """Per-kind delivered-quality rollup for one mix.
+
+    Blends the cost table's healthy/degraded quality columns by where
+    each served request actually ran, attributed by the chip's *static*
+    degraded column — the same scheduler-visible health the cost
+    estimate uses (there is no oracle for transient fault windows).
+    """
+    if not costs.quality:
+        return None
+    degraded_ids = set(config.degraded_chips)
+    rollup = {}
+    for kind, columns in sorted(costs.quality.items()):
+        served = [r for r in run.fleet.records
+                  if r.kind == kind and r.outcome == "served"]
+        if not served:
+            continue
+        n = len(served)
+        n_deg = sum(1 for r in served if r.chip in degraded_ids)
+        healthy = columns.get("healthy") or columns["degraded"]
+        degraded = columns.get("degraded") or healthy
+        metrics = {
+            key: (healthy[key] * (n - n_deg) + degraded[key] * n_deg) / n
+            for key in sorted(healthy)
+        }
+        rollup[kind] = {"served": n, "served_degraded": n_deg, **metrics}
+    return rollup or None
 
 
 def run_report(workload: WorkloadConfig, config: ServeConfig,
@@ -133,8 +170,7 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
     if cost_model not in COST_MODELS:
         raise ConfigError(
             f"cost_model must be one of {COST_MODELS}, not {cost_model!r}")
-    kinds = tuple(k for k in ("bp", "conv", "fc")
-                  if any(k in MIXES[m] for m in mixes))
+    kinds = tuple(k for k in KINDS if any(k in MIXES[m] for m in mixes))
     if cost_model == "surrogate":
         costs, validation = build_surrogate_cost_table(
             config.max_batch, quick=quick,
@@ -162,8 +198,14 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
         resilience = None
     extended = (config.policy_set is not None
                 or config.autoscale is not None)
+    if costs.quality:
+        schema = SCHEMA_V5
+    elif extended:
+        schema = SCHEMA_V4
+    else:
+        schema = SCHEMA
     payload = {
-        "schema": SCHEMA_V4 if extended else SCHEMA,
+        "schema": schema,
         "quick": quick,
         "cost_model": {
             "mode": cost_model,
@@ -202,6 +244,11 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
             },
             "model_bytes": dict(sorted(costs.model_bytes.items())),
             "tile_bytes": dict(sorted(costs.tile_bytes.items())),
+            # Conditional key: absent pre-v5 so v3/v4 artifacts never
+            # change a byte.
+            **({"quality": {k: dict(sorted(v.items()))
+                            for k, v in sorted(costs.quality.items())}}
+               if costs.quality else {}),
         },
         "mixes": {
             run.workload.mix: {
@@ -210,6 +257,8 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
                                           run.fleet.makespan),
                 **({"autoscale": run.fleet.autoscale}
                    if run.fleet.autoscale is not None else {}),
+                **({"quality": q} if (q := _quality_rollup(
+                    run, costs, config)) is not None else {}),
             }
             for run in runs
         },

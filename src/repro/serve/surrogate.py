@@ -151,11 +151,15 @@ def build_surrogate_cost_table(
     cycles: dict = {}
     model: dict = {}
     tile: dict = {}
+    quality: dict = {}
 
     def _absorb(row: dict) -> None:
         cycles[(row["kind"], row["batch"], row["degraded"])] = row["cycles"]
         model[row["kind"]] = row["model_bytes"]
         tile[row["kind"]] = row["tile_bytes"]
+        if "quality" in row:
+            health_name = "degraded" if row["degraded"] else "healthy"
+            quality.setdefault(row["kind"], {})[health_name] = row["quality"]
 
     initial: list[tuple[str, int, bool]] = []
     for deg in health:
@@ -226,5 +230,6 @@ def build_surrogate_cost_table(
     }
     table = ServiceCostTable(cycles=cycles, model_bytes=model,
                              tile_bytes=tile, quick=quick,
-                             max_batch=max_batch, fc_cap=fc_cap)
+                             max_batch=max_batch, fc_cap=fc_cap,
+                             quality=quality)
     return table, report

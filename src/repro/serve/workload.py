@@ -1,8 +1,10 @@
 """Open-loop request generation for the serving layer.
 
 A *request* is one inference the service must answer: a BP-M tile
-iteration (``bp``), a VGG-geometry convolution tile (``conv``), or an FC
-input vector (``fc``).  The generator draws a seeded arrival process over
+iteration (``bp``), a VGG-geometry convolution tile (``conv``), an FC
+input vector (``fc``), or a Gibbs-sampling sweep over an MRF tile with
+uncertainty quantification (``gibbs``).  The generator draws a seeded
+arrival process over
 a named *mix* of kinds and returns the complete arrival trace up front —
 the serving simulation is open-loop (arrivals do not react to service
 times), which is the regime where queueing and batching dominate tail
@@ -35,7 +37,7 @@ import numpy as np
 from repro.errors import ConfigError
 
 #: Request kinds understood by the cost model and batcher.
-KINDS = ("bp", "conv", "fc")
+KINDS = ("bp", "conv", "fc", "gibbs")
 
 #: Named workload mixes: kind -> probability.  ``bp`` is the paper's
 #: flagship MRF workload alone; ``bp+vgg`` interleaves it with VGG conv
@@ -49,6 +51,12 @@ MIXES = {
     # surrogate cost model calibrates; also the worst cold-start case
     # (one kernel simulation per batch size under --cost-model measured).
     "fc": {"fc": 1.0},
+    # Gibbs sampling over the same MRF substrate as bp: tile-stateful
+    # like bp, but its report rollup carries quality metrics (posterior
+    # entropy, agreement vs the reference sampler).
+    "bp+gibbs": {"bp": 0.6, "gibbs": 0.4},
+    # Pure uncertainty-quantification traffic.
+    "uq": {"gibbs": 1.0},
 }
 
 ARRIVALS = ("poisson", "bursty")
@@ -90,6 +98,21 @@ class WorkloadConfig:
         if self.mix not in MIXES:
             raise ConfigError(f"unknown mix {self.mix!r}; choose from "
                               f"{sorted(MIXES)}")
+        # Validate the mix *mapping* here rather than letting an unknown
+        # kind surface later as a raw KeyError (or a probability-sum
+        # mismatch) deep inside request generation; the dotted path keeps
+        # the `error: config: workload.mix.<kind>` exit-2 form the
+        # scenario DSL uses.
+        for kind, weight in MIXES[self.mix].items():
+            if kind not in KINDS:
+                raise ConfigError(
+                    f"workload.mix.{kind}: unknown request kind "
+                    f"(known kinds: {', '.join(KINDS)})"
+                )
+            if not weight > 0:
+                raise ConfigError(
+                    f"workload.mix.{kind}: weight must be positive, got {weight}"
+                )
         if self.arrival not in ARRIVALS:
             raise ConfigError(f"unknown arrival process {self.arrival!r}; "
                               f"choose from {ARRIVALS}")

@@ -1,0 +1,58 @@
+"""Gibbs-sampling MRF inference: the versatility workload family.
+
+Same grid-MRF substrate as BP-M, different algorithm, different output
+contract: per-pixel marginal estimates with entropy/confidence maps
+instead of a single labeling.  See ``reference`` for the seeded integer
+sampler, ``repro.kernels.gibbs_kernel`` for the bit-exact VIP programs,
+and ``runner`` for the on-chip driver and quality gate.
+"""
+
+from repro.workloads.gibbs.reference import (
+    BETA_SHIFT,
+    LCG_A,
+    LCG_C,
+    LCG_MASK,
+    NEIGHBOR_OFFSETS,
+    SHIFT_CAP,
+    WEIGHT_SHIFT,
+    GibbsResult,
+    conditional_weights,
+    init_labels,
+    init_states,
+    label_agreement,
+    marginal_l1,
+    pad_labels,
+    padded_smoothness,
+    run_gibbs,
+    summarize_histogram,
+    sweep_phase,
+)
+from repro.workloads.gibbs.runner import (
+    ChipGibbsResult,
+    quality_gate,
+    run_gibbs_on_chip,
+)
+
+__all__ = [
+    "BETA_SHIFT",
+    "ChipGibbsResult",
+    "GibbsResult",
+    "LCG_A",
+    "LCG_C",
+    "LCG_MASK",
+    "NEIGHBOR_OFFSETS",
+    "SHIFT_CAP",
+    "WEIGHT_SHIFT",
+    "conditional_weights",
+    "init_labels",
+    "init_states",
+    "label_agreement",
+    "marginal_l1",
+    "pad_labels",
+    "padded_smoothness",
+    "quality_gate",
+    "run_gibbs",
+    "run_gibbs_on_chip",
+    "summarize_histogram",
+    "sweep_phase",
+]

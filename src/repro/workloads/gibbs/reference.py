@@ -1,0 +1,220 @@
+"""Reference Gibbs sampler over grid MRFs, with uncertainty estimates.
+
+BP-M produces a MAP-style labeling; Gibbs sampling over the *same*
+:class:`~repro.workloads.bp.mrf.GridMRF` instead draws a sequence of
+labelings from (an integer approximation of) the Gibbs distribution and
+reports per-pixel label *statistics*: marginal estimates plus an
+entropy/confidence map.  That makes accuracy-with-uncertainty a servable
+quality metric (see ``repro.serve``), the angle taken by MRF-accelerator
+work such as Bashizade et al. (PAPERS.md).
+
+Everything here is exact integer arithmetic so the VIP kernel
+(:mod:`repro.kernels.gibbs_kernel`) can reproduce it bit for bit:
+
+* a per-pixel 32-bit LCG provides the draw stream.  States live one per
+  pixel, so the stream consumed by a pixel is independent of how pixels
+  are assigned to PEs;
+* sweeps visit pixels in checkerboard order — all even-parity pixels,
+  then all odd-parity ones.  Same-parity pixels are never 4-neighbors, so
+  the phase update is order-independent and the parallel kernel matches
+  the sequential reference exactly;
+* the conditional distribution at a pixel is built with the same
+  saturating 16-bit adds the VIP vector unit performs, and converted to
+  sampling weights with shift-only arithmetic (a base-2 Boltzmann kernel)
+  because the scalar unit has no multiplier;
+* border pixels are handled by padding the label grid with a sentinel
+  label whose smoothness row is all zeros — the kernel then needs no
+  border branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import sat_add
+from repro.workloads.bp.mrf import GridMRF
+
+#: Numerical-recipes LCG constants (32-bit state).
+LCG_A = 1664525
+LCG_C = 1013904223
+LCG_MASK = 0xFFFFFFFF
+
+#: Weight shaping: a conditional cost of ``2**BETA_SHIFT`` halves a
+#: label's sampling weight (base-2 Boltzmann), and the shift is capped so
+#: every label keeps a nonzero weight.  Shared with the kernel — only
+#: shifts and adds, never a multiply.
+BETA_SHIFT = 3
+WEIGHT_SHIFT = 20
+SHIFT_CAP = 20
+
+#: Neighbor visit order for the conditional build (flow direction of the
+#: *read*: up reads the pixel above).  Fixed so the saturating-add chain
+#: is identical between reference and kernel.
+NEIGHBOR_OFFSETS = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+
+def init_states(rows: int, cols: int, seed: int) -> np.ndarray:
+    """Seeded per-pixel LCG states, shared by reference and kernel.
+
+    Staged host-side in both implementations, so the mixing formula only
+    has to be deterministic, not kernel-computable.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ConfigError("grid must be non-empty")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    base = (int(seed) * 2654435761) & LCG_MASK
+    states = (base + idx * 2246822519 + 12345) & LCG_MASK
+    # One warm-up draw decorrelates the raster-order initialization.
+    return (LCG_A * states + LCG_C) & LCG_MASK
+
+
+def init_labels(mrf: GridMRF) -> np.ndarray:
+    """Deterministic starting labeling: per-pixel data-cost argmin."""
+    return np.argmin(mrf.data_cost, axis=2).astype(np.int64)
+
+
+def padded_smoothness(smoothness: np.ndarray) -> np.ndarray:
+    """Smoothness matrix with one extra all-zero row for the border
+    sentinel label ``L`` (an absent neighbor contributes nothing)."""
+    labels = smoothness.shape[0]
+    padded = np.zeros((labels + 1, labels), dtype=np.int16)
+    padded[:labels] = smoothness
+    return padded
+
+
+def pad_labels(labels: np.ndarray, num_labels: int) -> np.ndarray:
+    """Embed a labeling in a border of sentinel labels."""
+    rows, cols = labels.shape
+    padded = np.full((rows + 2, cols + 2), num_labels, dtype=np.int64)
+    padded[1:-1, 1:-1] = labels
+    return padded
+
+
+def conditional_weights(cond: np.ndarray) -> np.ndarray:
+    """Map conditional costs to integer sampling weights.
+
+    ``w = (2**WEIGHT_SHIFT >> min(cond >> BETA_SHIFT, SHIFT_CAP)) + 1``:
+    a base-2 Boltzmann weight, floor-capped at 1 so the support never
+    collapses.  Exactly the shift/add sequence the kernel executes.
+    """
+    shift = np.minimum(cond.astype(np.int64) >> BETA_SHIFT, SHIFT_CAP)
+    return np.right_shift(np.int64(1 << WEIGHT_SHIFT), shift) + 1
+
+
+def sweep_phase(
+    data_cost: np.ndarray,
+    smooth_padded: np.ndarray,
+    padded: np.ndarray,
+    states: np.ndarray,
+    parity: int,
+) -> None:
+    """Resample every pixel with ``(y + x) % 2 == parity`` in place.
+
+    Vectorized over the phase: same-parity pixels share no edges, so the
+    simultaneous update equals any sequential order (and the kernel's
+    per-PE strip order in particular).
+    """
+    rows, cols = states.shape
+    ys, xs = np.nonzero((np.add.outer(np.arange(rows), np.arange(cols)) & 1) == parity)
+
+    cond = data_cost[ys, xs, :].astype(np.int64)
+    for dy, dx in NEIGHBOR_OFFSETS:
+        nlab = padded[ys + 1 + dy, xs + 1 + dx]
+        cond = sat_add(cond, smooth_padded[nlab], 16)
+
+    weights = conditional_weights(cond)
+    totals = weights.sum(axis=1)
+
+    s = (LCG_A * states[ys, xs] + LCG_C) & LCG_MASK
+    states[ys, xs] = s
+    r = (s >> 16) & 0xFFFF
+    u = (r * totals) >> 16  # in [0, totals)
+
+    cumulative = np.cumsum(weights, axis=1)
+    labels = (u[:, None] >= cumulative).sum(axis=1)
+    padded[ys + 1, xs + 1] = labels
+
+
+@dataclass
+class GibbsResult:
+    """Marginal statistics from a Gibbs run."""
+
+    labels: np.ndarray  # (rows, cols) argmax-marginal labels
+    last_sample: np.ndarray  # (rows, cols) final sampled labeling
+    marginals: np.ndarray  # (rows, cols, labels) float64, rows sum to 1
+    entropy: np.ndarray  # (rows, cols) posterior entropy, bits
+    confidence: np.ndarray  # (rows, cols) max marginal probability
+    burn_in: int
+    samples: int
+
+    @property
+    def mean_entropy(self) -> float:
+        return float(self.entropy.mean())
+
+    @property
+    def mean_confidence(self) -> float:
+        return float(self.confidence.mean())
+
+
+def summarize_histogram(histogram: np.ndarray, samples: int, burn_in: int) -> GibbsResult:
+    """Turn a per-pixel label histogram into a :class:`GibbsResult`."""
+    marginals = histogram.astype(np.float64) / float(samples)
+    logs = np.zeros_like(marginals)
+    np.log2(marginals, out=logs, where=marginals > 0.0)
+    entropy = -(marginals * logs).sum(axis=2)
+    return GibbsResult(
+        labels=np.argmax(histogram, axis=2).astype(np.int64),
+        last_sample=np.zeros(histogram.shape[:2], dtype=np.int64),
+        marginals=marginals,
+        entropy=entropy,
+        confidence=marginals.max(axis=2),
+        burn_in=burn_in,
+        samples=samples,
+    )
+
+
+def run_gibbs(
+    mrf: GridMRF,
+    burn_in: int = 2,
+    samples: int = 8,
+    seed: int = 0,
+) -> GibbsResult:
+    """Run the reference sampler: ``burn_in + samples`` checkerboard
+    sweeps, accumulating label histograms after burn-in."""
+    if burn_in < 0:
+        raise ConfigError("burn_in must be nonnegative")
+    if samples <= 0:
+        raise ConfigError("need at least one sample")
+    if (mrf.data_cost < 0).any() or (mrf.smoothness < 0).any():
+        # Costs are negative log-probabilities; nonnegativity also lets the
+        # kernel extract conditional lanes with logical shifts.
+        raise ConfigError("gibbs sampling requires nonnegative costs")
+    rows, cols, num_labels = mrf.data_cost.shape
+    smooth_padded = padded_smoothness(mrf.smoothness)
+    padded = pad_labels(init_labels(mrf), num_labels)
+    states = init_states(rows, cols, seed)
+
+    histogram = np.zeros((rows, cols, num_labels), dtype=np.int64)
+    ii, jj = np.indices((rows, cols))
+    for sweep in range(burn_in + samples):
+        for parity in (0, 1):
+            sweep_phase(mrf.data_cost, smooth_padded, padded, states, parity)
+        if sweep >= burn_in:
+            histogram[ii, jj, padded[1:-1, 1:-1]] += 1
+
+    result = summarize_histogram(histogram, samples, burn_in)
+    result.last_sample = padded[1:-1, 1:-1].copy()
+    return result
+
+
+def label_agreement(a: np.ndarray, b: np.ndarray, tolerance: int = 0) -> float:
+    """Fraction of pixels whose labels differ by at most ``tolerance``."""
+    return float(np.mean(np.abs(a.astype(np.int64) - b.astype(np.int64)) <= tolerance))
+
+
+def marginal_l1(p: np.ndarray, q: np.ndarray) -> float:
+    """Mean per-pixel L1 distance between two marginal fields."""
+    return float(np.abs(p - q).sum(axis=2).mean())

@@ -1,0 +1,162 @@
+"""Reference Gibbs sampler tests: determinism, statistics, BP-M cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import sat_add
+from repro.workloads.bp import run_bpm, stereo_mrf
+from repro.workloads.bp.mrf import GridMRF, potts_smoothness
+from repro.workloads.gibbs import (
+    LCG_A,
+    LCG_C,
+    LCG_MASK,
+    NEIGHBOR_OFFSETS,
+    conditional_weights,
+    init_labels,
+    init_states,
+    label_agreement,
+    marginal_l1,
+    pad_labels,
+    padded_smoothness,
+    run_gibbs,
+    sweep_phase,
+)
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        mrf, _ = stereo_mrf(4, 4, labels=4)
+        with pytest.raises(ConfigError):
+            run_gibbs(mrf, burn_in=-1)
+        with pytest.raises(ConfigError):
+            run_gibbs(mrf, samples=0)
+        with pytest.raises(ConfigError):
+            init_states(0, 4, seed=0)
+
+    def test_rejects_negative_costs(self):
+        dc = np.full((3, 3, 2), -1, np.int16)
+        mrf = GridMRF(dc, potts_smoothness(2))
+        with pytest.raises(ConfigError):
+            run_gibbs(mrf)
+
+
+class TestPrimitives:
+    def test_padded_smoothness_sentinel_row_is_zero(self):
+        s = potts_smoothness(4, penalty=9)
+        p = padded_smoothness(s)
+        assert p.shape == (5, 4)
+        assert np.array_equal(p[:4], s)
+        assert not p[4].any()
+
+    def test_pad_labels_border_is_sentinel(self):
+        inner = np.arange(6, dtype=np.int64).reshape(2, 3)
+        p = pad_labels(inner, num_labels=4)
+        assert p.shape == (4, 5)
+        assert np.array_equal(p[1:-1, 1:-1], inner)
+        assert (p[0] == 4).all() and (p[:, 0] == 4).all()
+
+    def test_conditional_weights_formula(self):
+        cond = np.array([0, 8, 16, 10_000], dtype=np.int64)
+        w = conditional_weights(cond)
+        # cost 0 -> full weight; each 2**BETA_SHIFT halves; deep costs
+        # floor at 1 + the cap remainder.
+        assert w[0] == (1 << 20) + 1
+        assert w[1] == (1 << 19) + 1
+        assert w[2] == (1 << 18) + 1
+        assert w[3] == 2  # shift capped at 20: (1<<20)>>20 + 1
+
+    def test_init_states_distinct_and_seed_dependent(self):
+        a = init_states(4, 5, seed=0)
+        b = init_states(4, 5, seed=1)
+        assert len(np.unique(a)) == a.size
+        assert not np.array_equal(a, b)
+        assert (a >= 0).all() and (a <= LCG_MASK).all()
+
+
+class TestSweep:
+    def test_phase_matches_sequential_update(self):
+        """The vectorized phase equals a naive per-pixel loop."""
+        rng = np.random.default_rng(3)
+        rows, cols, L = 4, 5, 4
+        dc = rng.integers(0, 40, (rows, cols, L)).astype(np.int16)
+        mrf = GridMRF(dc, potts_smoothness(L, penalty=6))
+        smooth = padded_smoothness(mrf.smoothness)
+
+        padded_v = pad_labels(init_labels(mrf), L)
+        states_v = init_states(rows, cols, seed=2)
+        sweep_phase(mrf.data_cost, smooth, padded_v, states_v, parity=0)
+
+        padded_s = pad_labels(init_labels(mrf), L)
+        states_s = init_states(rows, cols, seed=2)
+        for y in range(rows):
+            for x in range(cols):
+                if (y + x) % 2 != 0:
+                    continue
+                cond = mrf.data_cost[y, x].astype(np.int64)
+                for dy, dx in NEIGHBOR_OFFSETS:
+                    nlab = padded_s[y + 1 + dy, x + 1 + dx]
+                    cond = sat_add(cond, smooth[nlab], 16)
+                w = conditional_weights(cond)
+                s = (LCG_A * states_s[y, x] + LCG_C) & LCG_MASK
+                states_s[y, x] = s
+                u = (((s >> 16) & 0xFFFF) * w.sum()) >> 16
+                padded_s[y + 1, x + 1] = int((u >= np.cumsum(w)).sum())
+        assert np.array_equal(padded_v, padded_s)
+        assert np.array_equal(states_v, states_s)
+
+
+class TestRunGibbs:
+    def test_deterministic(self):
+        mrf, _ = stereo_mrf(6, 6, labels=4, seed=1)
+        a = run_gibbs(mrf, burn_in=1, samples=4, seed=3)
+        b = run_gibbs(mrf, burn_in=1, samples=4, seed=3)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.marginals, b.marginals)
+        assert np.array_equal(a.last_sample, b.last_sample)
+
+    def test_seed_changes_draws(self):
+        mrf, _ = stereo_mrf(6, 6, labels=4, seed=1)
+        a = run_gibbs(mrf, burn_in=1, samples=4, seed=0)
+        b = run_gibbs(mrf, burn_in=1, samples=4, seed=99)
+        assert not np.array_equal(a.marginals, b.marginals)
+
+    def test_marginal_statistics_well_formed(self):
+        mrf, _ = stereo_mrf(5, 7, labels=4, seed=2)
+        r = run_gibbs(mrf, burn_in=1, samples=6, seed=0)
+        assert np.allclose(r.marginals.sum(axis=2), 1.0)
+        assert (r.entropy >= 0.0).all()
+        assert (r.entropy <= np.log2(mrf.labels) + 1e-9).all()
+        assert np.allclose(r.confidence, r.marginals.max(axis=2))
+        assert 0.0 <= r.mean_confidence <= 1.0
+        # argmax-marginal labels are consistent with the histogram.
+        assert np.array_equal(r.labels, np.argmax(r.marginals, axis=2))
+
+    def test_strong_unary_dominates(self):
+        dc = np.full((4, 4, 3), 120, np.int16)
+        dc[:, :, 1] = 0
+        mrf = GridMRF(dc, potts_smoothness(3, penalty=2))
+        r = run_gibbs(mrf, burn_in=1, samples=6, seed=0)
+        assert (r.labels == 1).all()
+        assert r.mean_confidence > 0.9
+
+    def test_agrees_with_bpm_on_stereo(self):
+        """Sampling and BP-M optimize the same distribution: on an easy
+        stereo pair their labelings must mostly agree and the sampler's
+        energy must stay in BP-M's ballpark."""
+        mrf, _ = stereo_mrf(8, 10, labels=8, seed=4)
+        bp_labels, _ = run_bpm(mrf, iterations=6)
+        gibbs = run_gibbs(mrf, burn_in=3, samples=12, seed=0)
+        assert label_agreement(gibbs.labels, bp_labels, tolerance=1) > 0.7
+        assert mrf.energy(gibbs.labels) < 2.0 * max(mrf.energy(bp_labels), 1)
+
+    def test_metric_helpers(self):
+        a = np.zeros((2, 2), dtype=np.int64)
+        b = np.array([[0, 1], [2, 0]], dtype=np.int64)
+        assert label_agreement(a, a) == 1.0
+        assert label_agreement(a, b) == 0.5
+        assert label_agreement(a, b, tolerance=1) == 0.75
+        p = np.zeros((1, 1, 2)); p[..., 0] = 1.0
+        q = np.zeros((1, 1, 2)); q[..., 1] = 1.0
+        assert marginal_l1(p, p) == 0.0
+        assert marginal_l1(p, q) == 2.0

@@ -1,0 +1,107 @@
+"""MLP reference tests: golden forward pass, determinism, VIP semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.cnn.reference import fc_vip
+from repro.workloads.mlp.reference import (
+    MLPLayer,
+    random_mlp,
+    run_mlp,
+    run_mlp_vip,
+)
+
+
+class TestLayers:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            MLPLayer(weights=np.zeros(4), bias=np.zeros(2))
+        with pytest.raises(ConfigError):
+            MLPLayer(weights=np.zeros((3, 4)), bias=np.zeros(4))
+
+    def test_random_mlp_structure(self):
+        layers = random_mlp([6, 5, 4, 3], seed=1)
+        assert [l.weights.shape for l in layers] == [(5, 6), (4, 5), (3, 4)]
+        assert [l.bias.shape for l in layers] == [(5,), (4,), (3,)]
+        # Hidden layers rectify; the classifier output stays linear.
+        assert [l.relu for l in layers] == [True, True, False]
+
+    def test_random_mlp_deterministic(self):
+        a = random_mlp([8, 4, 2], seed=3)
+        b = random_mlp([8, 4, 2], seed=3)
+        c = random_mlp([8, 4, 2], seed=4)
+        for la, lb in zip(a, b):
+            assert np.array_equal(la.weights, lb.weights)
+            assert np.array_equal(la.bias, lb.bias)
+        assert not np.array_equal(a[0].weights, c[0].weights)
+
+
+class TestForward:
+    def test_golden_two_layer(self):
+        """Hand-computed stack: relu(W1 x + b1) then linear W2 (.) + b2.
+
+        W1 [3, 2] = [1, -1; 2, 0] + b1 [0, 1] -> [1, 7], relu keeps both;
+        W2 [1, 1] + b2 [0] -> 8.
+        """
+        layers = [
+            MLPLayer(weights=np.array([[1.0, -1.0], [2.0, 0.0]]),
+                     bias=np.array([0.0, 1.0]), relu=True),
+            MLPLayer(weights=np.array([[1.0, 1.0]]),
+                     bias=np.array([0.0]), relu=False),
+        ]
+        out = run_mlp(layers, np.array([3.0, 2.0]))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(8.0)
+
+    def test_relu_clamps_negatives(self):
+        layers = [
+            MLPLayer(weights=np.array([[-1.0], [1.0]]),
+                     bias=np.array([0.0, 0.0]), relu=True),
+            MLPLayer(weights=np.array([[1.0, 1.0]]),
+                     bias=np.array([0.0]), relu=False),
+        ]
+        # -5 is rectified away; only the +5 lane survives.
+        assert run_mlp(layers, np.array([5.0]))[0] == pytest.approx(5.0)
+
+
+class TestVIPForward:
+    def _int_layers(self):
+        rng = np.random.default_rng(9)
+        l1 = MLPLayer(weights=rng.integers(-6, 7, (5, 8)).astype(np.int16),
+                      bias=rng.integers(-6, 7, 5).astype(np.int16), relu=True)
+        l2 = MLPLayer(weights=rng.integers(-6, 7, (3, 5)).astype(np.int16),
+                      bias=rng.integers(-6, 7, 3).astype(np.int16), relu=False)
+        return [l1, l2]
+
+    def test_matches_manual_fc_vip_chain(self):
+        layers = self._int_layers()
+        x = np.arange(8, dtype=np.int16) - 3
+        out = run_mlp_vip(layers, x, fx=4)
+        h = fc_vip(x, layers[0].weights, layers[0].bias, 4, apply_relu=True)
+        expect = fc_vip(h, layers[1].weights, layers[1].bias, 4, apply_relu=False)
+        assert np.array_equal(out, expect)
+        assert out.dtype == np.int16
+
+    def test_deterministic_and_chunk_invariant(self):
+        layers = self._int_layers()
+        x = np.arange(8, dtype=np.int16)
+        a = run_mlp_vip(layers, x, fx=4)
+        b = run_mlp_vip(layers, x, fx=4)
+        chunked = run_mlp_vip(layers, x, fx=4, chunk=3)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, chunked)
+
+    def test_tracks_float_on_small_weights(self):
+        """At fx=8 with tiny integer weights the fixed-point pass should
+        land near the float pass on the dequantized model."""
+        layers = self._int_layers()
+        x = (np.arange(8, dtype=np.int16) - 3) << 4
+        fixed = run_mlp_vip(layers, x, fx=8).astype(np.float64) / 256.0
+        float_layers = [
+            MLPLayer(weights=l.weights.astype(np.float64) / 256.0,
+                     bias=l.bias.astype(np.float64) / 256.0, relu=l.relu)
+            for l in layers
+        ]
+        ref = run_mlp(float_layers, x.astype(np.float64) / 256.0)
+        assert np.max(np.abs(fixed - ref)) < 0.1
