@@ -31,6 +31,13 @@ Benches:
   with the simulated autoscaler on (2 boot chips, ceiling 6): scale
   decisions, warm-up, and drain/retire cycles all on the hot path;
   records scale events, elastic chip-cycles, and tail latency.
+* ``serve-cluster`` (macro) — two 2-chip fleet shards behind the
+  deterministic cluster router, with every chip of a shard in one
+  correlated failure domain and a tight in-shard retry budget: a
+  seeded zone outage pushes expiring work onto the cross-shard
+  failover path, so gossip, belief staleness, and redispatch are all
+  on the hot path; records failovers, gossip ticks, and the minimum
+  believed-alive shard fraction alongside wall time.
 * ``serve-cold-start`` (macro) — the FC cost-table build at a deep
   batch ceiling, measured twice: the exhaustive builder versus the
   cross-validated surrogate (:mod:`repro.serve.surrogate`); records the
@@ -77,7 +84,7 @@ SCHEMA = "repro.perf.bench/v1"
 MICRO_BENCHES = ("fixedpoint-sat", "pe-vector")
 MACRO_BENCHES = ("vault-bp-tile", "gibbs-sweep", "conv-pass", "fc-chunk",
                  "serve-fleet", "serve-resilience", "serve-autoscale",
-                 "serve-cold-start", "vectorized-step")
+                 "serve-cluster", "serve-cold-start", "vectorized-step")
 ALL_BENCHES = MICRO_BENCHES + MACRO_BENCHES
 
 #: Single-kernel simulator benches with a reference (fast_path=False)
@@ -553,6 +560,87 @@ def _bench_serve_autoscale(repeat: int, quick: bool, compare: bool) -> dict:
     return record
 
 
+def _bench_serve_cluster(repeat: int, quick: bool, compare: bool) -> dict:
+    from repro.serve.cluster import ClusterConfig
+    from repro.serve.failures import FailureConfig
+    from repro.serve.fleet import ServeConfig
+    from repro.serve.report import run_report
+    from repro.serve.resilience import ResilienceConfig
+    from repro.serve.workload import WorkloadConfig
+
+    # The arrival rate tracks the cost table's fidelity: full-size bp
+    # requests cost far more cycles, so the full bench slows arrivals
+    # to stay in the regime where failover rescues work instead of the
+    # whole trace expiring against the retry deadline.
+    workload = WorkloadConfig(mix="bp", arrival="bursty",
+                              rate=250_000.0 if quick else 60_000.0,
+                              requests=80 if quick else 200, seed=1)
+    config = ServeConfig(
+        chips=2,
+        max_batch=4,
+        queue_capacity=16,
+        # The failure clocks scale with the trace: the full makespan is
+        # ~6x the quick one, so the same MTBF would bury the fleet
+        # under back-to-back zone outages.
+        failures=FailureConfig(
+            seed=1, domains=((0, 1),),
+            domain_mtbf_cycles=600_000.0 if quick else 3_000_000.0,
+            domain_repair_mean_cycles=(200_000.0 if quick
+                                       else 400_000.0)),
+        # A tight in-shard retry budget: a zone outage exhausts it
+        # fast, so expiring work reaches the cross-shard failover path
+        # instead of being absorbed by local retries (the same shape as
+        # the chaos harness's cluster cell).
+        resilience=ResilienceConfig(
+            max_retries=1,
+            retry_deadline_cycles=150_000.0 if quick else 600_000.0),
+        cluster=ClusterConfig(shards=2, router="round-robin",
+                              gossip_interval_cycles=20_000.0,
+                              failover_retries=1),
+    )
+
+    def work(workers: int = 1) -> dict:
+        return run_report(workload, config, mixes=("bp",),
+                          quick=quick, max_workers=workers)[0]
+
+    payload = work()  # warmup (also builds/caches the kernel programs)
+    wall = _best_wall(work, repeat)
+    m = payload["mixes"]["bp"]
+    c = m["cluster"]
+    if m["served"] + m["shed"] + m["expired"] != m["total"]:
+        raise AssertionError("serve-cluster: request accounting leak")
+    if c["failovers"] < 1:
+        raise AssertionError(
+            "serve-cluster: the zone outage never pushed work across "
+            "shards — the bench is not exercising failover")
+    if c["min_alive_shard_fraction"] >= 1.0:
+        raise AssertionError(
+            "serve-cluster: no shard was ever believed down — the "
+            "domain outage did not fire")
+    record = {
+        "name": "serve-cluster",
+        "kind": "macro",
+        "wall_s": wall,
+        "sim_cycles": m["makespan_cycles"],
+        "cycles_per_wall_second": m["makespan_cycles"] / wall,
+        "requests_served": m["served"],
+        "availability": m["availability"],
+        "shards": c["shards"],
+        "failovers": c["failovers"],
+        "failover_expired": c["failover_expired"],
+        "gossip_ticks": c["gossip_ticks"],
+        "min_alive_shard_fraction": c["min_alive_shard_fraction"],
+        "latency_p99_ms": m["latency_ms"]["p99"],
+    }
+    if compare:
+        if work(workers=2) != payload:
+            raise AssertionError(
+                "serve-cluster: parallel cost-table run diverged "
+                "from serial")
+        record["parallel_equal"] = True
+    return record
+
+
 def _bench_serve_cold_start(repeat: int, quick: bool, compare: bool) -> dict:
     from repro.serve.costmodel import build_cost_table
     from repro.serve.surrogate import (
@@ -665,6 +753,8 @@ def run_benches(names: tuple[str, ...] = ALL_BENCHES, repeat: int = 3,
             records.append(_bench_serve_resilience(repeat, quick, compare))
         elif name == "serve-autoscale":
             records.append(_bench_serve_autoscale(repeat, quick, compare))
+        elif name == "serve-cluster":
+            records.append(_bench_serve_cluster(repeat, quick, compare))
         elif name == "serve-cold-start":
             records.append(_bench_serve_cold_start(repeat, quick, compare))
         elif name == "vectorized-step":
@@ -737,12 +827,45 @@ def load_history(directory: str = ".") -> list[dict]:
     return sorted(snapshots, key=tag_key)
 
 
+#: Eight-level bars for the per-bench wall-time sparkline, slowest
+#: snapshot tallest.
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list) -> str:
+    """Unicode sparkline of a wall-time series, ``None`` gaps as spaces.
+
+    Scaled per series (min → ``▁``, max → ``█``), so the shape answers
+    "did this bench trend faster or slower across snapshots" at a
+    glance; a flat series renders as all-minimum bars.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+        elif span == 0.0:
+            out.append(_SPARK_BARS[0])
+        else:
+            idx = round((v - lo) / span * (len(_SPARK_BARS) - 1))
+            out.append(_SPARK_BARS[int(idx)])
+    return "".join(out)
+
+
 def render_history(snapshots: list[dict], fmt: str = "md") -> str:
-    """Render the snapshot trajectory as a markdown or CSV table.
+    """Render the snapshot trajectory as a markdown, CSV, or sparkline
+    table.
 
     One row per bench; per tag, the wall time and (when the snapshot
     was taken with ``--merge-baseline``) the speedup over the previous
     snapshot — the in-repo answer to "has the simulator gotten faster".
+    ``md`` appends a ``trend`` sparkline column; ``spark`` is the
+    wide/plottable form of the same data (one column per tag, wall
+    seconds, trailing sparkline) where ``csv`` stays long-format.
     """
     tags = [str(s["tag"]) for s in snapshots]
     names: list[str] = []
@@ -752,6 +875,11 @@ def render_history(snapshots: list[dict], fmt: str = "md") -> str:
             if r["name"] not in names:
                 names.append(r["name"])
             cells[(r["name"], tag)] = r
+
+    def walls(name):
+        return [r["wall_s"] if (r := cells.get((name, tag))) is not None
+                else None for tag in tags]
+
     if fmt == "csv":
         lines = ["bench,tag,wall_s,speedup_vs_baseline"]
         for name in names:
@@ -763,8 +891,16 @@ def render_history(snapshots: list[dict], fmt: str = "md") -> str:
                 lines.append(f"{name},{tag},{r['wall_s']:.6f},"
                              f"{'' if ratio is None else f'{ratio:.3f}'}")
         return "\n".join(lines) + "\n"
+    if fmt == "spark":
+        lines = ["bench," + ",".join(tags) + ",spark"]
+        for name in names:
+            series = walls(name)
+            row = [name] + ["" if w is None else f"{w:.6f}" for w in series]
+            lines.append(",".join(row) + f",{_sparkline(series)}")
+        return "\n".join(lines) + "\n"
     if fmt != "md":
-        raise ConfigError(f"unknown history format {fmt!r}; choose md|csv")
+        raise ConfigError(
+            f"unknown history format {fmt!r}; choose md|csv|spark")
 
     def cell(name, tag):
         r = cells.get((name, tag))
@@ -776,12 +912,15 @@ def render_history(snapshots: list[dict], fmt: str = "md") -> str:
             text += f" ({ratio:.2f}x)"
         return text
 
-    header = "| bench | " + " | ".join(tags) + " |"
-    rule = "|---" * (len(tags) + 1) + "|"
-    rows = ["| " + " | ".join([name] + [cell(name, t) for t in tags]) + " |"
+    header = "| bench | " + " | ".join(tags) + " | trend |"
+    rule = "|---" * (len(tags) + 2) + "|"
+    rows = ["| " + " | ".join([name] + [cell(name, t) for t in tags]
+                              + [_sparkline(walls(name))]) + " |"
             for name in names]
     legend = ("wall time per snapshot; (Nx) = speedup over the previous "
-              "snapshot recorded at bench time with --merge-baseline")
+              "snapshot recorded at bench time with --merge-baseline; "
+              "trend = per-bench wall-time sparkline, slowest snapshot "
+              "tallest")
     return "\n".join([header, rule] + rows + ["", legend]) + "\n"
 
 
@@ -828,9 +967,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--history", action="store_true",
                         help="render the committed BENCH_<tag>.json "
                         "trajectory instead of running benches")
-    parser.add_argument("--history-format", choices=("md", "csv"),
+    parser.add_argument("--history-format", choices=("md", "csv", "spark"),
                         default="md",
-                        help="history table format (default md)")
+                        help="history table format (default md); spark = "
+                        "wide per-tag wall seconds with a trailing "
+                        "sparkline column")
     args = parser.parse_args(argv)
 
     if args.history:

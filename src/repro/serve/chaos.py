@@ -27,10 +27,22 @@ One **checkpoint/resume** check per invocation truncates a cost-table
 journal mid-stream and verifies the resumed report is byte-identical to
 the uninterrupted one — recovery under chaos is exercised, not assumed.
 
-The harness writes a ``repro.serve.chaos/v1`` JSON report and exits
-nonzero naming the offending (seed, mode, policy, autoscale) cell on
-the first violated invariant, so CI failures point at a reproducible
-command line, not a flake.
+``--cluster`` extends the matrix with cluster-of-fleets cells
+(:mod:`repro.serve.cluster`): two shards behind the router, every chip
+of one shard grouped into a correlated failure domain, cross-shard
+failover on.  Each cluster cell asserts conservation over the merged
+records, **no post-outage completions from dead domains** (served
+launches checked against the domain-window ground truth, independently
+of the scheduler's own view), **failover-bounded queue growth**
+(per-shard queue occupancy stays within capacity and total failovers
+within the per-request budget), and cluster replay identity; one
+cluster checkpoint/resume check rides along.
+
+The harness writes a ``repro.serve.chaos/v1`` JSON report; an invalid
+command line exits 2, and a violated invariant exits 3 (the regression
+exit code the bench gate uses), naming the offending (seed, mode,
+policy, autoscale) cell so CI failures point at a reproducible command
+line, not a flake.
 
 Every run is a pure function of its cell coordinates: the sweep is
 deterministic end to end, and each checker is an importable function
@@ -48,6 +60,7 @@ import tempfile
 from repro.errors import ConfigError
 from repro.perf.checkpoint import TaskCheckpoint
 from repro.serve.autoscale import SCALE_ACTIONS, AutoscaleConfig
+from repro.serve.cluster import ClusterConfig, ClusterSimulator
 from repro.serve.costmodel import build_cost_table
 from repro.serve.failures import FailureConfig
 from repro.serve.fleet import OUTCOMES, FleetSimulator, ServeConfig
@@ -182,6 +195,64 @@ def check_replay_identity(result, config, costs, requests) -> None:
         _fail("replay-identity", "runs diverged outside records")
 
 
+def check_post_domain_outage(batches, timeline) -> None:
+    """No served launch overlaps a fail-stop domain outage on its chip.
+
+    Independent of :func:`check_post_failstop`: the overlap test here
+    reads the domain-window streams directly (``domains_of`` /
+    ``domain_windows_until``), so a scheduler that mishandled the
+    correlated-outage merge could not also hide the evidence.
+    """
+    if timeline is None or not timeline.config.domains:
+        return
+    if timeline.config.domain_mode != "fail-stop":
+        return
+    for b in batches:
+        if b.outcome != "served":
+            continue
+        for idx in timeline.domains_of(b.chip):
+            for w in timeline.domain_windows_until(idx, b.finish):
+                if w.start < b.finish and w.end > b.start:
+                    _fail("post-domain-outage",
+                          f"batch {b.batch_id} served on chip {b.chip} "
+                          f"over [{b.start:g}, {b.finish:g}) despite "
+                          f"domain {idx} outage "
+                          f"[{w.start:g}, {w.end:g})")
+
+
+def check_failover_bound(result, config, requests) -> None:
+    """Failover stays within budget and never blows up shard queues.
+
+    Total cross-shard re-dispatches are bounded by ``failover_retries``
+    per generated request, and each shard's admission queue — fed by
+    routed arrivals *and* failover re-dispatches — reconstructs to an
+    occupancy within the configured capacity.
+    """
+    budget = config.cluster.failover_retries * len(requests)
+    if result.failovers > budget:
+        _fail("failover-bound",
+              f"{result.failovers} failovers exceed the cluster budget "
+              f"{budget} ({config.cluster.failover_retries}/request)")
+    for i, res in enumerate(result.shard_results):
+        try:
+            check_queue_bound(res.records, config.queue_capacity)
+        except InvariantViolation as exc:
+            _fail("failover-bound", f"shard {i}: {exc}")
+
+
+def check_cluster_replay(result, config, costs, requests) -> None:
+    """A fresh cluster over the same inputs reproduces the run."""
+    replay = ClusterSimulator(config, costs).run(list(requests))
+    a = _canonical_cluster(result)
+    b = _canonical_cluster(replay)
+    if a != b:
+        for i, (x, y) in enumerate(zip(a["records"], b["records"])):
+            if x != y:
+                _fail("replay-identity",
+                      f"cluster record {i} diverged: {x} != {y}")
+        _fail("replay-identity", "cluster runs diverged outside records")
+
+
 def check_autoscale_lifecycle(result, config) -> None:
     """Scale events respect bounds and the drain-before-remove order."""
     rollup = result.autoscale
@@ -224,6 +295,17 @@ def _canonical(result) -> dict:
         "makespan": result.makespan,
         "autoscale_events": (result.autoscale["events"]
                              if result.autoscale else None),
+    }))
+
+
+def _canonical_cluster(result) -> dict:
+    """A cluster run reduced to comparable plain data."""
+    return json.loads(json.dumps({
+        "records": [[r.rid, r.outcome, r.arrival, r.dispatch, r.start,
+                     r.finish, r.chip, r.retries] for r in result.records],
+        "shards": [_canonical(res) for res in result.shard_results],
+        "makespan": result.makespan,
+        "rollup": result.rollup(),
     }))
 
 
@@ -272,6 +354,59 @@ def _cell_config(mode: str, policy: str, seed: int,
         autoscale=(AutoscaleConfig(min_chips=1, max_chips=_CHIPS + 2)
                    if autoscale else None),
     )
+
+
+def _cluster_cell_config(policy: str, seed: int) -> ServeConfig:
+    """Two 2-chip shards; every chip of a shard shares one correlated
+    failure domain, so a seeded domain outage is a full zone outage."""
+    return ServeConfig(
+        chips=2,
+        max_batch=4,
+        queue_capacity=16,
+        failures=FailureConfig(seed=seed, domains=((0, 1),),
+                               domain_mtbf_cycles=600_000.0,
+                               domain_repair_mean_cycles=200_000.0),
+        # A tight in-shard retry budget: a zone outage exhausts it fast,
+        # so expiring work actually reaches the cross-shard failover
+        # path instead of being absorbed by local retries.
+        resilience=ResilienceConfig(max_retries=1,
+                                    retry_deadline_cycles=150_000.0),
+        policy_set=_policy_set(policy),
+        cluster=ClusterConfig(shards=2, router="round-robin",
+                              gossip_interval_cycles=20_000.0,
+                              failover_retries=1),
+    )
+
+
+def run_cluster_cell(seed: int, policy: str, costs,
+                     requests_per_cell: int = 80, mix: str = "bp") -> dict:
+    """Run one cluster matrix cell and check the cluster invariants."""
+    config = _cluster_cell_config(policy, seed)
+    workload = WorkloadConfig(mix=mix, arrival="bursty", rate=250_000.0,
+                              requests=requests_per_cell, seed=seed)
+    requests = generate_requests(workload)
+    sim = ClusterSimulator(config, costs)
+    result = sim.run(list(requests))
+
+    check_conservation(result.records, requests)
+    for shard_sim, res in zip(sim.shards, result.shard_results):
+        check_post_failstop(res.batches, shard_sim.timeline)
+        check_post_domain_outage(res.batches, shard_sim.timeline)
+    check_failover_bound(result, config, requests)
+    check_cluster_replay(result, config, costs, requests)
+
+    outcomes = {name: 0 for name in OUTCOMES}
+    for r in result.records:
+        outcomes[r.outcome] += 1
+    return {
+        "seed": seed, "mode": "domain-outage", "policy": policy,
+        "autoscale": False, "mix": mix, "requests": len(requests),
+        "cluster": result.rollup(),
+        "outcomes": outcomes,
+        "invariants": ["conservation", "post-failstop",
+                       "post-domain-outage", "failover-bound",
+                       "replay-identity"],
+    }
 
 
 def run_cell(seed: int, mode: str, policy: str, autoscale: bool,
@@ -348,12 +483,48 @@ def check_checkpoint_resume(seed: int = 0) -> None:
               "resumed payload differs from the uninterrupted one")
 
 
+def check_cluster_checkpoint_resume(seed: int = 0) -> None:
+    """The checkpoint/resume byte-identity contract under a cluster."""
+    config = _cluster_cell_config("builtin", seed)
+    workload = WorkloadConfig(mix="bp", arrival="bursty", rate=250_000.0,
+                              requests=40, seed=seed)
+    meta = checkpoint_meta(config, ("bp",), True)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        journal = os.path.join(tmp, "cluster.jsonl")
+        checkpoint = TaskCheckpoint(journal, meta=meta)
+        try:
+            baseline, _ = run_report(workload, config, mixes=("bp",),
+                                     checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+        with open(journal, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        keep = max(2, len(lines) // 2)
+        with open(journal, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:keep])
+        checkpoint = TaskCheckpoint(journal, meta=meta, resume=True)
+        try:
+            resumed, _ = run_report(workload, config, mixes=("bp",),
+                                    checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+    a = json.dumps(baseline, sort_keys=True)
+    b = json.dumps(resumed, sort_keys=True)
+    if a != b:
+        _fail("checkpoint-resume",
+              "resumed cluster payload differs from the uninterrupted "
+              "one")
+
+
 def run_matrix(seeds, modes, policies, autoscale_states,
-               requests_per_cell: int = 80) -> dict:
+               requests_per_cell: int = 80,
+               cluster_policies=()) -> dict:
     """Run the full sweep; returns the report payload.
 
-    The payload's ``failures`` list is empty iff every invariant held
-    in every cell.
+    ``cluster_policies`` (``--cluster``) appends one cluster cell per
+    seed × policy plus a cluster checkpoint/resume check; empty keeps
+    the legacy single-fleet matrix byte-for-byte.  The payload's
+    ``failures`` list is empty iff every invariant held in every cell.
     """
     costs = build_cost_table(4, quick=True, degraded=True, kinds=("bp",))
     cells, failures = [], []
@@ -387,8 +558,20 @@ def run_matrix(seeds, modes, policies, autoscale_states,
                                   mix="bp+gibbs"))
         except InvariantViolation as exc:
             failures.append({"cell": coord, "violation": str(exc)})
+    for seed in seeds if cluster_policies else ():
+        for policy in cluster_policies:
+            coord = (f"seed={seed} mode=domain-outage policy={policy} "
+                     f"cluster=on")
+            try:
+                cells.append(run_cluster_cell(seed, policy, costs,
+                                              requests_per_cell))
+            except InvariantViolation as exc:
+                failures.append({"cell": coord, "violation": str(exc)})
     try:
         check_checkpoint_resume(seed=min(seeds) if seeds else 0)
+        if cluster_policies:
+            check_cluster_checkpoint_resume(
+                seed=min(seeds) if seeds else 0)
         resume_ok = True
     except InvariantViolation as exc:
         resume_ok = False
@@ -402,6 +585,7 @@ def run_matrix(seeds, modes, policies, autoscale_states,
             "autoscale": ["on" if a else "off"
                           for a in autoscale_states],
             "requests_per_cell": requests_per_cell,
+            "cluster_policies": list(cluster_policies),
         },
         "cells": cells,
         "checkpoint_resume": "ok" if resume_ok else "failed",
@@ -432,6 +616,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--autoscale", choices=("off", "on", "both"),
                         default="both",
                         help="autoscaler states to sweep")
+    parser.add_argument("--cluster", action="store_true",
+                        help="extend the matrix with cluster-of-fleets "
+                             "cells: 2 shards, a correlated zone-outage "
+                             "domain, cross-shard failover, and the "
+                             "cluster invariants")
+    parser.add_argument("--cluster-policies", nargs="+",
+                        default=["builtin", "pressure-shed"],
+                        choices=sorted(POLICY_DOCS), metavar="POLICY",
+                        help="policy sets the cluster cells sweep "
+                             "(default: builtin, pressure-shed)")
     parser.add_argument("--requests", type=int, default=80,
                         help="requests per cell")
     parser.add_argument("--out", default=None,
@@ -453,16 +647,21 @@ def main(argv=None) -> int:
     try:
         report = run_matrix(tuple(range(args.seeds)), tuple(args.modes),
                             tuple(args.policies), states,
-                            requests_per_cell=args.requests)
+                            requests_per_cell=args.requests,
+                            cluster_policies=(tuple(args.cluster_policies)
+                                              if args.cluster else ()))
     except ConfigError as exc:
         print(f"error: config: {exc}", file=sys.stderr)
         return 2
     total = len(report["cells"]) + len(report["failures"])
+    cluster_note = (f", cluster x {len(args.cluster_policies)} policies"
+                    if args.cluster else "")
     print(f"chaos: {total} cells "
           f"({len(report['matrix']['seeds'])} seeds x "
           f"{len(report['matrix']['modes'])} modes x "
           f"{len(report['matrix']['policies'])} policies x "
-          f"{len(report['matrix']['autoscale'])} autoscale states), "
+          f"{len(report['matrix']['autoscale'])} autoscale states"
+          f"{cluster_note}), "
           f"checkpoint-resume {report['checkpoint_resume']}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -473,7 +672,9 @@ def main(argv=None) -> int:
         for failure in report["failures"]:
             print(f"INVARIANT VIOLATED [{failure['cell']}]: "
                   f"{failure['violation']}", file=sys.stderr)
-        return 1
+        # 3 = the regression exit code (the bench gate's convention),
+        # distinct from 2 = invalid configuration.
+        return 3
     print("all invariants held")
     return 0
 

@@ -18,6 +18,14 @@ hedge decisions, and ``--autoscale`` turns on the deterministic
 simulated autoscaler (``repro.serve.autoscale``).  Both compose with
 ``--scenario``, overriding the file's own sections.
 
+Cluster scale: ``--cluster-shards N`` runs N independent fleet shards
+behind the deterministic cluster router (``repro.serve.cluster``) with
+bounded-staleness gossip beliefs, cross-shard failover, and optional
+brown-out shedding (``--brownout-headroom``); ``--fail-domains
+"0,1;2,3"`` groups chips into correlated failure domains (zone/rack
+outages that fail every member in one event).  Both compose with
+``--scenario`` the way ``--autoscale`` does.
+
 Two runs of the same command write byte-identical JSON, and
 ``--workers N`` (parallel cost-table measurement) matches a serial run
 exactly; CI asserts both.  ``--checkpoint PATH`` journals cost-table
@@ -37,6 +45,7 @@ from dataclasses import replace
 from repro.errors import ConfigError
 from repro.perf.checkpoint import TaskCheckpoint
 from repro.serve.autoscale import AutoscaleConfig
+from repro.serve.cluster import ROUTERS, ClusterConfig
 from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
 from repro.serve.policy import OBSERVABLES, list_policies, load_policy
@@ -56,6 +65,19 @@ from repro.serve.workload import ARRIVALS, MIXES, WorkloadConfig
 
 def _ints(text: str) -> tuple:
     return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _domains(text: str) -> tuple:
+    """``"0,1;2,3"`` -> ``((0, 1), (2, 3))`` (semicolons split domains)."""
+    out = tuple(_ints(group) for group in text.split(";") if group.strip())
+    if any(not group for group in out):
+        raise argparse.ArgumentTypeError(
+            f"each domain needs at least one chip id, got {text!r}")
+    return out
+
+
+def _kinds(text: str) -> tuple:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
 
 
 def _positive_int(text: str) -> int:
@@ -141,6 +163,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="mean simulated ms between fail-stop events")
     failures.add_argument("--repair-ms", type=_positive_float, default=0.64,
                           help="mean simulated ms to repair a fail-stop")
+    failures.add_argument("--fail-domains", type=_domains, default=(),
+                          metavar="SPEC",
+                          help="correlated failure domains as semicolon-"
+                               "separated chip-id groups, e.g. '0,1;2,3' "
+                               "(one seeded outage fails every member)")
+    failures.add_argument("--domain-mtbf-ms", type=_positive_float,
+                          default=4.0,
+                          help="mean simulated ms between domain outages")
+    failures.add_argument("--domain-repair-ms", type=_positive_float,
+                          default=0.48,
+                          help="mean simulated ms to repair a domain outage")
+    failures.add_argument("--domain-mode",
+                          choices=("fail-stop", "fail-slow"),
+                          default="fail-stop",
+                          help="what a domain outage does to member chips")
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument("--health-interval-ms", type=_positive_float,
                             default=0.02,
@@ -189,6 +226,32 @@ def build_parser() -> argparse.ArgumentParser:
     autoscale.add_argument("--autoscale-cooldown-ms", type=_nonneg_float,
                            default=0.16,
                            help="hold-off between scale decisions")
+    cluster = parser.add_argument_group("cluster")
+    cluster.add_argument("--cluster-shards", type=_positive_int,
+                         default=None, metavar="N",
+                         help="shard the fleet into N independent fleets "
+                              "behind the cluster router (--chips becomes "
+                              "the per-shard size; composes with "
+                              "--scenario)")
+    cluster.add_argument("--cluster-router", choices=ROUTERS,
+                         default="least-loaded",
+                         help="routing policy over believed-alive shards")
+    cluster.add_argument("--cluster-gossip-ms", type=_positive_float,
+                         default=0.04,
+                         help="belief-refresh tick period (simulated ms); "
+                              "router beliefs are up to one tick stale")
+    cluster.add_argument("--cluster-failover-retries", type=_nonneg_int,
+                         default=1,
+                         help="cross-shard re-dispatch budget per request "
+                              "(0 disables failover)")
+    cluster.add_argument("--brownout-headroom", type=_positive_float,
+                         default=None,
+                         help="shed low-priority kinds cluster-wide when "
+                              "believed capacity fraction drops below "
+                              "this (default: off)")
+    cluster.add_argument("--brownout-kinds", type=_kinds, default=("fc",),
+                         help="comma-separated kinds shed during a "
+                              "brown-out (default: fc)")
     scenario = parser.add_argument_group("scenario")
     scenario.add_argument("--scenario", default=None, metavar="NAME_OR_PATH",
                           help="run a declarative scenario file (library "
@@ -234,7 +297,8 @@ def _fmt_ms(cycles, clock_ghz: float) -> str:
 
 
 def _failure_config(args) -> FailureConfig | None:
-    if not (args.fail_chips or args.fail_slow_chips or args.transient_chips):
+    if not (args.fail_chips or args.fail_slow_chips
+            or args.transient_chips or args.fail_domains):
         return None
     counts = (args.fail_chips, args.fail_slow_chips, args.transient_chips)
     if max(counts) > args.chips:
@@ -247,6 +311,10 @@ def _failure_config(args) -> FailureConfig | None:
         repair_mean_cycles=_ms(args.repair_ms),
         fail_slow_chips=tuple(range(args.fail_slow_chips)),
         transient_chips=tuple(range(args.transient_chips)),
+        domains=args.fail_domains,
+        domain_mtbf_cycles=_ms(args.domain_mtbf_ms),
+        domain_repair_mean_cycles=_ms(args.domain_repair_ms),
+        domain_mode=args.domain_mode,
     )
 
 
@@ -259,6 +327,19 @@ def _resilience_config(args) -> ResilienceConfig:
         retry_deadline_cycles=_ms(args.retry_deadline_ms),
         hedge_delay_cycles=(_ms(args.hedge_delay_ms)
                             if args.hedge_delay_ms is not None else None),
+    )
+
+
+def _cluster_config(args) -> ClusterConfig | None:
+    if args.cluster_shards is None and args.brownout_headroom is None:
+        return None
+    return ClusterConfig(
+        shards=args.cluster_shards or 1,
+        router=args.cluster_router,
+        gossip_interval_cycles=_ms(args.cluster_gossip_ms),
+        failover_retries=args.cluster_failover_retries,
+        brownout_headroom=args.brownout_headroom,
+        brownout_kinds=args.brownout_kinds,
     )
 
 
@@ -306,6 +387,9 @@ def _run(args) -> int:
                              policy_set=load_policy(args.policy_file))
         if args.autoscale:
             config = replace(config, autoscale=_autoscale_config(args))
+        if args.cluster_shards is not None \
+                or args.brownout_headroom is not None:
+            config = replace(config, cluster=_cluster_config(args))
         print(f"scenario {scenario.name}: "
               f"{scenario.description or '(no description)'}")
     else:
@@ -329,6 +413,7 @@ def _run(args) -> int:
             policy_set=(load_policy(args.policy_file)
                         if args.policy_file else None),
             autoscale=_autoscale_config(args),
+            cluster=_cluster_config(args),
         )
         workload = WorkloadConfig(
             mix=mixes[0],

@@ -1,0 +1,533 @@
+"""Cluster-of-fleets serving: shards, gossip beliefs, failover, brown-out.
+
+A cluster is N independent :class:`~repro.serve.fleet.FleetSimulator`
+shards — each a full fleet with its own chips, admission queue, health
+monitor, failure timeline, and (optionally) autoscaler — behind one
+deterministic router.  Sharding bounds the per-shard event-loop cost, so
+diurnal million-user traces stay tractable: the router does O(shards)
+work per arrival and each shard only ever sees its own slice.
+
+The router has **no oracle**.  Its view of shard health is a *belief*
+learned from bounded-staleness gossip: on a fixed tick grid
+(``gossip_interval_cycles``) it samples every shard's breaker states,
+queue depth, and SLO headroom — read-only, exactly the observables a
+real control plane would scrape — and routes with beliefs that are up
+to one gossip interval stale.  Between ticks the world can change (a
+zone can die) and the router keeps routing on yesterday's map, exactly
+like production.
+
+Three cluster behaviors build on the beliefs:
+
+*Routing* — ``round-robin`` / ``least-loaded`` / ``hash`` over the
+shards believed alive (falling back to all shards when belief says
+nobody is — routing somewhere always beats dropping at the door).
+
+*Cross-shard failover* — work a shard is about to expire (retry budget
+exhausted or deadline passed, i.e. both in-flight and queued requests)
+is handed back to the router instead, and re-dispatched to a surviving
+shard at the next gossip tick, under a cluster-level
+``failover_retries`` budget.  The re-dispatched request keeps its rid;
+the merged record restores its *original* arrival so end-to-end latency
+honestly includes the failed attempts and the failover delay.
+
+*Brown-out* — when believed cluster capacity (alive fraction × chips,
+summed over shards) drops below ``brownout_headroom``, arrivals of the
+low-priority ``brownout_kinds`` are shed cluster-wide at the router
+door until belief recovers.  Degrade the cheap traffic, keep the
+latency-critical kinds alive — the classic brown-out trade.
+
+Determinism: the router processes arrivals in (arrival, rid) order,
+refreshes beliefs only on the gossip grid, and orders failover
+re-dispatches by (expiry, rid).  Every decision is a pure function of
+the arrival trace, the configs, and the seeded failure schedules.
+Correlated failure domains (zone/rack groupings that fail in one event)
+live in :class:`repro.serve.failures.FailureConfig`; per-shard failure
+streams derive from ``stream_seed(seed, "serve-shard", i)`` so shards
+fail independently — except shard 0, which keeps the base seed so a
+1-shard cluster reproduces the standalone fleet exactly.
+
+Byte-identity: with ``shards == 1`` and no brown-out threshold, the
+router degenerates to a pass-through — the gossip loop is bypassed, no
+failover hook is installed, and the shard executes the exact operation
+sequence of a standalone :meth:`FleetSimulator.run` — so records,
+batches, and cycle counts are byte-identical to the single-fleet path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.errors import ConfigError
+from repro.faults.injector import stream_seed
+from repro.serve.failures import ChipFailureTimeline
+from repro.serve.fleet import FleetSimulator, RequestRecord
+from repro.serve.metrics import percentile
+from repro.serve.workload import KINDS, Request
+from repro.trace.collector import NULL_TRACE, TraceSink
+
+ROUTERS = ("round-robin", "least-loaded", "hash")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The cluster-layer knobs (all times in PE clock cycles).
+
+    Error messages use the dotted ``cluster.<field>`` paths the scenario
+    DSL and CLI surface verbatim.
+    """
+
+    #: Number of fleet shards; each serves ``ServeConfig.chips`` chips.
+    shards: int = 1
+    #: Cluster routing policy over believed-alive shards.
+    router: str = "least-loaded"
+    #: Belief-refresh tick grid: shard health is sampled (read-only)
+    #: every this many cycles; beliefs are up to one interval stale.
+    gossip_interval_cycles: float = 50_000.0
+    #: Cluster-level re-dispatch budget per request for cross-shard
+    #: failover (0 disables failover; shards expire their own work).
+    failover_retries: int = 1
+    #: Brown-out threshold on believed capacity fraction (None = off).
+    brownout_headroom: float | None = None
+    #: Low-priority request kinds shed cluster-wide during a brown-out.
+    brownout_kinds: tuple = ("fc",)
+
+    def __post_init__(self):
+        if self.shards <= 0:
+            raise ConfigError("cluster.shards must be positive")
+        if self.router not in ROUTERS:
+            raise ConfigError(f"cluster.router: unknown router "
+                              f"{self.router!r}; choose from {ROUTERS}")
+        if self.gossip_interval_cycles <= 0:
+            raise ConfigError("cluster.gossip_interval_cycles must be "
+                              "positive")
+        if self.failover_retries < 0:
+            raise ConfigError("cluster.failover_retries must be "
+                              "nonnegative")
+        if self.brownout_headroom is not None \
+                and not 0.0 < self.brownout_headroom <= 1.0:
+            raise ConfigError("cluster.brownout_headroom must be in "
+                              "(0, 1]")
+        for k in self.brownout_kinds:
+            if k not in KINDS:
+                raise ConfigError(f"cluster.brownout_kinds: unknown "
+                                  f"kind {k!r}; choose from {KINDS}")
+
+    def as_dict(self) -> dict:
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+
+@dataclass
+class ShardBelief:
+    """The router's (possibly stale) picture of one shard."""
+
+    shard: int
+    sampled_at: float = 0.0
+    #: Believed-alive chip fraction (breaker states, read-only).
+    alive_fraction: float = 1.0
+    #: Chips currently accepting launches (autoscaler-aware).
+    dispatchable: int = 0
+    queue_depth: int = 0
+    kind_depth: dict = field(default_factory=dict)
+    slo_headroom: float = 1.0
+
+    @property
+    def capacity(self) -> float:
+        """Believed serving capacity in chip-equivalents."""
+        return self.alive_fraction * self.dispatchable
+
+
+@dataclass
+class _Handback:
+    """Work a shard returned to the router for cross-shard failover."""
+
+    expiry: float
+    rid: int
+    request: Request
+    from_shard: int
+
+
+@dataclass
+class ClusterResult:
+    """Everything the cluster run observed (FleetResult-compatible
+    where it matters: ``records``, ``batches``, ``makespan``)."""
+
+    #: Merged terminal records, rid order, original arrivals restored.
+    records: list
+    #: Per-shard FleetResult (shard-local chip ids).
+    shard_results: list
+    makespan: float
+    #: Total cross-shard re-dispatches.
+    failovers: int
+    #: Requests that still expired after at least one failover.
+    failover_expired: int
+    #: Arrivals shed at the router door during brown-outs.
+    brownout_shed: int
+    #: Brown-out episodes entered.
+    brownout_spans: int
+    gossip_ticks: int
+    #: Minimum believed alive-shard fraction seen at any gossip tick.
+    min_alive_shard_fraction: float
+
+    @property
+    def batches(self) -> list:
+        """All shards' launch records (shard order; ids shard-local)."""
+        return [b for res in self.shard_results for b in res.batches]
+
+    @property
+    def autoscale(self):
+        """None — per-shard autoscale rollups live in shard_results."""
+        return None
+
+    def rollup(self) -> dict:
+        """The report's ``cluster`` section for one mix."""
+        return {
+            "shards": len(self.shard_results),
+            "failovers": self.failovers,
+            "failover_expired": self.failover_expired,
+            "brownout_shed": self.brownout_shed,
+            "brownout_spans": self.brownout_spans,
+            "gossip_ticks": self.gossip_ticks,
+            "min_alive_shard_fraction": self.min_alive_shard_fraction,
+            "shard_requests": [len(res.records)
+                               for res in self.shard_results],
+        }
+
+
+def _shard_failures(config, shard: int):
+    """Shard ``shard``'s failure config: independent seed per shard,
+    except shard 0 which keeps the base seed (1-shard byte-identity)."""
+    if config.failures is None or shard == 0:
+        return config.failures
+    return replace(config.failures,
+                   seed=stream_seed(config.failures.seed,
+                                    "serve-shard", shard))
+
+
+class ClusterSimulator:
+    """Deterministic cluster router over ``config.cluster.shards``
+    independent fleet shards.
+
+    ``timelines`` injects explicit (e.g. scripted) per-shard failure
+    timelines; by default each shard draws its own from its derived
+    failure config.
+    """
+
+    def __init__(self, config, costs,
+                 trace: TraceSink = NULL_TRACE,
+                 timelines: list[ChipFailureTimeline] | None = None):
+        if config.cluster is None:
+            raise ConfigError("ClusterSimulator needs config.cluster")
+        self.config = config
+        self.cluster = config.cluster
+        self.costs = costs
+        self.trace = trace if trace.enabled else None
+        n = self.cluster.shards
+        if timelines is not None and len(timelines) != n:
+            raise ConfigError(f"expected {n} timelines, "
+                              f"got {len(timelines)}")
+        self.shards = []
+        for i in range(n):
+            shard_cfg = replace(config, cluster=None,
+                                failures=_shard_failures(config, i))
+            timeline = timelines[i] if timelines is not None else None
+            self.shards.append(
+                FleetSimulator(shard_cfg, costs, trace=trace,
+                               timeline=timeline))
+        self._beliefs = [
+            ShardBelief(shard=i, dispatchable=len(s.chips))
+            for i, s in enumerate(self.shards)
+        ]
+        #: rid -> Request per shard: what each shard currently owns.
+        self._assigned: list[dict[int, Request]] = [{} for _ in range(n)]
+        #: Cluster-level terminal records (brown-out sheds).
+        self._records: dict[int, RequestRecord] = {}
+        self._origin_arrival: dict[int, float] = {}
+        self._failover_count: dict[int, int] = {}
+        self._handbacks: list[_Handback] = []
+        self._rr = 0
+        self._brownout = False
+        self.failovers = 0
+        self.brownout_shed = 0
+        self.brownout_spans = 0
+        self.gossip_ticks = 0
+        self.min_alive_shard_fraction = 1.0
+        #: The pass-through degeneration: one shard and no brown-out
+        #: threshold needs no beliefs, no hook, no gossip — the shard
+        #: runs the exact standalone operation sequence.
+        self._active = (n > 1
+                        or self.cluster.brownout_headroom is not None)
+
+    # -- beliefs (bounded-staleness gossip) ----------------------------
+
+    def _sample(self, shard: FleetSimulator, i: int, g: float) -> ShardBelief:
+        """Read-only health snapshot of one shard at tick ``g``."""
+        queue = shard._queue
+        return ShardBelief(
+            shard=i, sampled_at=g,
+            alive_fraction=shard._alive_fraction_belief(),
+            dispatchable=len(shard._dispatchable()),
+            queue_depth=queue.waiting if queue is not None else 0,
+            kind_depth={k: (queue.kind_depth(k) if queue is not None
+                            else 0) for k in KINDS},
+            slo_headroom=shard._slo_headroom(g),
+        )
+
+    def _refresh(self, g: float) -> None:
+        """One gossip tick: advance shards to ``g``, sample beliefs,
+        update brown-out state, re-dispatch due handbacks."""
+        cluster = self.cluster
+        for shard in self.shards:
+            shard.advance_to(g)
+        self._beliefs = [self._sample(s, i, g)
+                         for i, s in enumerate(self.shards)]
+        self.gossip_ticks += 1
+        alive = sum(1 for b in self._beliefs if b.capacity > 0)
+        alive_fraction = alive / len(self._beliefs)
+        self.min_alive_shard_fraction = min(self.min_alive_shard_fraction,
+                                            alive_fraction)
+        for shard in self.shards:
+            shard._cluster_ctx = {
+                "cluster.alive_shard_fraction": alive_fraction,
+            }
+        capacity = sum(b.capacity for b in self._beliefs)
+        total = sum(b.dispatchable for b in self._beliefs)
+        capacity_fraction = capacity / total if total else 0.0
+        if self.trace is not None:
+            self.trace.serve("cluster.gossip", "tick", g, 0.0, -1,
+                             {"alive_shard_fraction": alive_fraction,
+                              "capacity_fraction": capacity_fraction})
+        if cluster.brownout_headroom is not None:
+            active = capacity_fraction < cluster.brownout_headroom
+            if active != self._brownout:
+                if active:
+                    self.brownout_spans += 1
+                if self.trace is not None:
+                    self.trace.serve("cluster.brownout", "transition",
+                                     g, 0.0, -1,
+                                     {"active": active,
+                                      "capacity": capacity_fraction})
+            self._brownout = active
+        due = sorted((h for h in self._handbacks if h.expiry <= g),
+                     key=lambda h: (h.expiry, h.rid))
+        if due:
+            self._handbacks = [h for h in self._handbacks if h.expiry > g]
+            for h in due:
+                self._redispatch(h, g)
+
+    def _gossip_until(self, t: float, next_tick: float) -> float:
+        while next_tick <= t:
+            self._refresh(next_tick)
+            next_tick += self.cluster.gossip_interval_cycles
+        return next_tick
+
+    # -- routing -------------------------------------------------------
+
+    def _pool(self, excluded: int | None = None) -> list[ShardBelief]:
+        """Believed-alive shards (all shards when belief says none —
+        routing somewhere beats dropping), minus ``excluded`` when an
+        alternative exists."""
+        beliefs = self._beliefs
+        alive = [b for b in beliefs if b.capacity > 0]
+        pool = alive or list(beliefs)
+        if excluded is not None:
+            rest = [b for b in pool if b.shard != excluded]
+            pool = rest or pool
+        return pool
+
+    def _least_loaded(self, pool: list[ShardBelief]) -> int:
+        return min(pool, key=lambda b: (b.queue_depth
+                                        / max(b.capacity, 1e-9),
+                                        b.shard)).shard
+
+    def _route(self, req: Request) -> int:
+        if len(self.shards) == 1:
+            return 0
+        router = self.cluster.router
+        pool = self._pool()
+        if router == "hash":
+            return pool[req.rid % len(pool)].shard
+        if router == "round-robin":
+            shard = pool[self._rr % len(pool)].shard
+            self._rr += 1
+            return shard
+        return self._least_loaded(pool)
+
+    # -- failover ------------------------------------------------------
+
+    def _make_handback(self, shard_idx: int):
+        """The shard's on_expire hook: take expiring work with failover
+        budget left; leave the rest to expire in-shard."""
+        def hook(requests, attempt, now):
+            keep = []
+            for req in requests:
+                used = self._failover_count.get(req.rid, 0)
+                if used < self.cluster.failover_retries:
+                    self._handbacks.append(
+                        _Handback(expiry=now, rid=req.rid, request=req,
+                                  from_shard=shard_idx))
+                    del self._assigned[shard_idx][req.rid]
+                else:
+                    keep.append(req)
+            return keep
+        return hook
+
+    def _redispatch(self, h: _Handback, now: float) -> None:
+        """Re-dispatch handed-back work to a surviving shard at ``now``
+        (the gossip tick where the router learned of the expiry)."""
+        rid = h.request.rid
+        self._failover_count[rid] = self._failover_count.get(rid, 0) + 1
+        target = self._least_loaded(self._pool(excluded=h.from_shard))
+        self.failovers += 1
+        if self.trace is not None:
+            self.trace.serve("cluster.failover", h.request.kind, now,
+                             0.0, -1,
+                             {"rid": rid, "from": h.from_shard,
+                              "to": target,
+                              "failover": self._failover_count[rid]})
+        req = Request(rid=rid, kind=h.request.kind, tile=h.request.tile,
+                      arrival=now)
+        self._assigned[target][rid] = req
+        self.shards[target].step(req)
+
+    # -- brown-out -----------------------------------------------------
+
+    def _shed_brownout(self, req: Request) -> None:
+        self.brownout_shed += 1
+        self._records[req.rid] = RequestRecord(
+            rid=req.rid, kind=req.kind, tile=req.tile,
+            arrival=req.arrival, shed=True, dispatch=req.arrival,
+            outcome="shed")
+        if self.trace is not None:
+            self.trace.serve("cluster.shed", req.kind, req.arrival,
+                             0.0, -1, {"rid": req.rid, "tile": req.tile})
+
+    # -- observation ---------------------------------------------------
+
+    def snapshot(self, now: float, arrived: int, total: int) -> dict:
+        """A live cluster progress snapshot (pure observation)."""
+        served = shed = expired = 0
+        latencies = []
+        for shard in self.shards:
+            for rec in shard._records.values():
+                if rec.outcome == "served":
+                    served += 1
+                    latencies.append(rec.finish - rec.arrival)
+                elif rec.outcome == "shed":
+                    shed += 1
+                else:
+                    expired += 1
+        shed += sum(1 for r in self._records.values()
+                    if r.outcome == "shed")
+        elapsed_s = now / (self.config.clock_ghz * 1e9)
+        alive = sum(1 for b in self._beliefs if b.capacity > 0)
+        return {
+            "sim_time_cycles": now,
+            "requests_arrived": arrived,
+            "requests_total": total,
+            "served": served,
+            "shed": shed,
+            "expired": expired,
+            "retries": sum(s.retry_count for s in self.shards),
+            "hedges": sum(s.hedge_count for s in self.shards),
+            "throughput_rps": (served / elapsed_s) if elapsed_s > 0 else 0.0,
+            "latency_p50": (percentile(latencies, 50.0)
+                            if latencies else None),
+            "latency_p99": (percentile(latencies, 99.0)
+                            if latencies else None),
+            "cluster": {
+                "shards": len(self.shards),
+                "alive_shard_fraction": alive / len(self.shards),
+                "brownout_active": self._brownout,
+                "failovers": self.failovers,
+                "brownout_shed": self.brownout_shed,
+            },
+        }
+
+    # -- the router loop -----------------------------------------------
+
+    def run(self, requests: list[Request],
+            on_progress=None, progress_every: int | None = None
+            ) -> ClusterResult:
+        cluster = self.cluster
+        requests = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        for shard in self.shards:
+            shard.begin()
+        if len(self.shards) > 1 and cluster.failover_retries > 0:
+            for i, shard in enumerate(self.shards):
+                shard.on_expire = self._make_handback(i)
+        total = len(requests)
+        if on_progress is not None and progress_every is None:
+            progress_every = max(1, total // 20)
+        next_tick = cluster.gossip_interval_cycles
+        arrived = 0
+        for req in requests:
+            self._origin_arrival[req.rid] = req.arrival
+            if self._active:
+                next_tick = self._gossip_until(req.arrival, next_tick)
+                if self._brownout and req.kind in cluster.brownout_kinds:
+                    self._shed_brownout(req)
+                    arrived += 1
+                    continue
+            shard = self._route(req)
+            self._assigned[shard][req.rid] = req
+            self.shards[shard].step(req)
+            arrived += 1
+            if on_progress is not None and arrived % progress_every == 0:
+                on_progress(self.snapshot(req.arrival, arrived, total))
+        for shard in self.shards:
+            shard.finish()
+        # Late failover: work handed back during the final drain is
+        # re-dispatched on the continuing gossip grid until the cluster
+        # runs dry (the per-rid budget bounds this loop).
+        while self._handbacks:
+            first = min(h.expiry for h in self._handbacks)
+            while next_tick <= first:
+                next_tick += cluster.gossip_interval_cycles
+            self._refresh(next_tick)
+            next_tick += cluster.gossip_interval_cycles
+            for shard in self.shards:
+                shard.finish()
+        shard_results = [
+            shard.collect(list(self._assigned[i].values()))
+            for i, shard in enumerate(self.shards)
+        ]
+        merged: dict[int, RequestRecord] = dict(self._records)
+        for res in shard_results:
+            for rec in res.records:
+                merged[rec.rid] = rec
+        missing = [r.rid for r in requests if r.rid not in merged]
+        assert not missing, f"requests lost without accounting: {missing}"
+        records = []
+        failover_expired = 0
+        for rid in sorted(merged):
+            rec = merged[rid]
+            origin = self._origin_arrival[rid]
+            if rec.arrival != origin:
+                # Failover re-stamped the arrival; restore the original
+                # so latency covers the lost attempts end-to-end.
+                rec = replace(rec, arrival=origin)
+            if rec.outcome == "expired" \
+                    and self._failover_count.get(rid, 0) > 0:
+                failover_expired += 1
+            records.append(rec)
+        first = min((r.arrival for r in requests), default=0.0)
+        last = max((b.finish for res in shard_results
+                    for b in res.batches if b.outcome == "served"),
+                   default=max((r.arrival for r in requests),
+                               default=0.0))
+        if on_progress is not None:
+            on_progress(self.snapshot(last, total, total))
+        return ClusterResult(
+            records=records, shard_results=shard_results,
+            makespan=max(last - first, 0.0),
+            failovers=self.failovers,
+            failover_expired=failover_expired,
+            brownout_shed=self.brownout_shed,
+            brownout_spans=self.brownout_spans,
+            gossip_ticks=self.gossip_ticks,
+            min_alive_shard_fraction=self.min_alive_shard_fraction,
+        )

@@ -26,11 +26,21 @@ Three failure modes, per chip:
     cost table — the :mod:`repro.faults` composition, switched on and
     off over time instead of statically per chip.
 
+On top of the independent per-chip modes, **correlated failure
+domains** model the dominant real-world outage shape: a zone or rack
+going dark at once.  A domain is a grouping of chip ids; one seeded
+*domain outage* window applies to every member chip simultaneously —
+as a shared fail-stop downtime (``domain_mode="fail-stop"``) or a
+shared straggler window (``"fail-slow"``).  Domain windows are drawn
+per *domain* (not per chip), so members fail together in one event.
+
 Determinism follows the :mod:`repro.faults` discipline exactly: every
 ``(chip, mode)`` pair draws its windows from its own
 ``numpy`` Generator seeded by :func:`repro.faults.injector.stream_seed`
 (BLAKE2b over ``(seed, mode, chip)``), windows are generated lazily in
-time order, and enabling one mode never shifts another's stream.  A
+time order, and enabling one mode never shifts another's stream.
+Domain streams are keyed ``(seed, "domain", index)`` and are equally
+independent: adding a domain never shifts any per-chip stream.  A
 fixed :class:`FailureConfig` therefore maps to exactly one failure
 schedule on every machine, serial or parallel.
 
@@ -81,35 +91,70 @@ class FailureConfig:
     transient_mtbf_cycles: float = 2_000_000.0
     transient_duration_cycles: float = 400_000.0
 
+    #: Correlated failure domains: each entry is a tuple of member chip
+    #: ids (a zone/rack).  One seeded outage window per domain applies
+    #: to every member chip at once.
+    domains: tuple = ()
+    #: Mean cycles between outages of one domain (exponential gaps).
+    domain_mtbf_cycles: float = 5_000_000.0
+    #: Mean outage duration per domain event.
+    domain_repair_mean_cycles: float = 600_000.0
+    #: What a domain outage does to member chips: ``"fail-stop"`` (the
+    #: zone goes dark) or ``"fail-slow"`` (the zone browns out).
+    domain_mode: str = "fail-stop"
+    #: Service multiplier inside a fail-slow domain outage.
+    domain_slow_factor: float = 4.0
+
     def __post_init__(self):
         for f in ("fail_stop_mtbf_cycles", "repair_mean_cycles",
                   "fail_slow_mtbf_cycles", "fail_slow_duration_cycles",
-                  "transient_mtbf_cycles", "transient_duration_cycles"):
+                  "transient_mtbf_cycles", "transient_duration_cycles",
+                  "domain_mtbf_cycles", "domain_repair_mean_cycles"):
             if getattr(self, f) <= 0:
                 raise ConfigError(f"{f} must be positive")
         if self.fail_slow_factor < 1.0:
             raise ConfigError("fail_slow_factor must be >= 1")
+        if self.domain_slow_factor < 1.0:
+            raise ConfigError("domain_slow_factor must be >= 1")
+        if self.domain_mode not in ("fail-stop", "fail-slow"):
+            raise ConfigError(
+                f"domain_mode must be fail-stop or fail-slow, "
+                f"got {self.domain_mode!r}")
         for f in ("fail_stop_chips", "fail_slow_chips", "transient_chips"):
             if any(c < 0 for c in getattr(self, f)):
                 raise ConfigError(f"{f} contains a negative chip id")
+        for i, members in enumerate(self.domains):
+            if not isinstance(members, tuple) or not members:
+                raise ConfigError(f"domains[{i}] must be a non-empty "
+                                  f"tuple of chip ids")
+            if any(not isinstance(c, int) or c < 0 for c in members):
+                raise ConfigError(f"domains[{i}] contains an invalid chip id")
 
     @property
     def enabled(self) -> bool:
         """True when at least one chip is subject to at least one mode."""
         return bool(self.fail_stop_chips or self.fail_slow_chips
-                    or self.transient_chips)
+                    or self.transient_chips or self.domains)
 
     def validate_chips(self, chips: int) -> None:
         for f in ("fail_stop_chips", "fail_slow_chips", "transient_chips"):
             bad = [c for c in getattr(self, f) if not 0 <= c < chips]
             if bad:
                 raise ConfigError(f"{f} out of range for {chips} chips: {bad}")
+        for i, members in enumerate(self.domains):
+            bad = [c for c in members if not 0 <= c < chips]
+            if bad:
+                raise ConfigError(
+                    f"domains[{i}] out of range for {chips} chips: {bad}")
 
     def as_dict(self) -> dict:
         out = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            out[f.name] = list(value) if isinstance(value, tuple) else value
+            if f.name == "domains":
+                out[f.name] = [list(members) for members in value]
+            else:
+                out[f.name] = list(value) if isinstance(value, tuple) else value
         return out
 
 
@@ -144,6 +189,15 @@ class ChipFailureTimeline:
         #: has been generated.
         self._covered: dict[tuple[int, str], float] = {}
         self._rngs: dict[tuple[int, str], object] = {}
+        #: domain index -> generated outage windows, in start order.
+        self._domain_windows: dict[int, list[FailureWindow]] = {}
+        self._domain_covered: dict[int, float] = {}
+        self._domain_rngs: dict[int, object] = {}
+        #: chip id -> indices of the domains it belongs to.
+        self._chip_domains: dict[int, tuple[int, ...]] = {}
+        for i, members in enumerate(config.domains):
+            for c in members:
+                self._chip_domains[c] = self._chip_domains.get(c, ()) + (i,)
 
     # -- generation ----------------------------------------------------
 
@@ -185,6 +239,33 @@ class ChipFailureTimeline:
             self._covered[key] = covered
         return windows
 
+    def _ensure_domain(self, idx: int, t: float) -> list[FailureWindow]:
+        """Generate outage windows for domain ``idx`` until coverage
+        passes ``t``.  One stream per domain: members share windows."""
+        windows = self._domain_windows.setdefault(idx, [])
+        covered = self._domain_covered.get(idx, 0.0)
+        if covered > t:
+            return windows
+        rng = self._domain_rngs.get(idx)
+        if rng is None:
+            import numpy as np
+            rng = np.random.default_rng(
+                stream_seed(self.config.seed, "serve-fail", "domain", idx))
+            self._domain_rngs[idx] = rng
+        cfg = self.config
+        factor = (cfg.domain_slow_factor
+                  if cfg.domain_mode == "fail-slow" else 1.0)
+        while covered <= t:
+            gap = float(rng.exponential(cfg.domain_mtbf_cycles))
+            duration = float(rng.exponential(cfg.domain_repair_mean_cycles))
+            start = (windows[-1].end if windows else 0.0) + gap
+            windows.append(FailureWindow(kind=cfg.domain_mode, start=start,
+                                         end=start + duration,
+                                         factor=factor))
+            covered = start
+            self._domain_covered[idx] = covered
+        return windows
+
     # -- queries (ground truth) ----------------------------------------
 
     def _window_at(self, chip: int, kind: str, t: float) -> FailureWindow | None:
@@ -193,30 +274,82 @@ class ChipFailureTimeline:
                 return w
             if w.start > t:
                 break
+        if self.config.domain_mode == kind:
+            for idx in self._chip_domains.get(chip, ()):
+                for w in self._ensure_domain(idx, t):
+                    if w.start <= t < w.end:
+                        return w
+                    if w.start > t:
+                        break
         return None
 
     def down_at(self, chip: int, t: float) -> FailureWindow | None:
-        """The fail-stop downtime window containing ``t``, if any."""
+        """The fail-stop downtime window containing ``t``, if any
+        (the chip's own or a containing domain's outage)."""
         return self._window_at(chip, "fail-stop", t)
 
     def fail_stop_in(self, chip: int, t0: float, t1: float) -> FailureWindow | None:
         """The fail-stop window that kills work running over ``[t0, t1)``:
         the downtime containing ``t0`` (launch into a dead chip) or the
-        first one starting inside the span."""
+        first one starting inside the span — own or domain outage."""
         down = self.down_at(chip, t0)
         if down is not None:
             return down
+        candidates = []
         for w in self._ensure(chip, "fail-stop", t1):
             if t0 < w.start < t1:
-                return w
+                candidates.append(w)
+                break
             if w.start >= t1:
                 break
-        return None
+        if self.config.domain_mode == "fail-stop":
+            for idx in self._chip_domains.get(chip, ()):
+                for w in self._ensure_domain(idx, t1):
+                    if t0 < w.start < t1:
+                        candidates.append(w)
+                        break
+                    if w.start >= t1:
+                        break
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: w.start)
 
     def slow_factor_at(self, chip: int, t: float) -> float:
-        """Service-time multiplier at ``t`` (1.0 when healthy)."""
+        """Service-time multiplier at ``t`` (1.0 when healthy).  The
+        worst of the chip's own straggler window and any fail-slow
+        domain outage applies."""
         w = self._window_at(chip, "fail-slow", t)
-        return w.factor if w is not None else 1.0
+        factor = w.factor if w is not None else 1.0
+        if self.config.domain_mode == "fail-slow":
+            for idx in self._chip_domains.get(chip, ()):
+                for dw in self._ensure_domain(idx, t):
+                    if dw.start <= t < dw.end:
+                        factor = max(factor, dw.factor)
+                    if dw.start > t:
+                        break
+        return factor
+
+    # -- domain ground truth (chaos invariants, reporting) -------------
+
+    def domains_of(self, chip: int) -> tuple[int, ...]:
+        """Indices of the failure domains containing ``chip``."""
+        return self._chip_domains.get(chip, ())
+
+    def domain_outage_at(self, chip: int, t: float) -> FailureWindow | None:
+        """The domain outage window covering ``chip`` at ``t``, if any
+        (regardless of domain mode)."""
+        for idx in self._chip_domains.get(chip, ()):
+            for w in self._ensure_domain(idx, t):
+                if w.start <= t < w.end:
+                    return w
+                if w.start > t:
+                    break
+        return None
+
+    def domain_windows_until(self, idx: int, t: float) -> list[FailureWindow]:
+        """Every outage window of domain ``idx`` starting at or before
+        ``t`` (ground truth for invariant sweeps)."""
+        return [w for w in self._ensure_domain(idx, t) if w.start <= t]
 
     def transient_at(self, chip: int, t: float) -> bool:
         """True when the chip serves from the degraded cost column at ``t``."""
@@ -228,13 +361,18 @@ class ChipFailureTimeline:
 
 
 def scripted_timeline(chips: int,
-                      windows: dict[int, list[FailureWindow]]) -> ChipFailureTimeline:
+                      windows: dict[int, list[FailureWindow]],
+                      domains: tuple = (),
+                      domain_windows: dict[int, list[FailureWindow]] | None = None,
+                      domain_mode: str = "fail-stop") -> ChipFailureTimeline:
     """A timeline with explicit windows instead of drawn ones (tests).
 
     ``windows`` maps chip id -> episodes; each chip's list is sorted and
-    coverage is marked complete so no random draws ever happen.
+    coverage is marked complete so no random draws ever happen.  When
+    ``domains`` is given, ``domain_windows`` maps domain index ->
+    scripted outage episodes shared by every member chip.
     """
-    config = FailureConfig()  # disabled spec; windows are authoritative
+    config = FailureConfig(domains=domains, domain_mode=domain_mode)
     timeline = ChipFailureTimeline(config, chips)
     inf = float("inf")
     for chip in range(chips):
@@ -246,4 +384,13 @@ def scripted_timeline(chips: int,
         for kind in FAILURE_KINDS:
             timeline._windows[(chip, kind)] = per_kind[kind]
             timeline._covered[(chip, kind)] = inf
+    for idx in range(len(domains)):
+        scripted = sorted((domain_windows or {}).get(idx, ()),
+                          key=lambda w: w.start)
+        for w in scripted:
+            if w.kind != domain_mode:
+                raise ConfigError(
+                    f"domain window kind {w.kind!r} != mode {domain_mode!r}")
+        timeline._domain_windows[idx] = scripted
+        timeline._domain_covered[idx] = inf
     return timeline

@@ -157,6 +157,7 @@ class FleetSimulator(DispatchMixin):
         self.autoscaler = (Autoscaler(config.autoscale, self)
                            if config.autoscale is not None else None)
         self._queue: AdmissionQueue | None = None
+        self._batcher: DynamicBatcher | None = None
         self._rr = 0
         self._seq = 0
         self._events: list = []  # (time, seq, kind, payload) min-heap
@@ -266,11 +267,16 @@ class FleetSimulator(DispatchMixin):
         return snap
 
     # -- the event loop ------------------------------------------------
+    #
+    # run() is begin() + step() per arrival + finish() + collect(): the
+    # incremental pieces exist so the cluster router
+    # (:mod:`repro.serve.cluster`) can drive one shard per arrival while
+    # interleaving gossip ticks.  A plain run() executes the exact same
+    # operation sequence as the pre-cluster monolithic loop, so reports
+    # stay byte-identical.
 
-    def run(self, requests: list[Request],
-            on_progress=None, progress_every: int | None = None
-            ) -> FleetResult:
-        requests = sorted(requests, key=lambda r: (r.arrival, r.rid))
+    def begin(self) -> None:
+        """Set up admission state; arrivals may then be fed via step()."""
         batcher = DynamicBatcher(self.config.max_batch,
                                  self.config.max_wait_cycles)
         # A leaf shed slot (every built-in) runs the legacy string
@@ -284,49 +290,56 @@ class FleetSimulator(DispatchMixin):
                 decider=lambda req: self.engine.shed.fn(
                     self._shed_ctx(req)))
         self._queue = queue
-        total = len(requests)
-        if on_progress is not None and progress_every is None:
-            progress_every = max(1, total // 20)
-        arrived = 0
-        for req in requests:
-            for batch in batcher.due(req.arrival):
-                self._push(batch.close, "dispatch", _Pending(batch))
+        self._batcher = batcher
+
+    def step(self, req: Request) -> None:
+        """Admit one request at its arrival instant: release due
+        batches, run queued events, advance health/scale state, offer."""
+        batcher, queue = self._batcher, self._queue
+        for batch in batcher.due(req.arrival):
+            self._push(batch.close, "dispatch", _Pending(batch))
+        self._drain(until=req.arrival)
+        if self.monitor is not None:
+            self.monitor.advance(req.arrival)
+            multiplier = self.resilience.tier_multiplier(
+                self.monitor.alive_fraction(req.arrival))
+            queue.capacity = max(
+                1, int(self.config.queue_capacity * multiplier))
+        if self.autoscaler is not None:
+            self.autoscaler.advance(req.arrival)
+        admission = queue.offer(req)
+        if admission.shed is not None:
+            self._shed(admission.shed, req.arrival)
+        if admission.filled is not None:
+            self._push(admission.filled.close, "dispatch",
+                       _Pending(admission.filled))
             self._drain(until=req.arrival)
-            if self.monitor is not None:
-                self.monitor.advance(req.arrival)
-                multiplier = self.resilience.tier_multiplier(
-                    self.monitor.alive_fraction(req.arrival))
-                queue.capacity = max(
-                    1, int(self.config.queue_capacity * multiplier))
-            if self.autoscaler is not None:
-                self.autoscaler.advance(req.arrival)
-            admission = queue.offer(req)
-            if admission.shed is not None:
-                self._shed(admission.shed, req.arrival)
-            if admission.filled is not None:
-                self._push(admission.filled.close, "dispatch",
-                           _Pending(admission.filled))
-                self._drain(until=req.arrival)
-            arrived += 1
-            if on_progress is not None and arrived % progress_every == 0:
-                on_progress(self.snapshot(req.arrival, arrived, total))
-        for batch in batcher.flush():
+
+    def advance_to(self, t: float) -> None:
+        """Release due batches and run queued events through ``t``
+        without admitting anything — the cluster's gossip grid drives
+        shards between their own arrivals so batch release latency stays
+        bounded by the gossip interval, not by the shard's arrival gaps."""
+        for batch in self._batcher.due(t):
+            self._push(batch.close, "dispatch", _Pending(batch))
+        self._drain(until=t)
+
+    def finish(self) -> None:
+        """Close remaining batches and run the event queue dry."""
+        for batch in self._batcher.flush():
             self._push(batch.close, "dispatch", _Pending(batch))
         self._drain(until=None)
-        if on_progress is not None:
-            end = max((b.finish for b in self._batches
-                       if b.outcome == "served"),
-                      default=requests[-1].arrival if requests else 0.0)
-            on_progress(self.snapshot(end, total, total))
 
+    def collect(self, requests: list[Request]) -> FleetResult:
+        """Assemble the result for ``requests`` after finish()."""
         records = [self._records[r.rid] for r in
                    sorted(requests, key=lambda r: r.rid)]
         missing = [r.rid for r in requests if r.rid not in self._records]
         assert not missing, f"requests lost without accounting: {missing}"
-        first = requests[0].arrival if requests else 0.0
+        first = min((r.arrival for r in requests), default=0.0)
         last = max((b.finish for b in self._batches
                     if b.outcome == "served"),
-                   default=requests[-1].arrival if requests else 0.0)
+                   default=max((r.arrival for r in requests), default=0.0))
         autoscale = None
         if self.autoscaler is not None:
             autoscale = self.autoscaler.result(records, last)
@@ -334,3 +347,25 @@ class FleetSimulator(DispatchMixin):
                            chips=self.chips,
                            makespan=max(last - first, 0.0),
                            autoscale=autoscale)
+
+    def run(self, requests: list[Request],
+            on_progress=None, progress_every: int | None = None
+            ) -> FleetResult:
+        requests = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        self.begin()
+        total = len(requests)
+        if on_progress is not None and progress_every is None:
+            progress_every = max(1, total // 20)
+        arrived = 0
+        for req in requests:
+            self.step(req)
+            arrived += 1
+            if on_progress is not None and arrived % progress_every == 0:
+                on_progress(self.snapshot(req.arrival, arrived, total))
+        self.finish()
+        if on_progress is not None:
+            end = max((b.finish for b in self._batches
+                       if b.outcome == "served"),
+                      default=requests[-1].arrival if requests else 0.0)
+            on_progress(self.snapshot(end, total, total))
+        return self.collect(requests)

@@ -51,6 +51,15 @@ class _InFlight:
 class DispatchMixin:
     """Scheduling, launch, and failure-resolution methods of the fleet."""
 
+    #: Cluster failover hook: called with (requests, attempt, now) when
+    #: work is about to expire; returns the subset that still expires
+    #: locally (the cluster takes the rest for cross-shard re-dispatch).
+    #: None — the default — runs the exact standalone path.
+    on_expire = None
+    #: Cluster-scope observables injected by the cluster router at each
+    #: gossip refresh (None when running standalone).
+    _cluster_ctx = None
+
     # -- scheduling primitives -----------------------------------------
 
     def _pick_round_robin(self, batch: Batch, candidates: list):
@@ -90,9 +99,42 @@ class DispatchMixin:
         alive = sum(1 for b in breakers if b.state != OPEN)
         return alive / len(breakers) if breakers else 1.0
 
+    def _slo_headroom(self, now: float) -> float:
+        """Fraction of the SLO budget the oldest waiting request still
+        has (1.0 with nothing waiting; negative once the oldest resident
+        has already blown the SLO).  A leading pressure signal: it drops
+        *before* served-latency percentiles do."""
+        queue = self._queue
+        oldest = queue.batcher.oldest() if queue is not None else None
+        if oldest is None:
+            return 1.0
+        return 1.0 - (now - oldest.arrival) / self.config.slo_cycles
+
+    def _ctx_common(self, now: float) -> dict:
+        """Observables shared by every decision slot."""
+        queue = self._queue
+        headroom = self._slo_headroom(now)
+        cluster = self._cluster_ctx
+        return {
+            "queue.depth": queue.waiting if queue is not None else 0,
+            "queue.capacity": (queue.capacity if queue is not None
+                               else self.config.queue_capacity),
+            **{f"queue.kind_depth.{k}":
+               (queue.kind_depth(k) if queue is not None else 0)
+               for k in KINDS},
+            "fleet.chips": len(self._dispatchable()),
+            "fleet.alive_fraction": self._alive_fraction_belief(),
+            "fleet.slo_headroom": headroom,
+            # Cluster scope: identical to the fleet values when the
+            # fleet runs standalone (a cluster of one, in effect).
+            "shard.slo_headroom": headroom,
+            "cluster.alive_shard_fraction": (
+                cluster["cluster.alive_shard_fraction"]
+                if cluster is not None else 1.0),
+        }
+
     def _decision_ctx(self, batch: Batch, now: float, attempt: int) -> dict:
         """Observables for a schedule/retry/hedge tree evaluation."""
-        queue = self._queue
         return {
             "now": now,
             "attempt": attempt,
@@ -100,31 +142,16 @@ class DispatchMixin:
             "batch.size": batch.size,
             "batch.tile": batch.tile if batch.tile is not None else -1,
             "batch.age": now - batch.close,
-            "queue.depth": queue.waiting if queue is not None else 0,
-            "queue.capacity": (queue.capacity if queue is not None
-                               else self.config.queue_capacity),
-            **{f"queue.kind_depth.{k}":
-               (queue.kind_depth(k) if queue is not None else 0)
-               for k in KINDS},
-            "fleet.chips": len(self._dispatchable()),
-            "fleet.alive_fraction": self._alive_fraction_belief(),
+            **self._ctx_common(now),
         }
 
     def _shed_ctx(self, request: Request) -> dict:
         """Observables for an admission-overflow shed-tree evaluation."""
-        queue = self._queue
         return {
             "now": request.arrival,
             "request.kind": request.kind,
             "request.tile": request.tile if request.tile is not None else -1,
-            "queue.depth": queue.waiting if queue is not None else 0,
-            "queue.capacity": (queue.capacity if queue is not None
-                               else self.config.queue_capacity),
-            **{f"queue.kind_depth.{k}":
-               (queue.kind_depth(k) if queue is not None else 0)
-               for k in KINDS},
-            "fleet.chips": len(self._dispatchable()),
-            "fleet.alive_fraction": self._alive_fraction_belief(),
+            **self._ctx_common(request.arrival),
         }
 
     # -- scheduling ----------------------------------------------------
@@ -261,6 +288,10 @@ class DispatchMixin:
 
     def _expire(self, requests, close: float, attempt: int,
                 now: float) -> None:
+        if self.on_expire is not None:
+            requests = self.on_expire(requests, attempt, now)
+            if not requests:
+                return
         for req in requests:
             self._records[req.rid] = RequestRecord(
                 rid=req.rid, kind=req.kind, tile=req.tile,

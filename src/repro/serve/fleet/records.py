@@ -58,6 +58,10 @@ class ServeConfig:
     #: Simulated autoscaling (see repro.serve.autoscale).  None keeps
     #: the fleet static — the exact pre-autoscaler code path.
     autoscale: "AutoscaleConfig | None" = None
+    #: Cluster-of-fleets sharding (see repro.serve.cluster).  None runs
+    #: one standalone fleet — the exact pre-cluster code path.  With a
+    #: cluster, ``chips`` is the per-shard fleet size.
+    cluster: "ClusterConfig | None" = None
 
     def __post_init__(self):
         if self.chips <= 0:
@@ -85,6 +89,9 @@ class ServeConfig:
                               "(see repro.serve.policy.load_policy)")
         if self.autoscale is not None:
             self.autoscale.validate_fleet(self.chips)
+        if self.cluster is not None and not hasattr(self.cluster, "shards"):
+            raise ConfigError("cluster must be a ClusterConfig "
+                              "(see repro.serve.cluster)")
 
     @property
     def failures_enabled(self) -> bool:

@@ -83,6 +83,14 @@ OPS = _ORDERED_OPS + _EQUALITY_OPS + _SET_OPS
 #: Observables a condition may reference, with the type each yields and
 #: the slots it is available in.  ``now``/``attempt`` are cycles and the
 #: 1-based re-dispatch attempt; ``batch.age`` is ``now - batch.close``.
+#: ``fleet.slo_headroom`` is the SLO-budget fraction the oldest waiting
+#: request still has (1.0 with an empty queue, negative past the SLO).
+#: The cluster-scope pair mirrors it under sharding
+#: (:mod:`repro.serve.cluster`): ``shard.slo_headroom`` is this shard's
+#: headroom and ``cluster.alive_shard_fraction`` the router's believed
+#: fraction of shards with any dispatchable capacity — both degrade to
+#: their standalone values (own headroom, 1.0) outside a cluster, so
+#: one policy file works at either scope.
 OBSERVABLES = {
     "now": ("float", ("schedule", "shed", "retry", "hedge")),
     "attempt": ("int", ("schedule", "retry", "hedge")),
@@ -97,6 +105,12 @@ OBSERVABLES = {
     "fleet.chips": ("int", ("schedule", "shed", "retry", "hedge")),
     "fleet.alive_fraction": ("float", ("schedule", "shed", "retry",
                                        "hedge")),
+    "fleet.slo_headroom": ("float", ("schedule", "shed", "retry",
+                                     "hedge")),
+    "shard.slo_headroom": ("float", ("schedule", "shed", "retry",
+                                     "hedge")),
+    "cluster.alive_shard_fraction": ("float", ("schedule", "shed",
+                                               "retry", "hedge")),
 }
 
 #: Per-kind admission depth: ``queue.kind_depth.<kind>`` counts the

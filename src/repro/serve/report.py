@@ -30,6 +30,13 @@ cost table holds per-kind quality metrics the payload adds
 posterior entropy, agreement-vs-reference, blended over the healthy /
 static-degraded columns by where requests were actually served) and
 bumps the version; mixes without such kinds stay on v3/v4 untouched.
+``repro.serve/v6`` is emitted **only** when ``config.cluster`` is set
+(cluster-of-fleets sharding, :mod:`repro.serve.cluster`): the payload
+adds ``config.cluster``, a per-mix ``cluster`` rollup (failovers,
+brown-out sheds, gossip ticks, believed alive-shard minima) and
+replaces the flat per-mix ``chips`` utilization with a per-shard
+``shards`` list.  A run without ``cluster:`` never touches the cluster
+code path, so v3/v4/v5 artifacts stay byte-identical.
 """
 
 from __future__ import annotations
@@ -51,6 +58,8 @@ SCHEMA = "repro.serve/v3"
 SCHEMA_V4 = "repro.serve/v4"
 #: Emitted only when the cost table carries per-kind quality metrics.
 SCHEMA_V5 = "repro.serve/v5"
+#: Emitted only when a cluster is configured (``cluster:`` section).
+SCHEMA_V6 = "repro.serve/v6"
 
 COST_MODELS = ("measured", "surrogate")
 
@@ -66,7 +75,8 @@ class ServeRun:
     """One mix's simulation outcome plus its rollup."""
 
     workload: WorkloadConfig
-    fleet: FleetResult
+    #: FleetResult, or ClusterResult when config.cluster is set.
+    fleet: "FleetResult | ClusterResult"
     metrics: ServeMetrics
 
 
@@ -111,8 +121,13 @@ def run_serve(workload: WorkloadConfig, config: ServeConfig,
                                  kinds=kinds, max_workers=max_workers,
                                  checkpoint=checkpoint)
     requests = generate_requests(workload)
-    fleet = FleetSimulator(config, costs, trace=trace).run(
-        requests, on_progress=on_progress)
+    if config.cluster is not None:
+        from repro.serve.cluster import ClusterSimulator
+        fleet = ClusterSimulator(config, costs, trace=trace).run(
+            requests, on_progress=on_progress)
+    else:
+        fleet = FleetSimulator(config, costs, trace=trace).run(
+            requests, on_progress=on_progress)
     metrics = compute_metrics(fleet.records, fleet.batches, fleet.makespan,
                               slo_cycles=config.slo_cycles,
                               clock_ghz=config.clock_ghz)
@@ -147,6 +162,27 @@ def _quality_rollup(run: ServeRun, costs: ServiceCostTable,
         }
         rollup[kind] = {"served": n, "served_degraded": n_deg, **metrics}
     return rollup or None
+
+
+def _mix_fleet_section(run: ServeRun, config: ServeConfig) -> dict:
+    """The per-mix fleet keys: flat ``chips`` utilization standalone,
+    per-shard ``shards`` list plus the ``cluster`` rollup under v6."""
+    if config.cluster is not None:
+        res = run.fleet
+        return {
+            "cluster": res.rollup(),
+            "shards": [
+                {"chips": chip_utilization(fr.chips, res.makespan),
+                 **({"autoscale": fr.autoscale}
+                    if fr.autoscale is not None else {})}
+                for fr in res.shard_results
+            ],
+        }
+    return {
+        "chips": chip_utilization(run.fleet.chips, run.fleet.makespan),
+        **({"autoscale": run.fleet.autoscale}
+           if run.fleet.autoscale is not None else {}),
+    }
 
 
 def run_report(workload: WorkloadConfig, config: ServeConfig,
@@ -198,7 +234,9 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
         resilience = None
     extended = (config.policy_set is not None
                 or config.autoscale is not None)
-    if costs.quality:
+    if config.cluster is not None:
+        schema = SCHEMA_V6
+    elif costs.quality:
         schema = SCHEMA_V5
     elif extended:
         schema = SCHEMA_V4
@@ -253,10 +291,7 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
         "mixes": {
             run.workload.mix: {
                 **run.metrics.as_dict(),
-                "chips": chip_utilization(run.fleet.chips,
-                                          run.fleet.makespan),
-                **({"autoscale": run.fleet.autoscale}
-                   if run.fleet.autoscale is not None else {}),
+                **_mix_fleet_section(run, config),
                 **({"quality": q} if (q := _quality_rollup(
                     run, costs, config)) is not None else {}),
             }
@@ -275,6 +310,8 @@ def run_report(workload: WorkloadConfig, config: ServeConfig,
         }
     if config.autoscale is not None:
         payload["config"]["autoscale"] = config.autoscale.as_dict()
+    if config.cluster is not None:
+        payload["config"]["cluster"] = config.cluster.as_dict()
     return payload, runs
 
 

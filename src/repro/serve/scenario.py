@@ -22,13 +22,19 @@ simulated milliseconds (converted at the 1.25 GHz PE clock), and
 (``fail_stop_chips`` etc.) accept either a count N (the first N chips,
 like ``--fail-chips N``) or an explicit id list (richer than the CLI).
 
-Two optional sections extend a scenario beyond the flag surface: an
+Three optional sections extend a scenario beyond the flag surface: an
 ``autoscale`` section (knobs for :class:`~repro.serve.autoscale.
 AutoscaleConfig`, ``*_ms`` fields converted like everything else —
-presence of the section enables the autoscaler) and a ``policy``
-section holding either an inline decision-tree document (validated by
+presence of the section enables the autoscaler), a ``cluster`` section
+(knobs for :class:`~repro.serve.cluster.ClusterConfig` — presence of
+the section shards the fleet behind the cluster router, with ``fleet.
+chips`` becoming the per-shard size), and a ``policy`` section holding
+either an inline decision-tree document (validated by
 :mod:`repro.serve.policy` with ``scenario.policy.*`` error paths) or
 ``{file: <name-or-path>}`` referencing the named-policy library.
+Correlated failure domains live in the ``failures`` section
+(``domains: [[0, 1], [2, 3]]`` plus ``domain_*`` knobs) and work with
+or without a cluster.
 
 YAML support is a deliberately small built-in subset — nested mappings
 by indentation, ``- item`` lists, inline ``[a, b]`` lists, scalars
@@ -48,12 +54,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.serve.autoscale import AutoscaleConfig
+from repro.serve.cluster import ROUTERS, ClusterConfig
 from repro.serve.failures import FailureConfig
 from repro.serve.fleet import POLICIES, ServeConfig
 from repro.serve.policy import load_policy, policy_from_document
 from repro.serve.queueing import SHED_POLICIES
 from repro.serve.resilience import ResilienceConfig
-from repro.serve.workload import ARRIVALS, MIXES, WorkloadConfig
+from repro.serve.workload import ARRIVALS, KINDS, MIXES, WorkloadConfig
 
 #: The simulated PE clock every ``*_ms`` field is converted at.
 CLOCK_GHZ = 1.25
@@ -248,6 +255,16 @@ SCENARIO_SCHEMA = {
                                     min_exclusive=True),
         "transient_duration_ms": _Field("float", default=0.32, min=0,
                                         min_exclusive=True),
+        # Correlated failure domains: zone/rack chip groupings that
+        # fail in one event (repro.serve.failures).
+        "domains": _Field("domains", default=()),
+        "domain_mtbf_ms": _Field("float", default=4.0, min=0,
+                                 min_exclusive=True),
+        "domain_repair_ms": _Field("float", default=0.48, min=0,
+                                   min_exclusive=True),
+        "domain_mode": _Field("str", default="fail-stop",
+                              choices=("fail-stop", "fail-slow")),
+        "domain_slow_factor": _Field("float", default=4.0, min=1.0),
     },
     "resilience": {
         "health_interval_ms": _Field("float", default=0.02, min=0,
@@ -278,6 +295,17 @@ SCENARIO_SCHEMA = {
         "warmup_ms": _Field("float", default=0.04, min=0),
         "cooldown_ms": _Field("float", default=0.16, min=0),
         "max_step": _Field("int", default=1, min=1),
+    },
+    "cluster": {
+        "shards": _Field("int", default=2, min=1),
+        "router": _Field("str", default="least-loaded", choices=ROUTERS),
+        "gossip_interval_ms": _Field("float", default=0.04, min=0,
+                                     min_exclusive=True),
+        "failover_retries": _Field("int", default=1, min=0),
+        "brownout_headroom": _Field("float", default=None, min=0,
+                                    min_exclusive=True, max=1,
+                                    nullable=True),
+        "brownout_kinds": _Field("kinds", default=("fc",)),
     },
     "run": {
         "slo_ms": _Field("float", default=0.25, min=0, min_exclusive=True),
@@ -333,6 +361,35 @@ def _check_scalar(value, spec: _Field, path: str):
 
 
 def _check_field(value, spec: _Field, path: str):
+    if spec.kind == "domains":
+        if not isinstance(value, list) or any(
+                not isinstance(d, list) for d in value):
+            raise ConfigError(f"{path}: expected a list of chip-id "
+                              f"lists (one per domain), got {value!r}")
+        out = []
+        for i, members in enumerate(value):
+            if not members or any(isinstance(c, bool)
+                                  or not isinstance(c, int)
+                                  for c in members):
+                raise ConfigError(
+                    f"{path}[{i}]: expected a non-empty list of chip "
+                    f"ids, got {members!r}")
+            out.append(tuple(members))
+        return tuple(out)
+    if spec.kind == "kinds":
+        if isinstance(value, str):
+            value = [value]
+        if not isinstance(value, list) or not value or any(
+                not isinstance(v, str) for v in value):
+            raise ConfigError(f"{path}: expected a kind name or a list "
+                              f"of kind names, got {value!r}")
+        for v in value:
+            if v not in KINDS:
+                raise ConfigError(f"{path}: unknown kind {v!r}; choose "
+                                  f"from {tuple(KINDS)}")
+        if len(set(value)) != len(value):
+            raise ConfigError(f"{path}: duplicate kind names in {value!r}")
+        return tuple(value)
     if spec.kind == "int_list" or spec.kind == "chips":
         if spec.kind == "chips" and isinstance(value, int) \
                 and not isinstance(value, bool):
@@ -412,6 +469,10 @@ def validate_document(doc: dict) -> dict:
     # the way an empty ``failures:`` would enable the lifecycle.
     out["_autoscale_given"] = doc.get("autoscale") is not None \
         and "autoscale" in doc
+    # ``cluster:`` (even empty) enables the cluster layer with its
+    # defaults (2 shards behind the least-loaded router).
+    out["_cluster_given"] = doc.get("cluster") is not None \
+        and "cluster" in doc
     # The policy section is a nested decision-tree document, not flat
     # scalars: validated/compiled by repro.serve.policy at compile time.
     policy_doc = doc.get("policy")
@@ -494,6 +555,14 @@ def scenario_from_document(doc: dict, name: str | None = None,
             transient_mtbf_cycles=ms_to_cycles(fail["transient_mtbf_ms"]),
             transient_duration_cycles=ms_to_cycles(
                 fail["transient_duration_ms"]),
+            domains=tuple(
+                _chip_tuple(members, chips,
+                            f"scenario.failures.domains[{i}]")
+                for i, members in enumerate(fail["domains"])),
+            domain_mtbf_cycles=ms_to_cycles(fail["domain_mtbf_ms"]),
+            domain_repair_mean_cycles=ms_to_cycles(fail["domain_repair_ms"]),
+            domain_mode=fail["domain_mode"],
+            domain_slow_factor=fail["domain_slow_factor"],
         )
         if not failures.enabled:
             raise ConfigError(
@@ -539,6 +608,18 @@ def scenario_from_document(doc: dict, name: str | None = None,
             max_step=a["max_step"],
         )
 
+    cluster = None
+    if v["_cluster_given"]:
+        c = v["cluster"]
+        cluster = ClusterConfig(
+            shards=c["shards"],
+            router=c["router"],
+            gossip_interval_cycles=ms_to_cycles(c["gossip_interval_ms"]),
+            failover_retries=c["failover_retries"],
+            brownout_headroom=c["brownout_headroom"],
+            brownout_kinds=c["brownout_kinds"],
+        )
+
     resilience = None
     if failures is not None:
         resilience = ResilienceConfig(
@@ -570,6 +651,7 @@ def scenario_from_document(doc: dict, name: str | None = None,
         resilience=resilience,
         policy_set=policy_set,
         autoscale=autoscale,
+        cluster=cluster,
     )
     mixes = v["workload"]["mix"]
     workload = WorkloadConfig(

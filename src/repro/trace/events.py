@@ -74,6 +74,14 @@ Kinds
     the straggler's chip), and a circuit-breaker state transition
     (``attrs``: ``from``/``to``).  ``serve.expired`` marks a request
     dropped after its retry deadline passed.
+
+``cluster.gossip`` / ``cluster.failover`` / ``cluster.brownout`` / ``cluster.shed``
+    Cluster-router episodes from :mod:`repro.serve.cluster`: one belief
+    refresh on the gossip tick grid (``attrs`` carry the believed alive
+    shard fraction and capacity), a cross-shard re-dispatch of expiring
+    work (``attrs``: ``rid``/``from``/``to``/``failover``), a brown-out
+    mode transition (``attrs``: ``active``/``capacity``), and one
+    arrival shed cluster-wide at the router door during a brown-out.
 """
 
 from __future__ import annotations
@@ -108,6 +116,10 @@ KINDS = (
     "serve.hedge",
     "serve.breaker",
     "serve.expired",
+    "cluster.gossip",
+    "cluster.failover",
+    "cluster.brownout",
+    "cluster.shed",
 )
 
 

@@ -43,10 +43,12 @@ def test_load_history_empty_directory_raises(tmp_path):
 def test_render_markdown_table(history_dir):
     text = render_history(load_history(history_dir), "md")
     lines = text.splitlines()
-    assert lines[0] == "| bench | 2 | 10 |"
-    assert "| fc-chunk | 10.0 ms | 5.0 ms (2.00x) |" in lines
-    # A bench absent from an older snapshot renders as a placeholder.
-    assert "| pe-vector | — | 20.0 ms |" in lines
+    assert lines[0] == "| bench | 2 | 10 | trend |"
+    # Trailing trend column: a per-bench sparkline, slowest tallest.
+    assert "| fc-chunk | 10.0 ms | 5.0 ms (2.00x) | █▁ |" in lines
+    # A bench absent from an older snapshot renders as a placeholder
+    # (and a gap, not a bar, in the sparkline).
+    assert "| pe-vector | — | 20.0 ms |  ▁ |" in lines
 
 
 def test_render_csv(history_dir):
@@ -55,6 +57,21 @@ def test_render_csv(history_dir):
     assert lines[0] == "bench,tag,wall_s,speedup_vs_baseline"
     assert "fc-chunk,2,0.010000," in lines
     assert "fc-chunk,10,0.005000,2.000" in lines
+
+
+def test_render_sparkline_csv(history_dir):
+    text = render_history(load_history(history_dir), "spark")
+    lines = text.splitlines()
+    assert lines[0] == "bench,2,10,spark"
+    assert "fc-chunk,0.010000,0.005000,█▁" in lines
+    # Missing tags leave an empty cell and a space in the sparkline.
+    assert "pe-vector,,0.020000, ▁" in lines
+
+
+def test_cli_history_spark_format(history_dir, capsys, monkeypatch):
+    monkeypatch.chdir(history_dir)
+    assert main(["--history", "--history-format", "spark"]) == 0
+    assert "bench,2,10,spark" in capsys.readouterr().out
 
 
 def test_render_unknown_format_raises(history_dir):

@@ -260,3 +260,74 @@ class TestCLI:
     def test_bad_seed_count_is_config_error(self, capsys):
         assert main(["--seeds", "0"]) == 2
         assert "error: config:" in capsys.readouterr().err
+
+
+class TestClusterInvariants:
+    """The --cluster matrix extension and its dedicated checkers."""
+
+    def test_post_domain_outage_detects_zombie_completion(self):
+        from repro.serve.chaos import check_post_domain_outage
+        timeline = scripted_timeline(
+            2, {}, domains=((0, 1),),
+            domain_windows={0: [FailureWindow("fail-stop", 100.0, 200.0)]})
+        zombie = BatchRecord(batch_id=0, kind="bp", size=1, chip=0,
+                             close=90.0, start=120.0, finish=180.0,
+                             reload=0.0, outcome="served")
+        with pytest.raises(InvariantViolation,
+                           match="post-domain-outage"):
+            check_post_domain_outage([zombie], timeline)
+        clean = BatchRecord(batch_id=1, kind="bp", size=1, chip=0,
+                            close=200.0, start=210.0, finish=260.0,
+                            reload=0.0, outcome="served")
+        check_post_domain_outage([clean], timeline)  # no raise
+
+    def test_failover_bound_detects_budget_blowout(self):
+        from repro.serve.chaos import _cluster_cell_config, \
+            check_failover_bound
+        from repro.serve.cluster import ClusterResult
+        config = _cluster_cell_config("builtin", 0)
+        requests = [Request(rid=i, kind="bp", tile=0, arrival=float(i))
+                    for i in range(4)]
+        blown = ClusterResult(
+            records=[], shard_results=[], makespan=0.0,
+            failovers=99, failover_expired=0, brownout_shed=0,
+            brownout_spans=0, gossip_ticks=0,
+            min_alive_shard_fraction=1.0)
+        with pytest.raises(InvariantViolation, match="failover-bound"):
+            check_failover_bound(blown, config, requests)
+
+    def test_cluster_cell_end_to_end(self, costs):
+        # Seed 1's domain outage kills a whole shard mid-run; the tight
+        # in-shard retry budget pushes work onto the failover path.
+        from repro.serve.chaos import run_cluster_cell
+        cell = run_cluster_cell(seed=1, policy="builtin", costs=costs,
+                                requests_per_cell=80)
+        assert cell["mode"] == "domain-outage"
+        assert sum(cell["outcomes"].values()) == 80
+        assert cell["cluster"]["failovers"] > 0
+        assert cell["cluster"]["min_alive_shard_fraction"] < 1.0
+        assert set(cell["invariants"]) == {
+            "conservation", "post-failstop", "post-domain-outage",
+            "failover-bound", "replay-identity"}
+
+
+class TestExitCodes:
+    def test_invariant_failure_exits_three(self, monkeypatch, capsys):
+        """The bench-gate convention: 3 = regression/violation, distinct
+        from 2 = invalid configuration."""
+        import repro.serve.chaos as chaos
+        payload = {"schema": chaos.SCHEMA,
+                   "matrix": {"seeds": [0], "modes": ["fail-stop"],
+                              "policies": ["builtin"],
+                              "autoscale": ["off"],
+                              "requests_per_cell": 20,
+                              "cluster_policies": []},
+                   "cells": [],
+                   "checkpoint_resume": "ok",
+                   "failures": [{"cell": "seed=0 mode=fail-stop "
+                                         "policy=builtin autoscale=off",
+                                 "violation": "conservation: fabricated"}]}
+        monkeypatch.setattr(chaos, "run_matrix",
+                            lambda *a, **kw: payload)
+        assert main([]) == 3
+        assert "INVARIANT VIOLATED" in capsys.readouterr().err

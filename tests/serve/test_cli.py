@@ -119,3 +119,11 @@ def test_checkpoint_resume_report_is_byte_identical(tmp_path):
     assert main(args + ["--checkpoint", str(ck), "--resume",
                         "--out", str(resumed)]) == 0
     assert resumed.read_bytes() == base.read_bytes()
+
+
+def test_list_policies_prints_cluster_observables(capsys):
+    assert main(["--list-policies"]) == 0
+    printed = capsys.readouterr().out
+    for name in ("fleet.slo_headroom", "shard.slo_headroom",
+                 "cluster.alive_shard_fraction", "queue.kind_depth.fc"):
+        assert name in printed

@@ -1,0 +1,319 @@
+"""Cluster-of-fleets tests: router determinism, scripted cross-shard
+failover, brown-out shedding, and the byte-identity guarantees.
+
+The simulator-level tests script every failure with
+:func:`scripted_timeline` (injected per shard via the ``timelines``
+kwarg) so routing and failover interleavings are pinned exactly; the
+report-level tests pin the schema-versioning contract — v6 appears only
+when ``config.cluster`` is set, and a 1-shard cluster's per-mix payload
+is the standalone payload with the fleet section re-shaped.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.injector import stream_seed
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterSimulator,
+    _shard_failures,
+)
+from repro.serve.costmodel import ServiceCostTable
+from repro.serve.failures import (
+    FailureConfig,
+    FailureWindow,
+    scripted_timeline,
+)
+from repro.serve.fleet import FleetSimulator, ServeConfig
+from repro.serve.report import run_report
+from repro.serve.resilience import ResilienceConfig
+from repro.serve.workload import Request, WorkloadConfig
+
+
+def _table(max_batch=4):
+    cycles = {("bp", 1, False): 1000.0, ("bp", 1, True): 1500.0,
+              ("conv", 1, False): 500.0, ("conv", 1, True): 700.0}
+    fc = {1: 100.0, 2: 150.0, 3: 190.0, 4: 220.0}
+    for b, c in fc.items():
+        cycles[("fc", b, False)] = c
+        cycles[("fc", b, True)] = 2.0 * c
+    return ServiceCostTable(
+        cycles=cycles,
+        model_bytes={"bp": 800, "conv": 400, "fc": 1600},
+        tile_bytes={"bp": 80, "conv": 0, "fc": 0},
+        quick=True,
+        max_batch=max_batch,
+    )
+
+
+def _resilience(**kw):
+    defaults = dict(health_check_interval_cycles=100.0,
+                    retry_backoff_cycles=10.0,
+                    breaker_open_cycles=1e9)
+    defaults.update(kw)
+    return ResilienceConfig(**defaults)
+
+
+def _config(**kw):
+    defaults = dict(chips=2, policy="least-loaded", max_batch=4,
+                    max_wait_cycles=50.0, queue_capacity=16,
+                    dispatch_overhead_cycles=10.0,
+                    reload_bytes_per_cycle=8.0, slo_cycles=10_000.0,
+                    resilience=_resilience())
+    defaults.update(kw)
+    return ServeConfig(**defaults)
+
+
+def _req(rid, arrival, kind="bp", tile=0):
+    return Request(rid=rid, kind=kind, tile=tile, arrival=arrival)
+
+
+def _healthy(shards, chips=2):
+    return [scripted_timeline(chips, {}) for _ in range(shards)]
+
+
+class TestClusterConfig:
+    @pytest.mark.parametrize("kw, msg", [
+        (dict(shards=0), "cluster.shards must be positive"),
+        (dict(router="warp"), "unknown router"),
+        (dict(gossip_interval_cycles=0.0),
+         "cluster.gossip_interval_cycles must be positive"),
+        (dict(failover_retries=-1),
+         "cluster.failover_retries must be nonnegative"),
+        (dict(brownout_headroom=1.5), r"must be in \(0, 1\]"),
+        (dict(brownout_headroom=0.0), r"must be in \(0, 1\]"),
+        (dict(brownout_kinds=("warp",)), "unknown kind"),
+    ])
+    def test_validation(self, kw, msg):
+        with pytest.raises(ConfigError, match=msg):
+            ClusterConfig(**kw)
+
+    def test_as_dict_is_json_friendly(self):
+        d = ClusterConfig(shards=2, brownout_headroom=0.5,
+                          brownout_kinds=("fc", "conv")).as_dict()
+        assert d["shards"] == 2
+        assert d["brownout_kinds"] == ["fc", "conv"]
+        assert isinstance(d["brownout_kinds"], list)
+
+    def test_simulator_requires_a_cluster_section(self):
+        with pytest.raises(ConfigError, match="needs config.cluster"):
+            ClusterSimulator(_config(), _table())
+
+    def test_timelines_must_match_shard_count(self):
+        config = _config(cluster=ClusterConfig(shards=2))
+        with pytest.raises(ConfigError, match="expected 2 timelines"):
+            ClusterSimulator(config, _table(),
+                             timelines=_healthy(1))
+
+
+class TestShardSeeds:
+    def test_shard_zero_keeps_the_base_failure_seed(self):
+        config = _config(
+            failures=FailureConfig(seed=5, fail_stop_chips=(0,),
+                                   fail_stop_mtbf_cycles=1e6),
+            cluster=ClusterConfig(shards=3))
+        assert _shard_failures(config, 0) is config.failures
+        for i in (1, 2):
+            derived = _shard_failures(config, i)
+            assert derived.seed == stream_seed(5, "serve-shard", i)
+            assert derived.fail_stop_chips == (0,)
+
+    def test_no_failures_stays_none_for_every_shard(self):
+        config = _config(cluster=ClusterConfig(shards=2))
+        assert _shard_failures(config, 0) is None
+        assert _shard_failures(config, 1) is None
+
+
+class TestPassThrough:
+    """shards == 1 and no brown-out threshold: the router degenerates
+    to a byte-identical pass-through around one FleetSimulator."""
+
+    def _requests(self):
+        return [_req(i, 10.0 * i, kind=("bp" if i % 2 else "fc"))
+                for i in range(8)]
+
+    def test_single_shard_is_byte_identical_to_the_fleet(self):
+        config = _config(cluster=ClusterConfig(shards=1))
+        sim = ClusterSimulator(config, _table())
+        assert sim._active is False
+        got = sim.run(self._requests())
+        ref = FleetSimulator(_config(), _table()).run(self._requests())
+        assert got.records == ref.records
+        assert got.batches == ref.batches
+        assert got.makespan == ref.makespan
+        assert got.gossip_ticks == 0
+        assert got.failovers == 0 and got.brownout_shed == 0
+        assert got.min_alive_shard_fraction == 1.0
+
+    def test_pass_through_holds_under_seeded_failures(self):
+        failures = FailureConfig(seed=3, fail_stop_chips=(0,),
+                                 fail_stop_mtbf_cycles=5_000.0,
+                                 repair_mean_cycles=1_000.0)
+        config = _config(failures=failures,
+                         cluster=ClusterConfig(shards=1))
+        got = ClusterSimulator(config, _table()).run(self._requests())
+        ref = FleetSimulator(_config(failures=failures),
+                             _table()).run(self._requests())
+        assert got.records == ref.records
+        assert got.batches == ref.batches
+
+    def test_brownout_threshold_activates_the_router(self):
+        config = _config(
+            cluster=ClusterConfig(shards=1, brownout_headroom=0.5))
+        assert ClusterSimulator(config, _table())._active is True
+
+
+class TestRouting:
+    def _run(self, router, n=4):
+        config = _config(
+            cluster=ClusterConfig(shards=2, router=router,
+                                  gossip_interval_cycles=1_000.0))
+        sim = ClusterSimulator(config, _table())
+        return sim.run([_req(i, 10.0 * i) for i in range(n)])
+
+    def test_round_robin_alternates_shards(self):
+        result = self._run("round-robin")
+        assert result.rollup()["shard_requests"] == [2, 2]
+        assert sorted(r.rid for r in result.shard_results[0].records) \
+            == [0, 2]
+
+    def test_hash_routes_by_rid_modulo_pool(self):
+        result = self._run("hash")
+        assert sorted(r.rid for r in result.shard_results[0].records) \
+            == [0, 2]
+        assert sorted(r.rid for r in result.shard_results[1].records) \
+            == [1, 3]
+
+    def test_least_loaded_ties_break_to_the_lowest_shard(self):
+        # Beliefs only refresh on the gossip grid; all four arrivals
+        # land before the first tick, so every belief shows an empty
+        # queue and the tie sends everything to shard 0.
+        result = self._run("least-loaded")
+        assert result.rollup()["shard_requests"] == [4, 0]
+
+
+class TestFailover:
+    """Scripted zone kill on shard 0: expiring work is handed back to
+    the router and re-dispatched onto the surviving shard."""
+
+    def _run(self, failover_retries=1):
+        config = _config(
+            resilience=_resilience(max_retries=0),
+            cluster=ClusterConfig(shards=2, router="round-robin",
+                                  gossip_interval_cycles=500.0,
+                                  failover_retries=failover_retries))
+        timelines = [
+            scripted_timeline(2, {
+                0: [FailureWindow("fail-stop", 600.0, 1e9)],
+                1: [FailureWindow("fail-stop", 600.0, 1e9)],
+            }),
+            scripted_timeline(2, {}),
+        ]
+        sim = ClusterSimulator(config, _table(), timelines=timelines)
+        return sim.run([_req(i, float(i)) for i in range(4)])
+
+    def test_expiring_work_fails_over_and_serves(self):
+        result = self._run()
+        assert result.failovers == 2          # rids 0 and 2
+        assert result.failover_expired == 0
+        by_rid = {r.rid: r for r in result.records}
+        assert set(by_rid) == {0, 1, 2, 3}
+        assert all(r.outcome == "served" for r in result.records)
+        assert result.rollup()["min_alive_shard_fraction"] == 0.5
+
+    def test_failover_records_restore_original_arrivals(self):
+        result = self._run()
+        by_rid = {r.rid: r for r in result.records}
+        for rid in range(4):
+            assert by_rid[rid].arrival == float(rid)
+        # The failed-over requests still pay for the dead-shard attempt
+        # and the gossip-tick failover delay end to end.
+        assert by_rid[0].latency > by_rid[1].latency
+
+    def test_zero_budget_lets_work_expire_in_shard(self):
+        result = self._run(failover_retries=0)
+        assert result.failovers == 0
+        outcomes = {r.rid: r.outcome for r in result.records}
+        assert outcomes[0] == "expired" and outcomes[2] == "expired"
+        assert outcomes[1] == "served" and outcomes[3] == "served"
+
+    def test_replay_is_deterministic(self):
+        a, b = self._run(), self._run()
+        assert a.records == b.records
+        assert a.rollup() == b.rollup()
+
+
+class TestBrownout:
+    def _run(self):
+        config = _config(
+            resilience=_resilience(max_retries=0),
+            cluster=ClusterConfig(shards=1,
+                                  gossip_interval_cycles=200.0,
+                                  failover_retries=0,
+                                  brownout_headroom=0.5,
+                                  brownout_kinds=("fc",)))
+        timelines = [scripted_timeline(2, {
+            0: [FailureWindow("fail-stop", 600.0, 1e9)],
+            1: [FailureWindow("fail-stop", 600.0, 1e9)],
+        })]
+        sim = ClusterSimulator(config, _table(), timelines=timelines)
+        requests = [_req(0, 0.0), _req(1, 1.0),
+                    _req(2, 3_000.0, kind="fc"),
+                    _req(3, 3_100.0, kind="fc"),
+                    _req(4, 3_200.0)]  # bp is never a brown-out kind
+        return sim.run(requests)
+
+    def test_low_priority_kinds_shed_at_the_router_door(self):
+        result = self._run()
+        assert result.brownout_spans == 1
+        assert result.brownout_shed == 2
+        by_rid = {r.rid: r for r in result.records}
+        for rid in (2, 3):
+            assert by_rid[rid].outcome == "shed"
+            assert by_rid[rid].shed is True
+            assert by_rid[rid].arrival == pytest.approx(
+                3_000.0 + 100.0 * (rid - 2))
+        assert by_rid[4].outcome != "shed"  # protected kind admitted
+        assert result.min_alive_shard_fraction == 0.0
+
+    def test_everything_is_accounted_exactly_once(self):
+        result = self._run()
+        assert sorted(r.rid for r in result.records) == [0, 1, 2, 3, 4]
+
+
+class TestReportSchema:
+    """The byte-identity guard at the artifact level: v6 only when
+    ``cluster:`` is configured, and a 1-shard cluster re-shapes — but
+    does not change — the standalone per-mix payload."""
+
+    def _payload(self, cluster):
+        workload = WorkloadConfig(mix="bp", arrival="poisson",
+                                  rate=150_000.0, requests=20, seed=0)
+        config = _config(cluster=cluster)
+        payload, _ = run_report(workload, config, mixes=("bp",),
+                                quick=True, max_workers=1)
+        return payload
+
+    def test_no_cluster_stays_v3_with_no_cluster_keys(self):
+        payload = self._payload(None)
+        assert payload["schema"] == "repro.serve/v3"
+        assert "cluster" not in payload["config"]
+        mix = payload["mixes"]["bp"]
+        assert "cluster" not in mix and "shards" not in mix
+        assert "chips" in mix
+
+    def test_single_shard_cluster_is_v6_with_identical_content(self):
+        ref = self._payload(None)
+        payload = self._payload(ClusterConfig(shards=1))
+        assert payload["schema"] == "repro.serve/v6"
+        assert payload["config"]["cluster"]["shards"] == 1
+        mix = dict(payload["mixes"]["bp"])
+        ref_mix = dict(ref["mixes"]["bp"])
+        # The fleet section is re-shaped (chips moves under shards[0]),
+        # everything else is byte-identical to the standalone report.
+        assert mix.pop("shards") == [{"chips": ref_mix.pop("chips")}]
+        cluster = mix.pop("cluster")
+        assert cluster["failovers"] == 0
+        assert cluster["brownout_shed"] == 0
+        assert cluster["shard_requests"] == [20]
+        assert mix == ref_mix

@@ -226,3 +226,97 @@ class TestHealthMonitor:
         assert m.alive_fraction(0.0) == 1.0
         m.advance(100.0)
         assert m.alive_fraction(101.0) == 0.5
+
+
+class TestCorrelatedDomains:
+    """Zone/rack failure domains: one seeded event per domain takes
+    every member chip out at once."""
+
+    def test_domains_enable_the_config(self):
+        assert FailureConfig(domains=((0, 1),)).enabled
+        assert not FailureConfig().enabled
+
+    def test_domain_validation(self):
+        with pytest.raises(ConfigError, match=r"domains\[0\]"):
+            FailureConfig(domains=((),))
+        with pytest.raises(ConfigError, match=r"domains\[0\]"):
+            FailureConfig(domains=((-1,),))
+        with pytest.raises(ConfigError, match="domain_slow_factor"):
+            FailureConfig(domains=((0,),), domain_slow_factor=0.5)
+        with pytest.raises(ConfigError, match="domain_mode"):
+            FailureConfig(domains=((0,),), domain_mode="explode")
+        with pytest.raises(ConfigError, match=r"domains\[0\] out of range"):
+            FailureConfig(domains=((0, 5),)).validate_chips(2)
+
+    def test_scripted_domain_window_covers_every_member(self):
+        t = scripted_timeline(
+            4, {}, domains=((0, 1),),
+            domain_windows={0: [FailureWindow("fail-stop", 100.0, 200.0)]})
+        for chip in (0, 1):
+            assert t.domain_outage_at(chip, 150.0) is not None
+            assert t.down_at(chip, 150.0) is not None  # merges into kill
+            assert t.down_at(chip, 250.0) is None
+        for chip in (2, 3):  # non-members never see the outage
+            assert t.domain_outage_at(chip, 150.0) is None
+            assert t.down_at(chip, 150.0) is None
+        assert t.domains_of(0) == (0,)
+        assert t.domains_of(2) == ()
+
+    def test_fail_stop_in_catches_domain_kills(self):
+        t = scripted_timeline(
+            2, {}, domains=((0, 1),),
+            domain_windows={0: [FailureWindow("fail-stop", 100.0, 200.0)]})
+        # A launch spanning the outage start dies; one after repair runs.
+        w = t.fail_stop_in(1, 50.0, 150.0)
+        assert w is not None and w.start == 100.0
+        assert t.fail_stop_in(1, 200.0, 300.0) is None
+
+    def test_fail_slow_domains_stretch_not_kill(self):
+        t = scripted_timeline(
+            2, {}, domains=((0, 1),), domain_mode="fail-slow",
+            domain_windows={0: [FailureWindow("fail-slow", 100.0, 200.0,
+                                              factor=3.0)]})
+        for chip in (0, 1):
+            assert t.slow_factor_at(chip, 150.0) == 3.0
+            assert t.slow_factor_at(chip, 50.0) == 1.0
+            assert t.down_at(chip, 150.0) is None  # nothing dies
+
+    def test_scripted_rejects_mode_mismatched_domain_window(self):
+        with pytest.raises(ConfigError, match="!= mode"):
+            scripted_timeline(
+                2, {}, domains=((0, 1),),
+                domain_windows={0: [FailureWindow("fail-slow", 0.0, 1.0)]})
+
+    def test_members_share_one_seeded_event_stream(self):
+        config = FailureConfig(seed=7, domains=((0, 1), (2,)),
+                               domain_mtbf_cycles=10_000.0,
+                               domain_repair_mean_cycles=5_000.0)
+        t = ChipFailureTimeline(config, 3)
+        horizon = 200_000.0
+        w01 = t.domain_windows_until(0, horizon)
+        assert w01  # the clock fired within the horizon
+        # Both members observe exactly the shared windows.
+        for w in w01:
+            mid = (w.start + w.end) / 2
+            assert t.domain_outage_at(0, mid) is w or \
+                t.domain_outage_at(0, mid).start == w.start
+            assert t.domain_outage_at(1, mid).start == w.start
+        # Distinct domains draw from independent streams.
+        w2 = t.domain_windows_until(1, horizon)
+        assert [w.start for w in w01] != [w.start for w in w2]
+
+    def test_adding_domains_never_shifts_chip_streams(self):
+        base = FailureConfig(seed=3, fail_stop_chips=(0,),
+                             fail_stop_mtbf_cycles=20_000.0,
+                             repair_mean_cycles=5_000.0)
+        with_domains = FailureConfig(
+            seed=3, fail_stop_chips=(0,),
+            fail_stop_mtbf_cycles=20_000.0, repair_mean_cycles=5_000.0,
+            domains=((0, 1),), domain_mtbf_cycles=50_000.0)
+        t1 = ChipFailureTimeline(base, 2)
+        t2 = ChipFailureTimeline(with_domains, 2)
+        horizon = 300_000.0
+        own1 = t1._ensure(0, "fail-stop", horizon)
+        own2 = t2._ensure(0, "fail-stop", horizon)
+        assert [(w.start, w.end) for w in own1] \
+            == [(w.start, w.end) for w in own2]

@@ -293,3 +293,66 @@ shed:
         for entry in entries:
             ps = load_policy(os.path.join(example_dir, entry))
             assert ps.slots_given()
+
+
+class TestClusterScopeObservables:
+    """The SLO-headroom and cluster-scope vocabulary (new in the
+    cluster layer) evaluates in a standalone fleet, where the cluster
+    names degrade to their single-fleet values."""
+
+    def test_new_names_available_in_every_slot(self):
+        for name in ("fleet.slo_headroom", "shard.slo_headroom",
+                     "cluster.alive_shard_fraction"):
+            kind, slots = OBSERVABLES[name]
+            assert kind == "float"
+            assert set(slots) == set(SLOTS)
+
+    def test_kind_depth_vocabulary_covers_every_kind(self):
+        from repro.serve.workload import KINDS
+        for kind in KINDS:
+            assert f"queue.kind_depth.{kind}" in OBSERVABLES
+
+    def test_slo_headroom_drives_shed_choice(self):
+        """The same headroom tree picks different victims under a tight
+        vs. loose SLO: headroom is live, not a constant."""
+        tree = {"if": {"field": "fleet.slo_headroom",
+                       "op": ">=", "value": 0.5},
+                "then": {"shed": "drop-newest"},
+                "else": {"shed": "drop-oldest"}}
+        reqs = [_req(i, float(i)) for i in range(8)]
+
+        def shed_set(slo):
+            config = ServeConfig(chips=1, max_batch=8,
+                                 max_wait_cycles=1e9, queue_capacity=2,
+                                 slo_cycles=slo,
+                                 policy_set=PolicySet(shed=tree))
+            result = FleetSimulator(config, _table(max_batch=8)).run(
+                list(reqs))
+            return {r.rid for r in result.records if r.shed}
+
+        loose, tight = shed_set(1e6), shed_set(10.0)
+        # Loose SLO: headroom stays ~1, drop-newest sheds arrivals.
+        assert 0 not in loose
+        # Tight SLO: headroom decays below 0.5 while rid 0 waits, so
+        # drop-oldest evicts it.
+        assert 0 in tight
+        assert loose != tight
+
+    def test_cluster_fraction_degrades_to_one_standalone(self):
+        """Outside a cluster the belief reads 1.0, so a tree branching
+        on it reproduces its then-branch exactly."""
+        tree = {"if": {"field": "cluster.alive_shard_fraction",
+                       "op": ">=", "value": 1.0},
+                "then": {"pick": "least-loaded"},
+                "else": {"pick": "round-robin"}}
+        reqs = [_req(i, float(i)) for i in range(12)]
+        config = dict(chips=2, max_batch=2, max_wait_cycles=50.0,
+                      queue_capacity=4, dispatch_overhead_cycles=10.0)
+        base = FleetSimulator(
+            ServeConfig(policy="least-loaded", **config),
+            _table(max_batch=2)).run(list(reqs))
+        treed = FleetSimulator(
+            ServeConfig(policy_set=PolicySet(schedule=tree), **config),
+            _table(max_batch=2)).run(list(reqs))
+        assert [(r.rid, r.chip, r.finish) for r in base.records] == \
+               [(r.rid, r.chip, r.finish) for r in treed.records]

@@ -146,6 +146,89 @@ def test_validation_errors_carry_the_field_path(doc, path):
     assert path in str(exc.value)
 
 
+@pytest.mark.parametrize("doc,path", [
+    # Malformed cluster: sections.
+    ({"cluster": {"shardz": 2}}, "scenario.cluster.shardz: unknown key"),
+    ({"cluster": {"shards": 0}},
+     "scenario.cluster.shards: must be >= 1"),
+    ({"cluster": {"shards": "many"}},
+     "scenario.cluster.shards: expected an integer"),
+    ({"cluster": {"router": "warp"}},
+     "scenario.cluster.router: unknown value"),
+    ({"cluster": {"gossip_interval_ms": 0}},
+     "scenario.cluster.gossip_interval_ms: must be > 0"),
+    ({"cluster": {"failover_retries": -1}},
+     "scenario.cluster.failover_retries: must be >= 0"),
+    ({"cluster": {"brownout_headroom": 1.5}},
+     "scenario.cluster.brownout_headroom: must be <= 1"),
+    ({"cluster": {"brownout_headroom": 0}},
+     "scenario.cluster.brownout_headroom: must be > 0"),
+    ({"cluster": {"brownout_kinds": ["warp"]}},
+     "scenario.cluster.brownout_kinds: unknown kind 'warp'"),
+    ({"cluster": {"brownout_kinds": ["fc", "fc"]}},
+     "scenario.cluster.brownout_kinds: duplicate kind names"),
+    ({"cluster": {"brownout_kinds": []}},
+     "scenario.cluster.brownout_kinds: expected a kind name"),
+    # Malformed autoscale: sections.
+    ({"autoscale": {"min_chipz": 1}},
+     "scenario.autoscale.min_chipz: unknown key"),
+    ({"autoscale": {"min_chips": 0}},
+     "scenario.autoscale.min_chips: must be >= 1"),
+    ({"autoscale": {"max_chips": "lots"}},
+     "scenario.autoscale.max_chips: expected an integer"),
+    ({"autoscale": {"evaluate_interval_ms": 0}},
+     "scenario.autoscale.evaluate_interval_ms: must be > 0"),
+    ({"autoscale": {"max_step": 0}},
+     "scenario.autoscale.max_step: must be >= 1"),
+    # Correlated failure domains: shape and range errors.
+    ({"failures": {"domains": "zone-a"}},
+     "scenario.failures.domains: expected a list of chip-id lists"),
+    ({"failures": {"domains": [0, 1]}},
+     "scenario.failures.domains: expected a list of chip-id lists"),
+    ({"failures": {"domains": [[]]}},
+     "scenario.failures.domains[0]: expected a non-empty list"),
+    ({"failures": {"domains": [[0], [True]]}},
+     "scenario.failures.domains[1]: expected a non-empty list"),
+    ({"fleet": {"chips": 4}, "failures": {"domains": [[0, 1], [7]]}},
+     "scenario.failures.domains[1]: chip ids out of range"),
+    ({"failures": {"domains": [[0]], "domain_mode": "explode"}},
+     "scenario.failures.domain_mode: unknown value"),
+    # *_ms edge cases on the new knobs.
+    ({"failures": {"domains": [[0]], "domain_mtbf_ms": 0}},
+     "scenario.failures.domain_mtbf_ms: must be > 0"),
+    ({"failures": {"domains": [[0]], "domain_repair_ms": -0.1}},
+     "scenario.failures.domain_repair_ms: must be > 0"),
+    ({"failures": {"domains": [[0]], "domain_mtbf_ms": "soon"}},
+     "scenario.failures.domain_mtbf_ms: expected a number"),
+    ({"failures": {"domains": [[0]], "domain_slow_factor": 0.5}},
+     "scenario.failures.domain_slow_factor: must be >= 1"),
+])
+def test_cluster_and_domain_errors_carry_the_field_path(doc, path):
+    with pytest.raises(ConfigError) as exc:
+        scenario_from_document(doc)
+    assert path in str(exc.value)
+
+
+def test_domains_alone_enable_the_failures_section():
+    scenario = scenario_from_document(
+        {"fleet": {"chips": 4}, "failures": {"domains": [[0, 1], [2, 3]]}})
+    assert scenario.serve.failures is not None
+    assert scenario.serve.failures.domains == ((0, 1), (2, 3))
+
+
+def test_cluster_section_defaults_compile():
+    scenario = scenario_from_document({"cluster": {}})
+    c = scenario.serve.cluster
+    assert c is not None
+    assert (c.shards, c.router) == (2, "least-loaded")
+    assert c.gossip_interval_cycles == ms_to_cycles(0.04)
+    assert c.brownout_headroom is None
+
+
+def test_no_cluster_section_leaves_config_cluster_none():
+    assert scenario_from_document({}).serve.cluster is None
+
+
 # ---------------------------------------------------------------------------
 # The named library and file loading
 
